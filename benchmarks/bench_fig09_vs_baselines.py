@@ -1,0 +1,32 @@
+"""Figure 9: C-SAW vs KnightKing (biased random walk) and GraphSAINT (MDRW).
+
+Reports million-SEPS for the KnightKing-like CPU walker engine, the
+GraphSAINT-like CPU frontier sampler, and C-SAW on 1 and 6 simulated GPUs,
+for every graph.  The paper's headline: C-SAW outperforms both baselines on
+every graph (10x / 8.1x on average with one GPU).
+"""
+
+import numpy as np
+
+from repro.bench import figures
+
+
+def test_fig09_vs_knightking_and_graphsaint(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        lambda: list(figures.fig09_baseline_comparison(scale)), rounds=1, iterations=1
+    )
+    table = report("fig09_vs_baselines", rows)
+
+    panel_a = [r for r in table.rows if r["panel"].startswith("a:")]
+    panel_b = [r for r in table.rows if r["panel"].startswith("b:")]
+    assert len(panel_a) == len(scale.all_graphs)
+    assert len(panel_b) == len(scale.all_graphs)
+
+    # C-SAW must beat KnightKing on every graph with a single GPU.
+    assert all(r["speedup_1gpu"] > 1.0 for r in panel_a)
+    # ... and beat GraphSAINT on every graph.
+    assert all(r["speedup_1gpu"] > 1.0 for r in panel_b)
+    # Six GPUs must improve on one GPU on average (the paper: 10x -> 14.7x).
+    mean_1 = float(np.mean([r["speedup_1gpu"] for r in panel_a]))
+    mean_6 = float(np.mean([r["speedup_6gpu"] for r in panel_a]))
+    assert mean_6 > mean_1

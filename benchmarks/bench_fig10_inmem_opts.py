@@ -1,0 +1,31 @@
+"""Figure 10: in-memory optimisation speedups.
+
+For four applications (biased / unbiased neighbor sampling, forest fire and
+layer sampling) on every in-memory graph, compares repeated sampling (the
+baseline), updated sampling, bipartite region search, and bipartite region
+search plus the strided bitmap.  The paper reports average speedups of 1.7x /
+1.17x / 1.4x / 1.7x for bipartite region search on the four applications and
+a further small gain from the bitmap.
+"""
+
+import numpy as np
+
+from repro.bench import figures
+
+
+def test_fig10_inmemory_optimisations(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        lambda: figures.fig10_inmemory_speedups(scale), rounds=1, iterations=1
+    )
+    table = report("fig10_inmem_opts", rows)
+    assert len(table.rows) == len(scale.in_memory_graphs) * 4
+
+    # Bipartite region search must beat repeated sampling on average, with
+    # the biggest gains on the biased applications.
+    biased = [r for r in table.rows if r["application"] == "biased_neighbor_sampling"]
+    assert float(np.mean([r["speedup_bipartite"] for r in biased])) > 1.1
+    overall = float(np.mean([r["speedup_bipartite"] for r in table.rows]))
+    assert overall > 1.0
+    # The bitmap variant must not regress meaningfully relative to bipartite.
+    with_bitmap = float(np.mean([r["speedup_bipartite+bitmap"] for r in table.rows]))
+    assert with_bitmap > 0.95 * overall

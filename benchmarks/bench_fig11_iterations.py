@@ -1,0 +1,23 @@
+"""Figure 11: average selection iterations with and without bipartite region search.
+
+The metric is the trip count of the SELECT do-while loop per sampled vertex.
+The paper reports 5.0x / 1.5x / 1.8x / 1.7x reductions for biased neighbor
+sampling, forest fire, layer sampling and unbiased neighbor sampling.
+"""
+
+import numpy as np
+
+from repro.bench import figures
+
+
+def test_fig11_iteration_reduction(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        lambda: figures.fig11_iteration_counts(scale), rounds=1, iterations=1
+    )
+    table = report("fig11_iterations", rows)
+
+    # Bipartite region search never needs more iterations than repeated
+    # sampling, and reduces them substantially for the biased applications.
+    assert all(r["iterations_bipartite"] <= r["iterations_baseline"] + 1e-9 for r in table.rows)
+    biased = [r for r in table.rows if r["application"] == "biased_neighbor_sampling"]
+    assert float(np.mean([r["reduction"] for r in biased])) > 1.5

@@ -1,0 +1,24 @@
+"""Figure 12: collision-search reduction from the strided bitmap.
+
+Compares the number of collision-detection searches performed by the strided
+bitmap against the shared-memory linear-search baseline (ratio < 1 means the
+bitmap searches less).  The paper reports reductions of 63% / 83% / 71% / 81%
+on the four applications.
+"""
+
+import numpy as np
+
+from repro.bench import figures
+
+
+def test_fig12_bitmap_search_reduction(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        lambda: figures.fig12_search_reduction(scale), rounds=1, iterations=1
+    )
+    table = report("fig12_bitmap", rows)
+
+    ratios = [r["ratio"] for r in table.rows]
+    # The bitmap must never search more than the linear baseline, and must
+    # meaningfully reduce searches on average.
+    assert all(r <= 1.0 + 1e-9 for r in ratios)
+    assert float(np.mean(ratios)) < 0.9

@@ -1,0 +1,30 @@
+"""Figure 13: out-of-memory optimisation speedups.
+
+For four applications on every graph (small graphs are treated as
+out-of-memory, as in the paper), compares the unoptimised partition-transfer
+baseline against batched multi-instance sampling (BA), BA plus workload-aware
+scheduling (WS) and BA + WS plus thread-block workload balancing (BAL).  The
+paper reports average speedups of roughly 2x (BA), 3x (BA+WS) and 3.5x
+(all three).
+"""
+
+import numpy as np
+
+from repro.bench import figures
+
+
+def test_fig13_oom_optimisations(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        lambda: figures.fig13_oom_speedups(scale), rounds=1, iterations=1
+    )
+    table = report("fig13_oom_opts", rows)
+    assert len(table.rows) == len(scale.all_graphs) * 4
+
+    mean_ba = float(np.mean([r["speedup_BA"] for r in table.rows]))
+    mean_ws = float(np.mean([r["speedup_BA+WS"] for r in table.rows]))
+    mean_bal = float(np.mean([r["speedup_BA+WS+BAL"] for r in table.rows]))
+    # Each optimisation layer must improve (or at least not regress) on the
+    # previous one, and batching alone must clearly beat the baseline.
+    assert mean_ba > 1.3
+    assert mean_ws >= mean_ba * 0.98
+    assert mean_bal >= mean_ws * 0.98

@@ -1,0 +1,27 @@
+"""Figure 14: workload imbalance across concurrent kernels.
+
+Measures the normalised spread of the per-stream (per concurrent kernel)
+busy time for each out-of-memory configuration; lower is better.  In the
+paper, batching and thread-block balancing reduce the imbalance (12-27%
+reduction in average kernel time).
+"""
+
+import numpy as np
+
+from repro.bench import figures
+
+
+def test_fig14_kernel_imbalance(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        lambda: figures.fig14_kernel_imbalance(scale), rounds=1, iterations=1
+    )
+    table = report("fig14_kernel_balance", rows)
+    assert len(table.rows) == len(scale.all_graphs) * 4
+
+    mean_baseline = float(np.mean([r["imbalance_baseline"] for r in table.rows]))
+    mean_full = float(np.mean([r["imbalance_BA+WS+BAL"] for r in table.rows]))
+    # The fully optimised configuration must not be more imbalanced than the
+    # baseline on average (the paper reports a clear reduction).
+    assert mean_full <= mean_baseline * 1.25
+    # Imbalance is a ratio; sanity-check the range.
+    assert all(0.0 <= r["imbalance_baseline"] < 10.0 for r in table.rows)

@@ -1,0 +1,28 @@
+"""Figure 15: partition transfer counts with and without workload-aware scheduling.
+
+Counts host-to-device partition transfers when partitions are scheduled in
+active (index) order versus by descending active-vertex count.  The paper
+reports 1.1-1.3x fewer transfers with workload-aware scheduling.
+"""
+
+import numpy as np
+
+from repro.bench import figures
+
+
+def test_fig15_partition_transfers(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        lambda: figures.fig15_partition_transfers(scale), rounds=1, iterations=1
+    )
+    table = report("fig15_partition_transfers", rows)
+    assert len(table.rows) == len(scale.all_graphs) * 4
+
+    # Workload-aware scheduling never needs more transfers than active-order
+    # scheduling, and reduces them on average.
+    assert all(
+        r["transfers_workload_aware"] <= r["transfers_active"] for r in table.rows
+    )
+    mean_reduction = float(np.mean([r["reduction"] for r in table.rows]))
+    assert mean_reduction >= 1.0
+    # Every run needs at least one transfer per scheduled partition.
+    assert all(r["transfers_workload_aware"] >= 1 for r in table.rows)

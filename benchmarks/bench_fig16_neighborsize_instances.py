@@ -1,0 +1,46 @@
+"""Figure 16: sampling time vs NeighborSize and vs the number of instances.
+
+Biased neighbor sampling on every graph, sweeping (a) NeighborSize over
+{1, 2, 4, 8} and (b) the instance count.  The paper reports roughly linear
+growth of sampling time along both axes, with higher-average-degree graphs
+taking longer.
+"""
+
+import numpy as np
+
+from repro.bench import figures
+
+
+def _monotone_fraction(values):
+    """Fraction of consecutive pairs that are non-decreasing."""
+    pairs = list(zip(values, values[1:]))
+    if not pairs:
+        return 1.0
+    good = sum(1 for a, b in pairs if b >= a * 0.95)
+    return good / len(pairs)
+
+
+def test_fig16_neighborsize_and_instances(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        lambda: list(figures.fig16_neighborsize_and_instances(scale)), rounds=1, iterations=1
+    )
+    table = report("fig16_neighborsize_instances", rows)
+
+    graphs = sorted({r["graph"] for r in table.rows})
+    monotone_scores = []
+    for graph in graphs:
+        ns_times = [
+            r["sampling_time_ms"]
+            for r in table.rows
+            if r["graph"] == graph and r["panel"].startswith("a:")
+        ]
+        inst_times = [
+            r["sampling_time_ms"]
+            for r in table.rows
+            if r["graph"] == graph and r["panel"].startswith("b:")
+        ]
+        monotone_scores.append(_monotone_fraction(ns_times))
+        monotone_scores.append(_monotone_fraction(inst_times))
+    # Sampling time must grow (near-)monotonically with both NeighborSize and
+    # the number of instances for the overwhelming majority of graphs.
+    assert float(np.mean(monotone_scores)) > 0.85

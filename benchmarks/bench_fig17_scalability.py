@@ -1,0 +1,33 @@
+"""Figure 17: multi-GPU scalability.
+
+Biased neighbor sampling scaled from 1 to 6 simulated GPUs for a small and a
+large instance count.  The paper reports 1.8x (2,000 instances) and 5.2x
+(8,000 instances) speedup on 6 GPUs: the small job cannot saturate six
+devices, the large one nearly scales linearly.
+"""
+
+import numpy as np
+
+from repro.bench import figures
+
+
+def test_fig17_multi_gpu_scaling(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        lambda: list(figures.fig17_multi_gpu_scaling(scale)), rounds=1, iterations=1
+    )
+    table = report("fig17_scalability", rows)
+
+    small, large = min(scale.scaling_instances), max(scale.scaling_instances)
+    max_gpus = max(scale.gpu_counts)
+    small_speedups = [
+        r["speedup"] for r in table.rows if r["instances"] == small and r["gpus"] == max_gpus
+    ]
+    large_speedups = [
+        r["speedup"] for r in table.rows if r["instances"] == large and r["gpus"] == max_gpus
+    ]
+    # More instances -> better scaling (the paper's 1.8x vs 5.2x contrast).
+    assert float(np.mean(large_speedups)) > float(np.mean(small_speedups))
+    # The large job must show real multi-GPU benefit.
+    assert float(np.mean(large_speedups)) > 1.5
+    # Speedup never exceeds the GPU count (sanity).
+    assert all(r["speedup"] <= max(scale.gpu_counts) + 1e-6 for r in table.rows)

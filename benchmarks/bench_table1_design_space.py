@@ -1,0 +1,22 @@
+"""Table I: the sampling / random-walk design space expressed through the API.
+
+Regenerates the paper's Table I by running every registered algorithm through
+the C-SAW programming interface on the same graph and reporting its position
+in the design space (bias criterion x NeighborSize shape) together with the
+number of edges it sampled -- demonstrating that the whole space is
+expressible with the three bias functions.
+"""
+
+from repro.bench import figures
+
+
+def test_table1_design_space(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        lambda: figures.table1_design_space(scale), rounds=1, iterations=1
+    )
+    table = report("table1_design_space", rows)
+    # Every algorithm of Table I must be expressible and actually sample edges.
+    assert len(table.rows) >= 13
+    assert all(row["sampled_edges"] > 0 for row in table.rows)
+    biases = {row["bias"] for row in table.rows}
+    assert biases == {"unbiased", "static", "dynamic"}

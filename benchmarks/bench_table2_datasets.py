@@ -1,0 +1,23 @@
+"""Table II: evaluated graphs and their statistics.
+
+Regenerates the dataset table by building every synthetic stand-in graph and
+comparing its average degree and skew against the statistics the paper
+reports for the original SNAP/KONECT datasets.
+"""
+
+from repro.bench import figures
+
+
+def test_table2_datasets(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        lambda: figures.table2_datasets(scale), rounds=1, iterations=1
+    )
+    table = report("table2_datasets", rows)
+    assert len(table.rows) == len(scale.all_graphs)
+    for row in table.rows:
+        # The stand-in's average degree should be within 2x of the paper's
+        # figure (dedup of the random multigraph loses some edges).
+        ratio = row["repro_avg_degree"] / row["paper_avg_degree"]
+        assert 0.3 < ratio < 2.5, f"{row['dataset']}: degree ratio {ratio}"
+        # Scale-free stand-ins must be skewed (hubs present).
+        assert row["repro_max_degree"] > 5 * row["repro_avg_degree"]

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper through
+:mod:`repro.bench.figures`, prints the resulting rows (run pytest with ``-s``
+to see them inline) and writes them as CSV under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference the numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import DEFAULT_SCALE
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The workload scale used by the full benchmark suite."""
+    return DEFAULT_SCALE
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory the per-figure CSV outputs are written to."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def report(results_dir):
+    """Factory that prints and persists an experiment table."""
+
+    def _report(name: str, rows) -> ExperimentTable:
+        table = ExperimentTable(name=name, rows=[dict(r) for r in rows])
+        print()
+        table.show()
+        table.save(results_dir)
+        return table
+
+    return _report

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Personalised PageRank estimation with random walks with restart.
+
+Personalised PageRank (PPR) is one of the paper's motivating applications for
+massive multi-source random walk: the PPR score of vertex ``v`` with respect
+to a source ``s`` is the stationary probability that a walk from ``s`` -- which
+restarts at ``s`` with probability alpha at every step -- is found at ``v``.
+Monte-Carlo estimation simply runs many such walks and counts visit
+frequencies.
+
+This example runs thousands of restart walks through the C-SAW framework and
+checks the estimate against the exact PPR computed by power iteration on the
+transition matrix (feasible at this scale), demonstrating an end-to-end
+application built on the public API.
+
+Run with:  python examples/ppr_estimation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import generate_dataset, sample_graph
+from repro.algorithms import RandomWalkWithRestart
+
+
+def exact_ppr(graph, source: int, alpha: float, iterations: int = 100) -> np.ndarray:
+    """Power-iteration PPR on the row-normalised adjacency matrix."""
+    n = graph.num_vertices
+    scores = np.zeros(n)
+    scores[source] = 1.0
+    restart = np.zeros(n)
+    restart[source] = 1.0
+    out_degree = np.maximum(graph.degrees, 1)
+    for _ in range(iterations):
+        spread = np.zeros(n)
+        contributions = scores / out_degree
+        np.add.at(spread, graph.col_idx, np.repeat(contributions, graph.degrees))
+        scores = alpha * restart + (1 - alpha) * spread
+    return scores / scores.sum()
+
+
+def main() -> None:
+    alpha = 0.2
+    graph = generate_dataset("CP", seed=4)          # citation-network-like stand-in
+    source = int(np.argmax(graph.degrees))          # a well-connected source vertex
+    num_walks = 800
+    walk_length = 20
+
+    program = RandomWalkWithRestart(restart_probability=alpha, seed=3)
+    config = program.default_config(depth=walk_length, seed=3)
+    result = sample_graph(graph, program, seeds=[source] * num_walks, config=config)
+
+    visits = np.zeros(graph.num_vertices)
+    for sample in result.samples:
+        if sample.num_edges:
+            np.add.at(visits, sample.edges[:, 1], 1.0)
+    visits[source] += num_walks                      # the walks start at the source
+    estimate = visits / visits.sum()
+
+    exact = exact_ppr(graph, source, alpha)
+    top_exact = np.argsort(exact)[::-1][:10]
+    top_estimate = np.argsort(estimate)[::-1][:10]
+    overlap = len(set(top_exact.tolist()) & set(top_estimate.tolist()))
+
+    print(f"Graph: {graph}")
+    print(f"Source vertex {source} (degree {graph.degree(source)}), alpha = {alpha}")
+    print(f"Walks: {num_walks} x {walk_length} steps, "
+          f"{result.total_sampled_edges} sampled edges, "
+          f"{result.seps() / 1e6:.1f} MSEPS simulated throughput")
+    print(f"Top-10 PPR overlap between Monte-Carlo estimate and power iteration: {overlap}/10")
+    print(f"L1 error of the estimate: {np.abs(estimate - exact).sum():.3f}")
+
+
+if __name__ == "__main__":
+    main()

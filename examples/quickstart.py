@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: sample a graph with the C-SAW bias-centric API.
+
+This example mirrors the paper's Fig. 2-4 walkthrough:
+
+1. build a graph (here, the scaled-down stand-in for the Amazon dataset);
+2. pick an algorithm from the zoo (unbiased neighbor sampling) or write your
+   own by subclassing ``SamplingProgram`` with the three bias functions;
+3. run thousands of sampling instances on the simulated GPU and inspect the
+   sampled subgraphs and the performance counters.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import generate_dataset, graph_stats, sample_graph
+from repro.algorithms import UnbiasedNeighborSampling
+from repro.api.bias import EdgePool, SamplingProgram
+
+
+class DegreeBiasedSampling(SamplingProgram):
+    """A custom program: bias neighbor selection by the neighbor's degree.
+
+    This is the whole user-facing surface of C-SAW -- three small functions
+    around *bias* (here only ``edge_bias`` needs overriding).
+    """
+
+    name = "degree_biased_sampling"
+
+    def edge_bias(self, edges: EdgePool) -> np.ndarray:
+        return edges.neighbor_degrees().astype(float) + 1.0
+
+    def update(self, edges: EdgePool, sampled: np.ndarray) -> np.ndarray:
+        # Do not revisit vertices sampled at earlier depths.
+        return edges.instance.unvisited(sampled)
+
+
+def main() -> None:
+    graph = generate_dataset("AM", seed=7, weighted=True)
+    stats = graph_stats(graph)
+    print(f"Graph: {graph}")
+    print(f"  avg degree {stats.avg_degree:.2f}, max degree {stats.max_degree}, "
+          f"degree Gini {stats.degree_gini:.2f}")
+
+    # --- built-in algorithm ------------------------------------------------
+    program = UnbiasedNeighborSampling()
+    config = program.default_config(depth=2, neighbor_size=2, seed=1)
+    seeds = list(range(256))
+    result = sample_graph(graph, program, seeds=seeds, config=config)
+    print(f"\n[{program.name}] {result.num_instances} instances")
+    print(f"  sampled edges        : {result.total_sampled_edges}")
+    print(f"  simulated kernel time: {result.kernel_time() * 1e3:.3f} ms")
+    print(f"  throughput           : {result.seps() / 1e6:.1f} million sampled edges/s")
+    print(f"  mean SELECT iterations: {result.mean_iterations():.2f}")
+
+    first = result.samples[0]
+    print(f"  instance 0 sampled {first.num_edges} edges, e.g. {first.edges[:4].tolist()}")
+
+    # --- custom program ----------------------------------------------------
+    custom = DegreeBiasedSampling()
+    custom_result = sample_graph(graph, custom, seeds=seeds, config=config)
+    print(f"\n[{custom.name}] sampled edges: {custom_result.total_sampled_edges}, "
+          f"throughput {custom_result.seps() / 1e6:.1f} MSEPS")
+
+    # High-degree-biased sampling should touch hubs more often.
+    mean_degree_uniform = float(np.mean(graph.degrees[result.all_edges()[:, 1]]))
+    mean_degree_biased = float(np.mean(graph.degrees[custom_result.all_edges()[:, 1]]))
+    print(f"  mean sampled-neighbor degree: uniform {mean_degree_uniform:.1f} "
+          f"vs degree-biased {mean_degree_biased:.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro: a reproduction of C-SAW (SC 2020) -- graph sampling and random walk.
+
+The package implements the paper's bias-centric sampling framework on top of
+a simulated GPU substrate, together with the algorithm zoo, out-of-memory /
+multi-GPU scheduling, CPU baselines and the benchmark harness that
+regenerates every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import generate_dataset, sample_graph
+>>> from repro.algorithms import UnbiasedNeighborSampling
+>>> graph = generate_dataset("AM", seed=1)
+>>> program = UnbiasedNeighborSampling()
+>>> result = sample_graph(graph, program, seeds=[0, 1, 2],
+...                       config=program.default_config(depth=2, neighbor_size=2))
+>>> result.total_sampled_edges > 0
+True
+"""
+
+from repro.graph import (
+    CSRGraph,
+    from_edge_list,
+    from_networkx,
+    generate_dataset,
+    partition_graph,
+    graph_stats,
+    TABLE2_DATASETS,
+)
+from repro.api import (
+    SamplingProgram,
+    SamplingConfig,
+    SelectionScope,
+    PoolPolicy,
+    GraphSampler,
+    sample_graph,
+    SampleResult,
+)
+from repro.gpusim import Device, DeviceSpec, make_device, V100_SPEC, POWER9_SPEC
+from repro.selection import CollisionStrategy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_list",
+    "from_networkx",
+    "generate_dataset",
+    "partition_graph",
+    "graph_stats",
+    "TABLE2_DATASETS",
+    "SamplingProgram",
+    "SamplingConfig",
+    "SelectionScope",
+    "PoolPolicy",
+    "GraphSampler",
+    "sample_graph",
+    "SampleResult",
+    "Device",
+    "DeviceSpec",
+    "make_device",
+    "V100_SPEC",
+    "POWER9_SPEC",
+    "CollisionStrategy",
+    "__version__",
+]

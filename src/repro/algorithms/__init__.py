@@ -1,0 +1,54 @@
+"""Algorithm zoo: every sampling / random-walk variant from Table I.
+
+Each algorithm is a :class:`~repro.api.bias.SamplingProgram` subclass paired
+with a default :class:`~repro.api.config.SamplingConfig`, registered in the
+design-space registry (:mod:`~repro.algorithms.registry`) under the paper's
+taxonomy (bias criterion x NeighborSize shape).
+"""
+
+from repro.algorithms.neighbor_sampling import (
+    UnbiasedNeighborSampling,
+    BiasedNeighborSampling,
+)
+from repro.algorithms.forest_fire import ForestFireSampling
+from repro.algorithms.snowball import SnowballSampling
+from repro.algorithms.layer_sampling import LayerSampling
+from repro.algorithms.random_walk import (
+    SimpleRandomWalk,
+    BiasedRandomWalk,
+    DeepWalk,
+    run_random_walks,
+)
+from repro.algorithms.metropolis_hastings import MetropolisHastingsWalk
+from repro.algorithms.jump_restart import RandomWalkWithJump, RandomWalkWithRestart
+from repro.algorithms.multidim_walk import MultiDimensionalRandomWalk
+from repro.algorithms.node2vec import Node2Vec
+from repro.algorithms.registry import (
+    AlgorithmInfo,
+    ALGORITHM_REGISTRY,
+    get_algorithm,
+    list_algorithms,
+    default_config,
+)
+
+__all__ = [
+    "UnbiasedNeighborSampling",
+    "BiasedNeighborSampling",
+    "ForestFireSampling",
+    "SnowballSampling",
+    "LayerSampling",
+    "SimpleRandomWalk",
+    "BiasedRandomWalk",
+    "DeepWalk",
+    "run_random_walks",
+    "MetropolisHastingsWalk",
+    "RandomWalkWithJump",
+    "RandomWalkWithRestart",
+    "MultiDimensionalRandomWalk",
+    "Node2Vec",
+    "AlgorithmInfo",
+    "ALGORITHM_REGISTRY",
+    "get_algorithm",
+    "list_algorithms",
+    "default_config",
+]

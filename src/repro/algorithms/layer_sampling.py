@@ -1,0 +1,50 @@
+"""Layer sampling.
+
+Layer sampling (LADIES / FastGCN style, the paper's citation [9]) samples a
+constant number of neighbors for *all* vertices present in the frontier in
+each round, i.e. the selection pool is the union of every frontier vertex's
+neighbors rather than each vertex's own list.  In C-SAW this is the
+``PER_LAYER`` selection scope; the bias is the edge weight when available and
+uniform otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.bias import EdgePool, SamplingProgram
+from repro.api.config import PoolPolicy, SamplingConfig, SelectionScope
+
+__all__ = ["LayerSampling"]
+
+
+class LayerSampling(SamplingProgram):
+    """Per-layer neighbor selection with a constant layer budget."""
+
+    name = "layer_sampling"
+
+    def __init__(self, *, weighted_bias: bool = True):
+        self.weighted_bias = weighted_bias
+
+    def edge_bias(self, edges: EdgePool) -> np.ndarray:
+        if self.weighted_bias and edges.graph.is_weighted:
+            return np.asarray(edges.weights, dtype=np.float64)
+        return np.ones(edges.size, dtype=np.float64)
+
+    def update(self, edges: EdgePool, sampled: np.ndarray) -> np.ndarray:
+        return edges.instance.unvisited(sampled)
+
+    @staticmethod
+    def default_config(**overrides) -> SamplingConfig:
+        """Layer-scope selection; the paper's evaluation uses NeighborSize 2, depth 2."""
+        base = dict(
+            frontier_size=0,
+            neighbor_size=2,
+            depth=2,
+            with_replacement=False,
+            scope=SelectionScope.PER_LAYER,
+            pool_policy=PoolPolicy.NEXT_LAYER,
+            track_visited=True,
+        )
+        base.update(overrides)
+        return SamplingConfig(**base)

@@ -1,0 +1,67 @@
+"""Node2vec: second-order (dynamic-bias) random walk.
+
+Node2vec biases each step of a walk by where the walker came from.  With the
+walker at ``v`` having arrived from ``t``, a candidate neighbor ``u`` gets
+bias (Fig. 3(a) of the paper):
+
+* ``weight * (1 / p)`` when ``u == t`` (returning to the previous vertex);
+* ``weight``            when ``u`` is a neighbor of ``t`` (distance 1);
+* ``weight * (1 / q)``  otherwise (distance 2 -- moving outward).
+
+``p`` (return parameter) and ``q`` (in-out parameter) steer the walk between
+BFS-like and DFS-like behaviour.  The bias depends on the *runtime* state of
+the walk (the previous vertex), which is exactly the dynamic-bias case that
+rules out alias-table pre-computation and motivates C-SAW's on-the-fly
+inverse transform sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.bias import EdgePool, SamplingProgram
+from repro.api.config import PoolPolicy, SamplingConfig, SelectionScope
+
+__all__ = ["Node2Vec"]
+
+
+class Node2Vec(SamplingProgram):
+    """Node2vec walk program with return parameter ``p`` and in-out parameter ``q``."""
+
+    name = "node2vec"
+
+    def __init__(self, p: float = 1.0, q: float = 1.0):
+        if p <= 0 or q <= 0:
+            raise ValueError("node2vec parameters p and q must be positive")
+        self.p = float(p)
+        self.q = float(q)
+
+    def edge_bias(self, edges: EdgePool) -> np.ndarray:
+        weights = np.asarray(edges.weights, dtype=np.float64)
+        prev = edges.instance.prev_vertex
+        if prev < 0:
+            # First step of the walk: no previous vertex, plain weighted pick.
+            return weights
+        prev_neighbors = edges.graph.neighbors(prev)
+        bias = np.empty(edges.size, dtype=np.float64)
+        is_prev = edges.neighbors == prev
+        is_prev_neighbor = np.isin(edges.neighbors, prev_neighbors)
+        bias[:] = weights / self.q                    # distance 2 from prev
+        bias[is_prev_neighbor] = weights[is_prev_neighbor]  # distance 1
+        bias[is_prev] = weights[is_prev] / self.p     # distance 0 (return)
+        return bias
+
+    @staticmethod
+    def default_config(**overrides) -> SamplingConfig:
+        """Walk-style config: one neighbor per step, repeats allowed."""
+        base = dict(
+            frontier_size=0,
+            neighbor_size=1,
+            depth=8,
+            with_replacement=True,
+            scope=SelectionScope.PER_VERTEX,
+            pool_policy=PoolPolicy.NEXT_LAYER,
+            track_visited=False,
+        )
+        base.update(overrides)
+        return SamplingConfig(**base)

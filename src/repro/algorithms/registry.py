@@ -1,0 +1,126 @@
+"""The Table I design-space registry.
+
+Table I of the paper organises traversal-based sampling and random-walk
+algorithms along two axes: the *bias criterion* (unbiased / static biased /
+dynamic biased) and the *NeighborSize shape* (one neighbor per step vs more,
+constant vs variable, per vertex vs per layer).  This registry records every
+algorithm implemented in :mod:`repro.algorithms` with its position in that
+design space and factories for the program and its default configuration, so
+the Table I benchmark and the tests can demonstrate that the whole design
+space is expressible with the C-SAW API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.api.bias import SamplingProgram
+from repro.api.config import SamplingConfig
+from repro.algorithms.forest_fire import ForestFireSampling
+from repro.algorithms.jump_restart import RandomWalkWithJump, RandomWalkWithRestart
+from repro.algorithms.layer_sampling import LayerSampling
+from repro.algorithms.metropolis_hastings import MetropolisHastingsWalk
+from repro.algorithms.multidim_walk import MultiDimensionalRandomWalk
+from repro.algorithms.neighbor_sampling import (
+    BiasedNeighborSampling,
+    UnbiasedNeighborSampling,
+)
+from repro.algorithms.node2vec import Node2Vec
+from repro.algorithms.random_walk import BiasedRandomWalk, DeepWalk, SimpleRandomWalk
+from repro.algorithms.snowball import SnowballSampling
+
+__all__ = [
+    "AlgorithmInfo",
+    "ALGORITHM_REGISTRY",
+    "get_algorithm",
+    "list_algorithms",
+    "default_config",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """One cell of the Table I design space."""
+
+    name: str
+    #: ``"unbiased"``, ``"static"`` or ``"dynamic"`` (Table I's bias criterion).
+    bias: str
+    #: ``"one"`` (random walk), ``"constant"`` or ``"variable"`` neighbors.
+    neighbor_shape: str
+    #: ``"per_vertex"`` or ``"per_layer"`` neighbor selection.
+    scope: str
+    #: Whether repeats are allowed (random walk) or not (sampling).
+    is_random_walk: bool
+    program_factory: Callable[[], SamplingProgram]
+    config_factory: Callable[..., SamplingConfig]
+
+
+def _info(name, bias, shape, scope, walk, prog, cfg) -> AlgorithmInfo:
+    return AlgorithmInfo(
+        name=name,
+        bias=bias,
+        neighbor_shape=shape,
+        scope=scope,
+        is_random_walk=walk,
+        program_factory=prog,
+        config_factory=cfg,
+    )
+
+
+ALGORITHM_REGISTRY: Dict[str, AlgorithmInfo] = {
+    info.name: info
+    for info in [
+        _info("simple_random_walk", "unbiased", "one", "per_vertex", True,
+              SimpleRandomWalk, SimpleRandomWalk.default_config),
+        _info("deepwalk", "unbiased", "one", "per_vertex", True,
+              DeepWalk, DeepWalk.default_config),
+        _info("metropolis_hastings_walk", "unbiased", "one", "per_vertex", True,
+              MetropolisHastingsWalk, MetropolisHastingsWalk.default_config),
+        _info("random_walk_with_jump", "unbiased", "one", "per_vertex", True,
+              RandomWalkWithJump, RandomWalkWithJump.default_config),
+        _info("random_walk_with_restart", "unbiased", "one", "per_vertex", True,
+              RandomWalkWithRestart, RandomWalkWithRestart.default_config),
+        _info("unbiased_neighbor_sampling", "unbiased", "constant", "per_vertex", False,
+              UnbiasedNeighborSampling, UnbiasedNeighborSampling.default_config),
+        _info("forest_fire_sampling", "unbiased", "variable", "per_vertex", False,
+              ForestFireSampling, ForestFireSampling.default_config),
+        _info("snowball_sampling", "unbiased", "variable", "per_vertex", False,
+              SnowballSampling, SnowballSampling.default_config),
+        _info("biased_random_walk", "static", "one", "per_vertex", True,
+              BiasedRandomWalk, BiasedRandomWalk.default_config),
+        _info("biased_neighbor_sampling", "static", "constant", "per_vertex", False,
+              BiasedNeighborSampling, BiasedNeighborSampling.default_config),
+        _info("layer_sampling", "static", "constant", "per_layer", False,
+              LayerSampling, LayerSampling.default_config),
+        _info("multidimensional_random_walk", "dynamic", "one", "per_vertex", True,
+              MultiDimensionalRandomWalk, MultiDimensionalRandomWalk.default_config),
+        _info("node2vec", "dynamic", "one", "per_vertex", True,
+              Node2Vec, Node2Vec.default_config),
+    ]
+}
+
+
+def list_algorithms(*, bias: str | None = None, random_walk: bool | None = None) -> List[str]:
+    """Names of registered algorithms, optionally filtered by design-space axis."""
+    names = []
+    for name, info in ALGORITHM_REGISTRY.items():
+        if bias is not None and info.bias != bias:
+            continue
+        if random_walk is not None and info.is_random_walk != random_walk:
+            continue
+        names.append(name)
+    return sorted(names)
+
+
+def get_algorithm(name: str) -> AlgorithmInfo:
+    """Look up an algorithm's registry entry by name."""
+    info = ALGORITHM_REGISTRY.get(name)
+    if info is None:
+        raise KeyError(f"unknown algorithm {name!r}; known: {sorted(ALGORITHM_REGISTRY)}")
+    return info
+
+
+def default_config(name: str, **overrides) -> SamplingConfig:
+    """Default :class:`SamplingConfig` of a registered algorithm."""
+    return get_algorithm(name).config_factory(**overrides)

@@ -1,0 +1,148 @@
+"""The user-facing bias API: ``VERTEXBIAS`` / ``EDGEBIAS`` / ``UPDATE``.
+
+The paper's API (Fig. 2(a)) asks users to define three functions around
+*bias* -- the quantity proportional to each candidate's selection probability
+(Theorem 1).  This module provides the Python equivalent as a small class the
+user subclasses.  The functions are vectorised: instead of being called once
+per vertex or edge they receive the whole candidate pool as arrays, which is
+both the idiomatic NumPy formulation and how the GPU kernels consume biases.
+
+Two context views are passed to the hooks:
+
+* :class:`FrontierPoolView` -- the instance's frontier pool (for
+  ``vertex_bias``), giving access to the pool vertices, their degrees and the
+  owning instance.
+* :class:`EdgePool` -- one frontier vertex's gathered neighbor list (for
+  ``edge_bias`` and ``update``), with the source vertex, neighbor ids, edge
+  weights and the owning instance (whose ``prev_vertex`` field enables
+  node2vec-style dynamic biases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.instance import InstanceState
+    from repro.graph.csr import CSRGraph
+
+__all__ = ["FrontierPoolView", "EdgePool", "SamplingProgram", "UniformProgram"]
+
+
+@dataclass(frozen=True)
+class FrontierPoolView:
+    """Read-only view of an instance's frontier pool handed to ``vertex_bias``."""
+
+    #: Vertices currently in the frontier pool.
+    vertices: np.ndarray
+    #: Out-degree of each pool vertex.
+    degrees: np.ndarray
+    #: The owning instance (exposes ``prev_vertex``, ``visited``, ``depth``).
+    instance: "InstanceState"
+    #: The graph being sampled.
+    graph: "CSRGraph"
+
+    @property
+    def size(self) -> int:
+        """Number of candidates in the pool."""
+        return int(self.vertices.size)
+
+
+@dataclass(frozen=True)
+class EdgePool:
+    """One frontier vertex's neighbor pool handed to ``edge_bias`` / ``update``."""
+
+    #: The frontier vertex whose neighbors were gathered (``e.v`` in the paper).
+    src: int
+    #: Neighbor vertex ids (``e.u``).
+    neighbors: np.ndarray
+    #: Edge weights aligned with ``neighbors`` (ones when the graph is unweighted).
+    weights: np.ndarray
+    #: The owning instance.
+    instance: "InstanceState"
+    #: The graph being sampled.
+    graph: "CSRGraph"
+
+    @property
+    def size(self) -> int:
+        """Number of candidate neighbors."""
+        return int(self.neighbors.size)
+
+    def neighbor_degrees(self) -> np.ndarray:
+        """Out-degree of every candidate neighbor."""
+        return self.graph.degrees[self.neighbors]
+
+
+class SamplingProgram:
+    """Base class users subclass to express a sampling / random-walk algorithm.
+
+    The three hooks correspond one-to-one to the paper's API functions.  The
+    default implementations give uniform biases and add every sampled
+    neighbor to the frontier pool, i.e. unbiased neighbor sampling.
+    """
+
+    #: Human-readable algorithm name (used by the registry and harness).
+    name: str = "custom"
+
+    # ------------------------------------------------------------------ #
+    # The paper's three API functions
+    # ------------------------------------------------------------------ #
+    def vertex_bias(self, pool: FrontierPoolView) -> np.ndarray:
+        """Bias of each frontier-pool candidate (``VERTEXBIAS``).
+
+        Must return a non-negative array of shape ``(pool.size,)``.
+        """
+        return np.ones(pool.size, dtype=np.float64)
+
+    def edge_bias(self, edges: EdgePool) -> np.ndarray:
+        """Bias of each neighbor candidate (``EDGEBIAS``).
+
+        Must return a non-negative array of shape ``(edges.size,)``.
+        """
+        return np.ones(edges.size, dtype=np.float64)
+
+    def accept(self, edges: EdgePool, sampled: np.ndarray) -> np.ndarray:
+        """Subset of selected neighbors to record into the sample.
+
+        Most algorithms record everything (the default).  Metropolis-Hastings
+        random walk overrides this to implement its accept/reject step: a
+        rejected proposal is not recorded and the walker stays put.
+        """
+        return sampled
+
+    def update(self, edges: EdgePool, sampled: np.ndarray) -> np.ndarray:
+        """Vertices to insert into the frontier pool (``UPDATE``).
+
+        ``sampled`` holds the *accepted* neighbor vertices selected from
+        ``edges``.  The default adds all of them; subclasses can filter
+        visited vertices, implement jump/restart behaviour, or return an
+        empty array to stop.
+        """
+        return sampled
+
+    # ------------------------------------------------------------------ #
+    # Optional knobs algorithms can override
+    # ------------------------------------------------------------------ #
+    def neighbor_count(self, edges: EdgePool, requested: int) -> int:
+        """How many neighbors to select for this pool.
+
+        Defaults to the configured ``NeighborSize``; forest fire sampling
+        overrides this with a geometric draw (its "burning probability").
+        """
+        return requested
+
+    def describe(self) -> str:
+        """One-line description used by the benchmark harness."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class UniformProgram(SamplingProgram):
+    """Uniform vertex and edge biases; the simplest possible program."""
+
+    name = "uniform"

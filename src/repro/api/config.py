@@ -1,0 +1,110 @@
+"""Parameter-based configuration of a sampling run.
+
+The paper splits user involvement into *parameter-based* options (simple
+knobs such as ``FrontierSize`` and ``NeighborSize``) and *API-based* options
+(the bias functions).  :class:`SamplingConfig` holds the former plus the
+framework-level switches evaluated in Section VI (collision strategy,
+collision detector, per-vertex vs per-layer selection).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Union
+
+from repro.selection.collision import CollisionStrategy
+
+__all__ = ["SelectionScope", "PoolPolicy", "SamplingConfig"]
+
+
+class SelectionScope(str, enum.Enum):
+    """Whether NeighborSize applies per frontier vertex or per layer.
+
+    Neighbor / forest-fire sampling select ``NeighborSize`` neighbors for each
+    frontier vertex independently (``PER_VERTEX``); layer sampling selects
+    ``NeighborSize`` neighbors from the union of all frontier vertices'
+    neighbors (``PER_LAYER``), as described in Section II-A.
+    """
+
+    PER_VERTEX = "per_vertex"
+    PER_LAYER = "per_layer"
+
+
+class PoolPolicy(str, enum.Enum):
+    """How the frontier pool evolves between iterations.
+
+    ``NEXT_LAYER``
+        The pool of iteration ``t+1`` is exactly the vertices ``UPDATE``
+        returned at iteration ``t`` (BFS-style traversal sampling and
+        ordinary random walks).
+    ``REPLACE_SELECTED``
+        The selected frontier vertices are removed from the pool and the
+        vertices returned by ``UPDATE`` are inserted, keeping the pool size
+        constant (multi-dimensional random walk, Fig. 4).
+    """
+
+    NEXT_LAYER = "next_layer"
+    REPLACE_SELECTED = "replace_selected"
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Parameters of one sampling / random-walk job.
+
+    Attributes
+    ----------
+    frontier_size:
+        Number of vertices selected from the frontier pool each iteration
+        (line 4 of Fig. 2(b)).  ``0`` means "use the whole pool".
+    neighbor_size:
+        Number of neighbors selected per frontier vertex (or per layer, see
+        ``scope``); line 6 of Fig. 2(b).
+    depth:
+        Number of MAIN-loop iterations (walk length for random walks).
+    with_replacement:
+        Random walks allow repeated vertices (True); traversal sampling does
+        not (False).
+    scope:
+        Per-vertex or per-layer neighbor selection.
+    pool_policy:
+        Frontier-pool evolution policy.
+    strategy:
+        Collision-mitigation strategy used when selecting without
+        replacement.
+    detector:
+        Collision detector: ``"linear"``, ``"bitmap"`` or ``"strided_bitmap"``.
+    seed:
+        Base seed of the counter RNG; every instance derives its own streams.
+    track_visited:
+        Maintain a per-instance visited set so ``update`` hooks can filter
+        previously sampled vertices (traversal sampling).
+    """
+
+    frontier_size: int = 1
+    neighbor_size: int = 1
+    depth: int = 2
+    with_replacement: bool = False
+    scope: SelectionScope = SelectionScope.PER_VERTEX
+    pool_policy: PoolPolicy = PoolPolicy.NEXT_LAYER
+    strategy: Union[str, CollisionStrategy] = CollisionStrategy.BIPARTITE
+    detector: str = "strided_bitmap"
+    seed: int = 0
+    track_visited: bool = True
+
+    def __post_init__(self) -> None:
+        if self.frontier_size < 0:
+            raise ValueError("frontier_size must be >= 0 (0 means whole pool)")
+        if self.neighbor_size < 1:
+            raise ValueError("neighbor_size must be >= 1")
+        if self.depth < 1:
+            raise ValueError("depth must be >= 1")
+        object.__setattr__(self, "scope", SelectionScope(self.scope))
+        object.__setattr__(self, "pool_policy", PoolPolicy(self.pool_policy))
+        object.__setattr__(self, "strategy", CollisionStrategy.coerce(self.strategy))
+        if self.detector not in ("linear", "bitmap", "strided_bitmap"):
+            raise ValueError(f"unknown detector {self.detector!r}")
+
+    def replace(self, **overrides) -> "SamplingConfig":
+        """Copy of this config with selected fields overridden."""
+        return replace(self, **overrides)

@@ -1,0 +1,132 @@
+"""Per-instance sampling state.
+
+A sampling *instance* corresponds to one sampled subgraph (or one walk): it
+owns a frontier pool, the edges sampled so far, an optional visited set (for
+sampling without revisits) and bookkeeping such as the vertex visited at the
+previous step (needed by node2vec's dynamic bias) and the current depth.
+
+Thousands of instances run concurrently in C-SAW; each instance's randomness
+is keyed by its ``instance_id`` so results are independent of scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["InstanceState", "make_instances"]
+
+
+@dataclass
+class InstanceState:
+    """Mutable state of one sampling instance."""
+
+    instance_id: int
+    frontier_pool: np.ndarray
+    depth: int = 0
+    finished: bool = False
+    #: Vertex explored at the preceding step (node2vec's ``PrevSource``).
+    prev_vertex: int = -1
+    #: Per-instance visited set (only maintained when the config asks for it).
+    visited: set = field(default_factory=set)
+    #: The seed vertices this instance started from (immutable copy of the
+    #: initial frontier pool).
+    seeds: np.ndarray = field(default=None)
+    _src: List[int] = field(default_factory=list)
+    _dst: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.frontier_pool = np.asarray(self.frontier_pool, dtype=np.int64).reshape(-1)
+        if self.seeds is None:
+            self.seeds = self.frontier_pool.copy()
+        else:
+            self.seeds = np.asarray(self.seeds, dtype=np.int64).reshape(-1)
+        self.visited = set(int(v) for v in self.frontier_pool) if self.visited == set() else self.visited
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_sampled_edges(self) -> int:
+        """Number of edges recorded so far."""
+        return len(self._src)
+
+    @property
+    def pool_size(self) -> int:
+        """Current frontier pool size."""
+        return int(self.frontier_pool.size)
+
+    def record_edges(self, src: int | np.ndarray, dst: np.ndarray) -> None:
+        """Append sampled edges ``(src, dst_i)`` to the instance sample."""
+        dst = np.asarray(dst, dtype=np.int64).reshape(-1)
+        src_arr = np.broadcast_to(np.asarray(src, dtype=np.int64), dst.shape)
+        self._src.extend(int(s) for s in src_arr)
+        self._dst.extend(int(d) for d in dst)
+
+    def sampled_edges(self) -> np.ndarray:
+        """Sampled edges as an ``(n, 2)`` array in sampling order."""
+        if not self._src:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.column_stack([np.asarray(self._src, dtype=np.int64),
+                                np.asarray(self._dst, dtype=np.int64)])
+
+    def sampled_vertices(self) -> np.ndarray:
+        """Distinct vertices appearing in the sample (sources, targets, seeds)."""
+        edges = self.sampled_edges()
+        return np.unique(np.concatenate([self.frontier_pool, edges.ravel()]))
+
+    def mark_visited(self, vertices: np.ndarray) -> None:
+        """Add vertices to the visited set."""
+        self.visited.update(int(v) for v in np.asarray(vertices).reshape(-1))
+
+    def unvisited(self, vertices: np.ndarray) -> np.ndarray:
+        """Subset of ``vertices`` not yet in the visited set (order preserved)."""
+        vertices = np.asarray(vertices, dtype=np.int64).reshape(-1)
+        mask = np.fromiter((int(v) not in self.visited for v in vertices), dtype=bool,
+                           count=vertices.size)
+        return vertices[mask]
+
+    def set_pool(self, vertices: np.ndarray) -> None:
+        """Replace the frontier pool."""
+        self.frontier_pool = np.asarray(vertices, dtype=np.int64).reshape(-1)
+
+    def __repr__(self) -> str:
+        return (
+            f"InstanceState(id={self.instance_id}, pool={self.pool_size}, "
+            f"edges={self.num_sampled_edges}, depth={self.depth}, finished={self.finished})"
+        )
+
+
+def make_instances(
+    seeds: Sequence[int] | Sequence[Sequence[int]] | np.ndarray,
+    *,
+    num_instances: Optional[int] = None,
+) -> List[InstanceState]:
+    """Create instance states from seed vertices.
+
+    ``seeds`` may be a flat sequence (one seed per instance) or a sequence of
+    sequences (multiple seeds per instance, e.g. multi-dimensional random
+    walk).  When ``num_instances`` is given and a single flat seed list is
+    provided, seeds are reused round-robin to reach the requested count.
+    """
+    if isinstance(seeds, np.ndarray) and seeds.ndim == 1:
+        seeds = seeds.tolist()
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    nested = isinstance(seeds[0], (list, tuple, np.ndarray))
+    if num_instances is not None:
+        if nested:
+            if len(seeds) < num_instances:
+                reps = int(np.ceil(num_instances / len(seeds)))
+                seeds = (seeds * reps)[:num_instances]
+            else:
+                seeds = seeds[:num_instances]
+        else:
+            reps = int(np.ceil(num_instances / len(seeds)))
+            seeds = (seeds * reps)[:num_instances]
+    instances = []
+    for i, seed in enumerate(seeds):
+        pool = np.asarray(seed if nested else [seed], dtype=np.int64)
+        instances.append(InstanceState(instance_id=i, frontier_pool=pool))
+    return instances

@@ -1,0 +1,141 @@
+"""Sampling results: per-instance samples plus cost and kernel records.
+
+The benchmarks need three things from a finished run: the sampled edges (to
+compute SEPS and to hand to downstream consumers such as GNN training), the
+operation counters (iterations, probes, conflicts, transfers -- the raw
+material of Figures 11, 12, 14 and 15), and the per-kernel launches so the
+simulated kernel time can be computed under any device spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.api.instance import InstanceState
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import DeviceSpec, V100_SPEC
+from repro.gpusim.kernel import KernelLaunch
+from repro.graph.builder import from_edge_list
+from repro.graph.csr import CSRGraph
+
+__all__ = ["InstanceSample", "SampleResult"]
+
+
+@dataclass(frozen=True)
+class InstanceSample:
+    """The sample produced by one instance: its seeds and sampled edges."""
+
+    instance_id: int
+    seeds: np.ndarray
+    edges: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        """Number of sampled edges."""
+        return int(self.edges.shape[0])
+
+    def vertices(self) -> np.ndarray:
+        """Distinct vertices touched by this instance."""
+        return np.unique(np.concatenate([self.seeds, self.edges.ravel()])) if self.num_edges else np.unique(self.seeds)
+
+    def to_subgraph(self, num_vertices: int) -> CSRGraph:
+        """The sampled edges as a CSR graph over the original vertex ids."""
+        return from_edge_list(self.edges, num_vertices=num_vertices)
+
+
+@dataclass
+class SampleResult:
+    """Aggregate result of a sampling run."""
+
+    samples: List[InstanceSample]
+    cost: CostModel
+    kernels: List[KernelLaunch] = field(default_factory=list)
+    #: Per-selection do-while iteration counts (Fig. 11 metric).
+    iteration_counts: List[int] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_instances(self) -> int:
+        """Number of sampling instances."""
+        return len(self.samples)
+
+    @property
+    def total_sampled_edges(self) -> int:
+        """Total sampled edges across instances (SEPS numerator)."""
+        return int(sum(s.num_edges for s in self.samples))
+
+    def edges_per_instance(self) -> np.ndarray:
+        """Sampled edge count of each instance."""
+        return np.array([s.num_edges for s in self.samples], dtype=np.int64)
+
+    def all_edges(self) -> np.ndarray:
+        """All sampled edges concatenated into one ``(n, 2)`` array."""
+        if not self.samples:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.vstack([s.edges for s in self.samples if s.num_edges] or
+                         [np.empty((0, 2), dtype=np.int64)])
+
+    # ------------------------------------------------------------------ #
+    def kernel_time(self, spec: DeviceSpec = V100_SPEC) -> float:
+        """Total simulated kernel time (the paper's SEPS denominator)."""
+        if self.kernels:
+            return float(sum(k.duration(spec) for k in self.kernels))
+        return float(self.cost.simulated_time(spec))
+
+    def seps(self, spec: DeviceSpec = V100_SPEC) -> float:
+        """Sampled edges per simulated second."""
+        time = self.kernel_time(spec)
+        if time <= 0:
+            return float("inf") if self.total_sampled_edges else 0.0
+        return self.total_sampled_edges / time
+
+    def mean_iterations(self) -> float:
+        """Average do-while iterations per selected vertex (Fig. 11)."""
+        if not self.iteration_counts:
+            return 0.0
+        return float(np.mean(self.iteration_counts))
+
+    def summary(self, spec: DeviceSpec = V100_SPEC) -> Dict[str, float]:
+        """Flat summary dictionary used by the benchmark harness."""
+        return {
+            "instances": self.num_instances,
+            "sampled_edges": self.total_sampled_edges,
+            "kernel_time_s": self.kernel_time(spec),
+            "seps": self.seps(spec),
+            "mean_iterations": self.mean_iterations(),
+            "collision_probes": self.cost.collision_probes,
+            "selection_collisions": self.cost.selection_collisions,
+            "atomic_conflicts": self.cost.atomic_conflicts,
+            "partition_transfers": self.cost.partition_transfers,
+            **{f"meta_{k}": v for k, v in self.metadata.items() if isinstance(v, (int, float))},
+        }
+
+    @staticmethod
+    def from_instances(
+        instances: List[InstanceState],
+        cost: CostModel,
+        *,
+        kernels: Optional[List[KernelLaunch]] = None,
+        iteration_counts: Optional[List[int]] = None,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> "SampleResult":
+        """Build a result from finished instance states."""
+        samples = [
+            InstanceSample(
+                instance_id=inst.instance_id,
+                seeds=np.asarray(inst.seeds, dtype=np.int64),
+                edges=inst.sampled_edges(),
+            )
+            for inst in instances
+        ]
+        return SampleResult(
+            samples=samples,
+            cost=cost,
+            kernels=kernels or [],
+            iteration_counts=iteration_counts or [],
+            metadata=metadata or {},
+        )

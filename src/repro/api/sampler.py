@@ -1,0 +1,362 @@
+"""The C-SAW MAIN loop (Fig. 2(b)) executed on the simulated GPU.
+
+:class:`GraphSampler` drives any :class:`~repro.api.bias.SamplingProgram`
+over a graph for a set of instances:
+
+1. select ``FrontierSize`` vertices from each instance's frontier pool using
+   ``VERTEXBIAS`` (line 4);
+2. gather the neighbors of every frontier vertex (line 5);
+3. select ``NeighborSize`` neighbors using ``EDGEBIAS`` (line 6) -- per
+   frontier vertex or per layer depending on the configured scope;
+4. insert the vertices returned by ``UPDATE`` into the frontier pool
+   (line 7) and append the sampled edges to the instance's sample (line 8);
+5. repeat until the configured depth is reached or every instance runs out of
+   frontier.
+
+Each depth step is executed as one simulated kernel: all SELECT invocations
+of the step are warp tasks inside it, which is how the result's kernel-time
+and SEPS numbers are obtained.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api.bias import FrontierPoolView, SamplingProgram
+from repro.api.config import PoolPolicy, SamplingConfig, SelectionScope
+from repro.api.instance import InstanceState, make_instances
+from repro.api.results import SampleResult
+from repro.api.select import gather_neighbors, warp_select
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import Device, make_device
+from repro.gpusim.kernel import KernelLaunch
+from repro.gpusim.prng import CounterRNG
+from repro.gpusim.warp import WarpExecutor
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphSampler", "sample_graph"]
+
+
+class GraphSampler:
+    """In-memory C-SAW sampler for a single simulated GPU."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        program: SamplingProgram,
+        config: SamplingConfig,
+        device: Optional[Device] = None,
+    ):
+        if graph.num_vertices == 0:
+            raise ValueError("cannot sample an empty graph")
+        self.graph = graph
+        self.program = program
+        self.config = config
+        self.device = device if device is not None else make_device("gpu")
+        self.rng = CounterRNG(config.seed)
+        self._warp_counter = 0
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        seeds: Union[Sequence[int], Sequence[Sequence[int]], np.ndarray],
+        *,
+        num_instances: Optional[int] = None,
+    ) -> SampleResult:
+        """Run the MAIN loop for the given seeds and return the samples."""
+        instances = make_instances(seeds, num_instances=num_instances)
+        self._validate_seeds(instances)
+        kernels: List[KernelLaunch] = []
+        iteration_counts: List[int] = []
+
+        for depth in range(self.config.depth):
+            step_cost = CostModel()
+            num_tasks = 0
+            any_active = False
+            for inst in instances:
+                if inst.finished or inst.pool_size == 0:
+                    inst.finished = True
+                    continue
+                any_active = True
+                tasks = self._step_instance(inst, depth, step_cost, iteration_counts)
+                num_tasks += tasks
+            if not any_active:
+                break
+            step_cost.kernel_launches += 1
+            kernels.append(
+                KernelLaunch(
+                    name=f"kernel:depth{depth}",
+                    cost=step_cost,
+                    num_warp_tasks=max(num_tasks, 1),
+                )
+            )
+            self.device.cost.merge(step_cost)
+
+        return SampleResult.from_instances(
+            instances,
+            self.device.cost.copy(),
+            kernels=kernels,
+            iteration_counts=iteration_counts,
+            metadata={
+                "program": self.program.name,
+                "depth": self.config.depth,
+                "neighbor_size": self.config.neighbor_size,
+                "frontier_size": self.config.frontier_size,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    def _step_instance(
+        self,
+        inst: InstanceState,
+        depth: int,
+        cost: CostModel,
+        iteration_counts: List[int],
+    ) -> int:
+        """Advance one instance by one MAIN-loop iteration; returns warp-task count."""
+        cfg = self.config
+        graph = self.graph
+        program = self.program
+        tasks = 0
+
+        pool = inst.frontier_pool
+        frontier, frontier_positions, tasks_inc = self._select_frontier(inst, pool, depth, cost)
+        tasks += tasks_inc
+        if frontier.size == 0:
+            inst.finished = True
+            return tasks
+
+        inserted: List[np.ndarray] = []
+        if cfg.scope is SelectionScope.PER_LAYER:
+            sampled_any, tasks_inc = self._sample_layer(inst, frontier, depth, cost,
+                                                        iteration_counts, inserted)
+            tasks += tasks_inc
+        else:
+            sampled_any = False
+            for slot, vertex in enumerate(frontier):
+                sampled, tasks_inc = self._sample_vertex(
+                    inst, int(vertex), slot, depth, cost, iteration_counts, inserted
+                )
+                sampled_any = sampled_any or sampled
+                tasks += tasks_inc
+
+        # Remember the vertex explored at this step for dynamic biases
+        # (node2vec); meaningful for walk-style programs with one frontier.
+        if frontier.size >= 1:
+            inst.prev_vertex = int(frontier[0])
+
+        self._update_pool(inst, pool, frontier_positions, inserted)
+        inst.depth = depth + 1
+        if inst.pool_size == 0:
+            inst.finished = True
+        return tasks
+
+    # ------------------------------------------------------------------ #
+    def _select_frontier(
+        self,
+        inst: InstanceState,
+        pool: np.ndarray,
+        depth: int,
+        cost: CostModel,
+    ):
+        """Line 4 of Fig. 2(b): SELECT(VERTEXBIAS(FrontierPool), FrontierSize)."""
+        cfg = self.config
+        if cfg.frontier_size == 0 or pool.size <= cfg.frontier_size:
+            return pool, np.arange(pool.size), 0
+
+        view = FrontierPoolView(
+            vertices=pool,
+            degrees=self.graph.degrees[pool],
+            instance=inst,
+            graph=self.graph,
+        )
+        biases = self._validated_bias(self.program.vertex_bias(view), pool.size, "vertex_bias")
+        positive = int(np.count_nonzero(biases > 0))
+        count = min(cfg.frontier_size, positive)
+        if count == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 0
+        warp = self._next_warp(cost)
+        result = warp_select(
+            biases,
+            count,
+            warp,
+            inst.instance_id,
+            depth,
+            0,
+            with_replacement=False,
+            strategy=cfg.strategy,
+            detector=cfg.detector,
+        )
+        return pool[result.indices], result.indices, 1
+
+    def _sample_vertex(
+        self,
+        inst: InstanceState,
+        vertex: int,
+        slot: int,
+        depth: int,
+        cost: CostModel,
+        iteration_counts: List[int],
+        inserted: List[np.ndarray],
+    ):
+        """Lines 5-8 for one frontier vertex under per-vertex scope."""
+        cfg = self.config
+        edges = gather_neighbors(self.graph, vertex, inst, cost)
+        if edges.size == 0:
+            return False, 0
+        biases = self._validated_bias(self.program.edge_bias(edges), edges.size, "edge_bias")
+        requested = self.program.neighbor_count(edges, cfg.neighbor_size)
+        if requested <= 0:
+            return False, 0
+        positive = int(np.count_nonzero(biases > 0))
+        if positive == 0:
+            return False, 0
+        count = requested if cfg.with_replacement else min(requested, positive)
+        warp = self._next_warp(cost)
+        result = warp_select(
+            biases,
+            count,
+            warp,
+            inst.instance_id,
+            depth,
+            slot + 1,
+            with_replacement=cfg.with_replacement,
+            strategy=cfg.strategy,
+            detector=cfg.detector,
+        )
+        sampled = edges.neighbors[result.indices]
+        iteration_counts.extend(int(i) for i in result.iterations)
+        accepted = np.asarray(self.program.accept(edges, sampled), dtype=np.int64).reshape(-1)
+        if accepted.size:
+            inst.record_edges(vertex, accepted)
+            cost.sampled_edges += int(accepted.size)
+        # UPDATE sees the visited set as of the *previous* steps so it can
+        # filter re-visits; the newly accepted vertices are marked afterwards.
+        new_vertices = np.asarray(
+            self.program.update(edges, accepted), dtype=np.int64
+        ).reshape(-1)
+        if accepted.size and cfg.track_visited:
+            inst.mark_visited(accepted)
+        if new_vertices.size:
+            inserted.append(new_vertices)
+        return True, 1
+
+    def _sample_layer(
+        self,
+        inst: InstanceState,
+        frontier: np.ndarray,
+        depth: int,
+        cost: CostModel,
+        iteration_counts: List[int],
+        inserted: List[np.ndarray],
+    ):
+        """Lines 5-8 under per-layer scope (layer sampling)."""
+        cfg = self.config
+        pools = []
+        for vertex in frontier:
+            edges = gather_neighbors(self.graph, int(vertex), inst, cost)
+            if edges.size == 0:
+                continue
+            biases = self._validated_bias(self.program.edge_bias(edges), edges.size, "edge_bias")
+            pools.append((edges, biases))
+        if not pools:
+            return False, 0
+        all_src = np.concatenate([np.full(e.size, e.src, dtype=np.int64) for e, _ in pools])
+        all_neighbors = np.concatenate([e.neighbors for e, _ in pools])
+        all_biases = np.concatenate([b for _, b in pools])
+        positive = int(np.count_nonzero(all_biases > 0))
+        if positive == 0:
+            return False, 0
+        count = cfg.neighbor_size if cfg.with_replacement else min(cfg.neighbor_size, positive)
+        warp = self._next_warp(cost)
+        result = warp_select(
+            all_biases,
+            count,
+            warp,
+            inst.instance_id,
+            depth,
+            1,
+            with_replacement=cfg.with_replacement,
+            strategy=cfg.strategy,
+            detector=cfg.detector,
+        )
+        iteration_counts.extend(int(i) for i in result.iterations)
+        chosen_src = all_src[result.indices]
+        chosen_dst = all_neighbors[result.indices]
+        for s, d in zip(chosen_src, chosen_dst):
+            inst.record_edges(int(s), np.array([d]))
+        cost.sampled_edges += int(chosen_dst.size)
+        # UPDATE is called per source vertex with the subset it contributed;
+        # it sees the visited set as of the previous steps.
+        for edges, _ in pools:
+            mask = chosen_src == edges.src
+            if not mask.any():
+                continue
+            new_vertices = np.asarray(
+                self.program.update(edges, chosen_dst[mask]), dtype=np.int64
+            ).reshape(-1)
+            if new_vertices.size:
+                inserted.append(new_vertices)
+        if cfg.track_visited:
+            inst.mark_visited(chosen_dst)
+        return True, 1
+
+    def _update_pool(
+        self,
+        inst: InstanceState,
+        pool: np.ndarray,
+        frontier_positions: np.ndarray,
+        inserted: List[np.ndarray],
+    ) -> None:
+        """Line 7 of Fig. 2(b): FrontierPool.INSERT(UPDATE(Sampled))."""
+        new_vertices = (
+            np.concatenate(inserted) if inserted else np.empty(0, dtype=np.int64)
+        )
+        if self.config.pool_policy is PoolPolicy.REPLACE_SELECTED:
+            keep = np.ones(pool.size, dtype=bool)
+            keep[np.asarray(frontier_positions, dtype=np.int64)] = False
+            inst.set_pool(np.concatenate([pool[keep], new_vertices]))
+        else:  # NEXT_LAYER
+            inst.set_pool(new_vertices)
+
+    # ------------------------------------------------------------------ #
+    def _next_warp(self, cost: CostModel) -> WarpExecutor:
+        warp = WarpExecutor(warp_id=self._warp_counter, cost=cost, rng=self.rng)
+        self._warp_counter += 1
+        return warp
+
+    def _validated_bias(self, biases, expected: int, label: str) -> np.ndarray:
+        biases = np.asarray(biases, dtype=np.float64).reshape(-1)
+        if biases.size != expected:
+            raise ValueError(
+                f"{label} must return one bias per candidate "
+                f"(expected {expected}, got {biases.size})"
+            )
+        if np.any(biases < 0) or not np.all(np.isfinite(biases)):
+            raise ValueError(f"{label} must return finite, non-negative biases")
+        return biases
+
+    def _validate_seeds(self, instances: List[InstanceState]) -> None:
+        for inst in instances:
+            if inst.frontier_pool.size == 0:
+                raise ValueError(f"instance {inst.instance_id} has no seed vertices")
+            if inst.frontier_pool.min() < 0 or inst.frontier_pool.max() >= self.graph.num_vertices:
+                raise ValueError(
+                    f"instance {inst.instance_id} has seed vertices outside the graph"
+                )
+
+
+def sample_graph(
+    graph: CSRGraph,
+    program: SamplingProgram,
+    seeds: Union[Sequence[int], Sequence[Sequence[int]], np.ndarray],
+    config: Optional[SamplingConfig] = None,
+    *,
+    num_instances: Optional[int] = None,
+    device: Optional[Device] = None,
+) -> SampleResult:
+    """One-call convenience wrapper around :class:`GraphSampler`."""
+    sampler = GraphSampler(graph, program, config or SamplingConfig(), device)
+    return sampler.run(seeds, num_instances=num_instances)

@@ -1,0 +1,172 @@
+"""GraphSAINT-like CPU multi-dimensional random-walk sampler (Fig. 9(b) baseline).
+
+GraphSAINT's C++ sampler used in the paper's comparison implements
+multi-dimensional random walk (frontier sampling): each sampling instance
+keeps a frontier pool of ``m`` vertices, repeatedly picks one pool vertex with
+probability proportional to its degree, replaces it with one uniformly random
+neighbor, and accumulates the traversed edges into the sampled subgraph.
+Instances are distributed across CPU threads (instance-grained parallelism).
+
+The implementation below mirrors that behaviour and charges a CPU cost model
+with the per-step work (degree-proportional pool selection via inverse
+transform over the pool, one neighbor pick, the associated memory traffic),
+so its SEPS is directly comparable with C-SAW's GPU numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import POWER9_SPEC, DeviceSpec
+from repro.gpusim.kernel import KernelLaunch
+from repro.gpusim.prng import CounterRNG
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphSAINTSampler", "GraphSAINTResult"]
+
+#: Cycles charged per sampling step for the dependent (cache-missing) pointer
+#: chase of CSR traversal on a CPU thread; see the same constant in
+#: :mod:`repro.baselines.knightking`.
+DEPENDENT_ACCESS_CYCLES = 250
+
+
+@dataclass
+class GraphSAINTResult:
+    """Sampled subgraphs (one per instance) plus cost accounting."""
+
+    edges_per_instance: List[np.ndarray]
+    cost: CostModel
+    kernels: List[KernelLaunch] = field(default_factory=list)
+    spec: DeviceSpec = POWER9_SPEC
+
+    @property
+    def total_sampled_edges(self) -> int:
+        """Total sampled edges across instances."""
+        return int(sum(e.shape[0] for e in self.edges_per_instance))
+
+    def kernel_time(self, spec: Optional[DeviceSpec] = None) -> float:
+        """Simulated sampling time on the CPU spec."""
+        spec = spec or self.spec
+        if self.kernels:
+            return float(sum(k.duration(spec) for k in self.kernels))
+        return float(self.cost.simulated_time(spec))
+
+    def seps(self, spec: Optional[DeviceSpec] = None) -> float:
+        """Sampled edges per simulated second."""
+        time = self.kernel_time(spec)
+        return self.total_sampled_edges / time if time > 0 else 0.0
+
+
+class GraphSAINTSampler:
+    """Multi-dimensional random-walk (frontier) sampler on the simulated CPU."""
+
+    def __init__(self, graph: CSRGraph, *, seed: int = 0, spec: DeviceSpec = POWER9_SPEC):
+        if graph.num_vertices == 0:
+            raise ValueError("cannot sample an empty graph")
+        self.graph = graph
+        self.spec = spec
+        self.rng = CounterRNG(seed)
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        *,
+        num_instances: int,
+        frontier_size: int,
+        steps: int,
+        seeds: Optional[Sequence[int]] = None,
+    ) -> GraphSAINTResult:
+        """Sample ``num_instances`` subgraphs of ``steps`` frontier-walk steps each.
+
+        ``seeds`` optionally fixes the initial frontier pool vertices; by
+        default pools are drawn uniformly at random per instance (GraphSAINT's
+        behaviour).
+        """
+        if num_instances < 1 or frontier_size < 1 or steps < 1:
+            raise ValueError("num_instances, frontier_size and steps must be >= 1")
+        cost = CostModel()
+        kernels: List[KernelLaunch] = []
+        edges_per_instance: List[np.ndarray] = []
+
+        for instance in range(num_instances):
+            inst_cost = CostModel()
+            pool = self._initial_pool(instance, frontier_size, seeds)
+            src_list: List[int] = []
+            dst_list: List[int] = []
+            degrees = self.graph.degrees[pool].astype(np.float64)
+            for step in range(steps):
+                # Degree-proportional pool selection (inverse transform over
+                # the pool's degree prefix sums, recomputed as the pool changes).
+                biases = degrees + 1.0
+                total = biases.sum()
+                r = float(self.rng.uniform(instance, step, 0)) * total
+                slot = int(np.searchsorted(np.cumsum(biases), r, side="right"))
+                slot = min(slot, pool.size - 1)
+                vertex = int(pool[slot])
+                inst_cost.rng_draws += 1
+                # Serial CPU prefix sum over the pool: O(pool) work and O(pool)
+                # bytes read, every step (C-SAW's warp-parallel scan pays only
+                # the logarithmic span for the same job).
+                inst_cost.prefix_sum_steps += int(pool.size)
+                inst_cost.charge_global_bytes(int(pool.size) * 8)
+                inst_cost.binary_search_steps += max(1, int(np.ceil(np.log2(pool.size + 1))))
+                inst_cost.selection_attempts += 1
+                inst_cost.charge_warp_step(1, active_lanes=1)
+
+                neighbors = self.graph.neighbors(vertex)
+                inst_cost.charge_global_bytes(neighbors.nbytes + 16)
+                inst_cost.charge_warp_step(DEPENDENT_ACCESS_CYCLES, active_lanes=1)
+                if neighbors.size == 0:
+                    continue
+                r2 = float(self.rng.uniform(instance, step, 1))
+                inst_cost.rng_draws += 1
+                pick = int(min(r2 * neighbors.size, neighbors.size - 1))
+                target = int(neighbors[pick])
+                src_list.append(vertex)
+                dst_list.append(target)
+                pool[slot] = target
+                degrees[slot] = float(self.graph.degrees[target])
+            inst_cost.sampled_edges += len(src_list)
+            cost.merge(inst_cost)
+            edges = (
+                np.column_stack([src_list, dst_list])
+                if src_list
+                else np.empty((0, 2), dtype=np.int64)
+            )
+            edges_per_instance.append(edges)
+
+        # Instance-grained parallelism: the whole job is one parallel region
+        # whose concurrency is bounded by the number of instances (threads).
+        kernels.append(
+            KernelLaunch(
+                name="kernel:graphsaint_sampling",
+                cost=cost.copy(),
+                num_warp_tasks=num_instances,
+            )
+        )
+
+        return GraphSAINTResult(
+            edges_per_instance=edges_per_instance,
+            cost=cost,
+            kernels=kernels,
+            spec=self.spec,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _initial_pool(
+        self, instance: int, frontier_size: int, seeds: Optional[Sequence[int]]
+    ) -> np.ndarray:
+        if seeds is not None:
+            seeds = np.asarray(seeds, dtype=np.int64).reshape(-1)
+            if seeds.size < frontier_size:
+                reps = int(np.ceil(frontier_size / seeds.size))
+                seeds = np.tile(seeds, reps)
+            return seeds[:frontier_size].copy()
+        lanes = np.arange(frontier_size, dtype=np.int64)
+        draws = np.atleast_1d(self.rng.uniform(np.int64(instance), lanes, np.int64(977)))
+        return np.minimum((draws * self.graph.num_vertices).astype(np.int64),
+                          self.graph.num_vertices - 1)

@@ -1,0 +1,26 @@
+"""Benchmark harness: workload definitions and per-figure experiments.
+
+* :mod:`~repro.bench.harness` -- table formatting, CSV output and the
+  experiment-row conventions shared by every benchmark.
+* :mod:`~repro.bench.workloads` -- the scaled-down workload parameters
+  (datasets, instance counts, walk lengths) used to regenerate the paper's
+  tables and figures on a laptop-sized budget.
+* :mod:`~repro.bench.figures` -- one function per table/figure of the paper's
+  evaluation section; each returns the rows the corresponding figure plots.
+  Results are cached per-process so benchmarks that share a sweep (e.g.
+  Figures 10, 11 and 12) only run it once.
+"""
+
+from repro.bench.harness import ExperimentTable, format_table, write_csv
+from repro.bench.workloads import BenchmarkScale, SMALL_SCALE, DEFAULT_SCALE
+from repro.bench import figures
+
+__all__ = [
+    "ExperimentTable",
+    "format_table",
+    "write_csv",
+    "BenchmarkScale",
+    "SMALL_SCALE",
+    "DEFAULT_SCALE",
+    "figures",
+]

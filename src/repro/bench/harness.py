@@ -1,0 +1,97 @@
+"""Experiment-table formatting and persistence.
+
+Every per-figure experiment in :mod:`repro.bench.figures` returns a list of
+flat dictionaries (one per figure bar / line point).  The helpers here render
+them as aligned text tables -- the "same rows the paper reports" -- and write
+them to CSV files under ``benchmarks/results/`` so EXPERIMENTS.md can quote
+them.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["ExperimentTable", "format_table", "write_csv"]
+
+Row = Mapping[str, Union[str, int, float]]
+
+
+def _format_value(value: Union[str, int, float]) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Row], *, title: Optional[str] = None) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    if not rows:
+        return f"{title or 'experiment'}: (no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append(" | ".join(col.ljust(widths[i]) for i, col in enumerate(columns)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def write_csv(rows: Sequence[Row], path: Union[str, os.PathLike]) -> Path:
+    """Write rows to a CSV file, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("", encoding="utf-8")
+        return path
+    columns = list(rows[0].keys())
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in columns})
+    return path
+
+
+@dataclass
+class ExperimentTable:
+    """A named collection of result rows with printing and CSV persistence."""
+
+    name: str
+    rows: List[Dict[str, Union[str, int, float]]] = field(default_factory=list)
+
+    def add(self, **row: Union[str, int, float]) -> None:
+        """Append one row."""
+        self.rows.append(dict(row))
+
+    def extend(self, rows: Sequence[Row]) -> None:
+        """Append several rows."""
+        self.rows.extend(dict(r) for r in rows)
+
+    def render(self) -> str:
+        """Render as a text table."""
+        return format_table(self.rows, title=self.name)
+
+    def show(self) -> None:
+        """Print the table to stdout."""
+        print(self.render())
+
+    def save(self, directory: Union[str, os.PathLike]) -> Path:
+        """Write the table to ``<directory>/<name>.csv``."""
+        return write_csv(self.rows, Path(directory) / f"{self.name}.csv")
+
+    def column(self, key: str) -> List[Union[str, int, float]]:
+        """All values of one column, in row order."""
+        return [row[key] for row in self.rows]

@@ -1,0 +1,107 @@
+"""Workload scales for the benchmark suite.
+
+The paper's evaluation runs 2,000-16,000 sampling instances over graphs with
+up to 1.8 billion edges on V100 GPUs.  The reproduction executes the same
+experiments on synthetic stand-in graphs roughly 1/1000 the size, with
+instance counts reduced proportionally, so the entire suite finishes in a few
+minutes of host time while preserving every comparison's shape.
+
+Two scales are provided:
+
+* :data:`SMALL_SCALE` -- used by the test suite and CI-style smoke runs;
+* :data:`DEFAULT_SCALE` -- used by ``pytest benchmarks/ --benchmark-only`` to
+  regenerate the tables in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import IN_MEMORY_DATASETS, ALL_DATASETS, generate_dataset
+
+__all__ = ["BenchmarkScale", "SMALL_SCALE", "DEFAULT_SCALE", "get_graph"]
+
+
+@dataclass(frozen=True)
+class BenchmarkScale:
+    """Scaled-down experiment parameters (paper values in comments)."""
+
+    #: Graphs used for in-memory experiments (paper: the 8 Table II graphs
+    #: that fit in GPU memory).
+    in_memory_graphs: Tuple[str, ...] = tuple(IN_MEMORY_DATASETS)
+    #: Graphs used for out-of-memory experiments (paper: all 10).
+    all_graphs: Tuple[str, ...] = tuple(ALL_DATASETS)
+    #: Random-walk instance count (paper: 4,000).  Kept above the simulated
+    #: GPU's concurrent-warp count so the 6-GPU configuration of Fig. 9 still
+    #: has enough parallel work per device to beat the single GPU.
+    walk_instances: int = 1200
+    #: Random-walk length (paper: 2,000 steps).
+    walk_length: int = 40
+    #: Traversal-sampling instance count (paper: 2,000).
+    sampling_instances: int = 100
+    #: Multi-dimensional random-walk frontier size (paper: 2,000).
+    frontier_size: int = 500
+    #: Multi-dimensional random-walk steps per instance.
+    frontier_steps: int = 16
+    #: Out-of-memory sampling instance count.
+    oom_instances: int = 120
+    #: Out-of-memory sampling depth.
+    oom_depth: int = 3
+    #: NeighborSize sweep (paper: 1, 2, 4, 8).
+    neighbor_sizes: Tuple[int, ...] = (1, 2, 4, 8)
+    #: Instance-count sweep (paper: 2k, 4k, 8k, 16k).
+    instance_sweep: Tuple[int, ...] = (50, 100, 200, 400)
+    #: Multi-GPU instance counts (paper: 2,000 and 8,000).
+    scaling_instances: Tuple[int, ...] = (400, 1600)
+    #: GPU counts for the scalability study (paper: 1-6).
+    gpu_counts: Tuple[int, ...] = (1, 2, 4, 6)
+    #: Graph scale factor applied to every generated dataset.
+    graph_scale: float = 1.0
+    #: Seed base for dataset generation and samplers.
+    seed: int = 7
+
+
+SMALL_SCALE = BenchmarkScale(
+    in_memory_graphs=("AM", "RE", "WG"),
+    all_graphs=("AM", "RE", "WG", "TW"),
+    walk_instances=100,
+    walk_length=20,
+    sampling_instances=40,
+    frontier_size=100,
+    frontier_steps=8,
+    oom_instances=60,
+    oom_depth=2,
+    neighbor_sizes=(1, 2, 4),
+    instance_sweep=(20, 40, 80),
+    scaling_instances=(100, 400),
+    gpu_counts=(1, 2, 4),
+    graph_scale=0.5,
+)
+
+DEFAULT_SCALE = BenchmarkScale()
+
+_GRAPH_CACHE: Dict[Tuple[str, bool, str, float, int], CSRGraph] = {}
+
+
+def get_graph(
+    abbr: str,
+    *,
+    weighted: bool = False,
+    weight_distribution: str = "uniform",
+    scale: BenchmarkScale = DEFAULT_SCALE,
+) -> CSRGraph:
+    """Generate (and cache) the stand-in graph for a dataset abbreviation."""
+    key = (abbr, weighted, weight_distribution, scale.graph_scale, scale.seed)
+    graph = _GRAPH_CACHE.get(key)
+    if graph is None:
+        graph = generate_dataset(
+            abbr,
+            seed=scale.seed,
+            scale_factor=scale.graph_scale,
+            weighted=weighted,
+            weight_distribution=weight_distribution,
+        )
+        _GRAPH_CACHE[key] = graph
+    return graph

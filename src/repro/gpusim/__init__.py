@@ -1,0 +1,66 @@
+"""Simulated GPU execution substrate.
+
+The paper runs on NVIDIA V100 GPUs and relies on warp-level primitives
+(lock-step lanes, Kogge-Stone warp scans, atomic compare-and-swap on shared
+bitmaps), CUDA streams overlapping PCIe transfers with kernels, and a 16 GB
+device-memory capacity that forces out-of-memory scheduling for the largest
+graphs.
+
+This package substitutes a deterministic software model of that machine:
+
+* :mod:`~repro.gpusim.prng` -- a counter-based (SplitMix/Philox style)
+  pseudo-random generator so every lane draws reproducible random numbers.
+* :mod:`~repro.gpusim.costmodel` -- operation counters (warp steps, memory
+  traffic, atomic conflicts, transfers) converted into simulated seconds via
+  a :class:`~repro.gpusim.device.DeviceSpec`.
+* :mod:`~repro.gpusim.device` -- device specifications (V100-like GPU and a
+  POWER9-like CPU for baselines) and a :class:`Device` with memory capacity
+  tracking.
+* :mod:`~repro.gpusim.warp` -- the warp-centric execution abstraction
+  (lock-step lanes, divergence accounting).
+* :mod:`~repro.gpusim.scan` -- Kogge-Stone inclusive/exclusive warp scans.
+* :mod:`~repro.gpusim.atomics` -- atomic operations with contention
+  accounting on shared words.
+* :mod:`~repro.gpusim.memory` -- device memory allocation plus the PCIe
+  transfer engine used by out-of-memory sampling.
+* :mod:`~repro.gpusim.kernel` -- kernels, thread blocks and streams whose
+  timelines overlap transfers and compute.
+
+Everything that decides *which vertex gets sampled* is computed exactly; the
+simulator only synthesises the *time* those operations would take, which is
+what the paper's figures compare.
+"""
+
+from repro.gpusim.prng import CounterRNG
+from repro.gpusim.costmodel import CostModel, CostBreakdown
+from repro.gpusim.device import DeviceSpec, Device, V100_SPEC, POWER9_SPEC, make_device
+from repro.gpusim.warp import WarpExecutor, WARP_SIZE
+from repro.gpusim.scan import kogge_stone_inclusive, kogge_stone_exclusive, warp_prefix_sum
+from repro.gpusim.atomics import AtomicCounter, atomic_cas_bitmap, atomic_add
+from repro.gpusim.memory import DeviceMemory, TransferEngine, AllocationError
+from repro.gpusim.kernel import Stream, KernelLaunch, StreamTimeline
+
+__all__ = [
+    "CounterRNG",
+    "CostModel",
+    "CostBreakdown",
+    "DeviceSpec",
+    "Device",
+    "V100_SPEC",
+    "POWER9_SPEC",
+    "make_device",
+    "WarpExecutor",
+    "WARP_SIZE",
+    "kogge_stone_inclusive",
+    "kogge_stone_exclusive",
+    "warp_prefix_sum",
+    "AtomicCounter",
+    "atomic_cas_bitmap",
+    "atomic_add",
+    "DeviceMemory",
+    "TransferEngine",
+    "AllocationError",
+    "Stream",
+    "KernelLaunch",
+    "StreamTimeline",
+]

@@ -1,0 +1,174 @@
+"""Operation counting and conversion to simulated execution time.
+
+The paper's figures compare *relative* performance: which collision strategy
+wins (Fig 10-12), how much out-of-memory scheduling saves (Fig 13-15), how
+time grows with NeighborSize and instance count (Fig 16) and how C-SAW scales
+across GPUs (Fig 17).  All of those are determined by how much work each
+configuration performs -- selection iterations, prefix-sum recomputation,
+collision probes, atomic conflicts, bytes moved over PCIe -- not by the
+absolute speed of a V100.
+
+:class:`CostModel` therefore accumulates exact operation counts while the
+framework runs, and converts them into simulated seconds using a
+:class:`~repro.gpusim.device.DeviceSpec`.  The conversion is a classic
+roofline-style model: compute time and memory time overlap (take the max),
+PCIe transfers and kernel-launch overheads are additive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpusim.device import DeviceSpec
+
+__all__ = ["CostModel", "CostBreakdown"]
+
+
+@dataclass
+class CostBreakdown:
+    """Simulated time split into its roofline components (seconds)."""
+
+    compute_time: float
+    memory_time: float
+    transfer_time: float
+    launch_time: float
+
+    @property
+    def total(self) -> float:
+        """Total simulated time: overlapped compute/memory plus transfers."""
+        return max(self.compute_time, self.memory_time) + self.transfer_time + self.launch_time
+
+
+@dataclass
+class CostModel:
+    """Accumulator of simulated-hardware events.
+
+    Counters
+    --------
+    warp_steps:
+        Lock-step warp instructions (each step executes up to 32 lanes).
+    lane_ops:
+        Individual lane operations (used for divergence statistics).
+    global_bytes:
+        Device-memory traffic in bytes (CSR reads, CTPS reads/writes, queue
+        updates).
+    shared_accesses:
+        Shared-memory accesses (the linear-search collision baseline).
+    atomic_ops / atomic_conflicts:
+        Atomic operations issued and the subset that contended for the same
+        word in the same warp step (strided vs contiguous bitmaps differ here).
+    rng_draws:
+        Random numbers generated (one per selection attempt).
+    binary_search_steps / prefix_sum_steps:
+        Steps of the two dominant selection kernels.
+    selection_attempts / selection_collisions:
+        Do-while iterations of the SELECT loop and how many hit an
+        already-selected vertex (Fig 11's metric).
+    collision_probes:
+        Collision-detection probes (bitmap or linear search; Fig 12's metric).
+    h2d_bytes / d2h_bytes:
+        PCIe traffic for out-of-memory sampling.
+    kernel_launches:
+        Number of kernels launched (fixed overhead each).
+    sampled_edges:
+        Edges emitted into the sample output (numerator of SEPS).
+    """
+
+    warp_steps: int = 0
+    lane_ops: int = 0
+    global_bytes: int = 0
+    shared_accesses: int = 0
+    atomic_ops: int = 0
+    atomic_conflicts: int = 0
+    rng_draws: int = 0
+    binary_search_steps: int = 0
+    prefix_sum_steps: int = 0
+    selection_attempts: int = 0
+    selection_collisions: int = 0
+    collision_probes: int = 0
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    kernel_launches: int = 0
+    sampled_edges: int = 0
+    partition_transfers: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Mutation helpers
+    # ------------------------------------------------------------------ #
+    def charge_warp_step(self, steps: int = 1, active_lanes: int = 32) -> None:
+        """Charge ``steps`` lock-step warp instructions with the given activity."""
+        self.warp_steps += int(steps)
+        self.lane_ops += int(steps) * int(active_lanes)
+
+    def charge_global_bytes(self, nbytes: int) -> None:
+        """Charge device-memory traffic."""
+        self.global_bytes += int(nbytes)
+
+    def charge_transfer(self, nbytes: int, *, direction: str = "h2d") -> None:
+        """Charge a PCIe transfer in the given direction (``h2d`` or ``d2h``)."""
+        if direction == "h2d":
+            self.h2d_bytes += int(nbytes)
+        elif direction == "d2h":
+            self.d2h_bytes += int(nbytes)
+        else:
+            raise ValueError(f"unknown transfer direction {direction!r}")
+
+    def charge_atomics(self, ops: int, conflicts: int = 0) -> None:
+        """Charge atomic operations and serialised conflicts."""
+        self.atomic_ops += int(ops)
+        self.atomic_conflicts += int(conflicts)
+
+    def merge(self, other: "CostModel") -> "CostModel":
+        """Accumulate another cost model's counters into this one."""
+        for f in fields(CostModel):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def copy(self) -> "CostModel":
+        """An independent copy of the current counters."""
+        clone = CostModel()
+        for f in fields(CostModel):
+            setattr(clone, f.name, getattr(self, f.name))
+        return clone
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(CostModel):
+            setattr(self, f.name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dictionary (for harness tables)."""
+        return {f.name: getattr(self, f.name) for f in fields(CostModel)}
+
+    # ------------------------------------------------------------------ #
+    # Time conversion
+    # ------------------------------------------------------------------ #
+    def breakdown(self, spec: "DeviceSpec") -> CostBreakdown:
+        """Convert counters to a :class:`CostBreakdown` under ``spec``.
+
+        Compute cycles cover warp steps, the selection-specific kernels
+        (prefix sums, binary searches, collision probes, RNG draws) and the
+        serialisation penalty of atomic conflicts.  The device executes
+        ``spec.concurrent_warps`` warps in parallel.
+        """
+        cycles = (
+            self.warp_steps * spec.cycles_per_warp_step
+            + self.prefix_sum_steps * spec.cycles_per_scan_step
+            + self.binary_search_steps * spec.cycles_per_search_step
+            + self.collision_probes * spec.cycles_per_probe
+            + self.rng_draws * spec.cycles_per_rng
+            + self.atomic_ops * spec.cycles_per_atomic
+            + self.atomic_conflicts * spec.atomic_conflict_penalty
+            + self.shared_accesses * spec.cycles_per_shared_access
+        )
+        compute_time = cycles / (spec.clock_hz * spec.concurrent_warps)
+        memory_time = self.global_bytes / spec.memory_bandwidth_bytes
+        transfer_time = (self.h2d_bytes + self.d2h_bytes) / spec.pcie_bandwidth_bytes
+        launch_time = self.kernel_launches * spec.kernel_launch_overhead
+        return CostBreakdown(compute_time, memory_time, transfer_time, launch_time)
+
+    def simulated_time(self, spec: "DeviceSpec") -> float:
+        """Total simulated seconds under ``spec``."""
+        return self.breakdown(spec).total

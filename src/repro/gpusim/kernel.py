@@ -1,0 +1,117 @@
+"""Kernels, thread blocks and CUDA-stream timelines.
+
+Out-of-memory C-SAW (Section V-B) dedicates one kernel and one CUDA stream to
+each actively sampled partition so that partition transfers overlap with the
+sampling of other partitions, and balances workload by adjusting the number
+of thread blocks given to each kernel.
+
+The simulator models this with explicit timelines: a :class:`Stream` is a
+monotonically growing clock onto which transfers and kernels are enqueued;
+the device-level makespan is the maximum stream clock.  A
+:class:`KernelLaunch` converts a kernel's cost-model counters into a duration
+scaled by the fraction of the device's thread blocks the kernel was granted,
+which is exactly how thread-block-based workload balancing changes relative
+kernel times in Fig. 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["KernelLaunch", "Stream", "StreamTimeline"]
+
+
+@dataclass
+class KernelLaunch:
+    """One kernel execution: its cost, block allocation and resulting duration."""
+
+    name: str
+    cost: CostModel
+    #: Fraction of the device's thread blocks granted to this kernel (0, 1].
+    block_fraction: float = 1.0
+    #: Number of warp-sized tasks the kernel contains.  A kernel cannot use
+    #: more concurrent warps than it has tasks, which is how under-filled
+    #: kernels (non-batched per-instance sampling, small multi-GPU shares)
+    #: lose efficiency.
+    num_warp_tasks: int = 1_000_000_000
+
+    def duration(self, spec: DeviceSpec) -> float:
+        """Simulated kernel time under ``spec`` with the granted block share.
+
+        A kernel given half the blocks runs on half the concurrent warps, so
+        compute time doubles while memory/transfer terms are unchanged; a
+        kernel with fewer warp tasks than the granted warps is limited by its
+        own parallelism instead.
+        """
+        if not (0.0 < self.block_fraction <= 1.0):
+            raise ValueError("block_fraction must be in (0, 1]")
+        if self.num_warp_tasks < 1:
+            raise ValueError("num_warp_tasks must be >= 1")
+        granted = max(1, int(spec.concurrent_warps * self.block_fraction))
+        effective = spec.scaled(concurrent_warps=min(granted, self.num_warp_tasks))
+        return self.cost.simulated_time(effective) + spec.kernel_launch_overhead
+
+
+@dataclass
+class Stream:
+    """A CUDA-stream-like FIFO timeline of transfers and kernels."""
+
+    stream_id: int
+    clock: float = 0.0
+    events: List[Dict[str, float]] = field(default_factory=list)
+
+    def enqueue(self, name: str, duration: float, *, start_no_earlier_than: float = 0.0) -> float:
+        """Append work of ``duration`` seconds; returns its completion time."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        start = max(self.clock, start_no_earlier_than)
+        end = start + duration
+        self.events.append({"name": name, "start": start, "end": end})
+        self.clock = end
+        return end
+
+    def busy_time(self) -> float:
+        """Total time this stream spent executing enqueued work."""
+        return sum(e["end"] - e["start"] for e in self.events)
+
+
+class StreamTimeline:
+    """A set of streams belonging to one device; tracks the overall makespan."""
+
+    def __init__(self, num_streams: int):
+        if num_streams < 1:
+            raise ValueError("need at least one stream")
+        self.streams = [Stream(stream_id=i) for i in range(num_streams)]
+
+    def __len__(self) -> int:
+        return len(self.streams)
+
+    def __getitem__(self, index: int) -> Stream:
+        return self.streams[index]
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last event across all streams."""
+        return max((s.clock for s in self.streams), default=0.0)
+
+    def least_loaded(self) -> Stream:
+        """The stream that currently finishes earliest (for greedy placement)."""
+        return min(self.streams, key=lambda s: s.clock)
+
+    def kernel_times(self) -> List[float]:
+        """Durations of all kernel events (name-prefixed ``kernel:``)."""
+        out: List[float] = []
+        for stream in self.streams:
+            out.extend(e["end"] - e["start"] for e in stream.events if e["name"].startswith("kernel:"))
+        return out
+
+    def transfer_times(self) -> List[float]:
+        """Durations of all transfer events (name-prefixed ``transfer:``)."""
+        out: List[float] = []
+        for stream in self.streams:
+            out.extend(e["end"] - e["start"] for e in stream.events if e["name"].startswith("transfer:"))
+        return out

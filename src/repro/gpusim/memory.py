@@ -1,0 +1,141 @@
+"""Device memory pool and PCIe transfer engine.
+
+Out-of-memory C-SAW (Section V) revolves around two hardware constraints the
+simulator must expose:
+
+* the GPU can only hold a limited number of graph partitions at once
+  (:class:`DeviceMemory` enforces a byte capacity with explicit allocate /
+  release of named regions), and
+* moving a partition from host to device costs PCIe bandwidth and should be
+  overlapped with sampling via ``cudaMemcpyAsync`` on separate streams
+  (:class:`TransferEngine` charges transfer bytes to a cost model and returns
+  the transfer duration so stream timelines can overlap it with compute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.gpusim.costmodel import CostModel
+
+__all__ = ["AllocationError", "Allocation", "DeviceMemory", "TransferEngine"]
+
+
+class AllocationError(RuntimeError):
+    """Raised when an allocation does not fit in device memory."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A named region of simulated device memory."""
+
+    name: str
+    nbytes: int
+
+
+class DeviceMemory:
+    """Byte-capacity-limited pool of named allocations."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = int(capacity_bytes)
+        self._allocations: Dict[str, Allocation] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity in bytes."""
+        return self._capacity
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return sum(a.nbytes for a in self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available."""
+        return self._capacity - self.used_bytes
+
+    def holds(self, name: str) -> bool:
+        """Whether a region with this name is currently resident."""
+        return name in self._allocations
+
+    def resident(self) -> Dict[str, int]:
+        """Mapping of resident region name to size."""
+        return {name: alloc.nbytes for name, alloc in self._allocations.items()}
+
+    # ------------------------------------------------------------------ #
+    def can_fit(self, nbytes: int) -> bool:
+        """Whether an allocation of ``nbytes`` would currently fit."""
+        return nbytes <= self.free_bytes
+
+    def allocate(self, name: str, nbytes: int) -> Allocation:
+        """Allocate a named region, raising :class:`AllocationError` on overflow."""
+        if name in self._allocations:
+            raise AllocationError(f"region {name!r} is already allocated")
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if not self.can_fit(nbytes):
+            raise AllocationError(
+                f"allocation {name!r} of {nbytes} bytes does not fit "
+                f"(free={self.free_bytes} of {self._capacity})"
+            )
+        alloc = Allocation(name, int(nbytes))
+        self._allocations[name] = alloc
+        return alloc
+
+    def release(self, name: str) -> None:
+        """Release a named region."""
+        if name not in self._allocations:
+            raise KeyError(f"region {name!r} is not allocated")
+        del self._allocations[name]
+
+    def reset(self) -> None:
+        """Release every region."""
+        self._allocations.clear()
+
+    def __repr__(self) -> str:
+        return f"DeviceMemory(used={self.used_bytes}/{self._capacity} bytes, regions={len(self._allocations)})"
+
+
+class TransferEngine:
+    """Models ``cudaMemcpyAsync`` host<->device transfers.
+
+    Each transfer charges the moved bytes to the supplied cost model and
+    returns its duration given a PCIe bandwidth, so callers (the out-of-memory
+    scheduler) can place the transfer on a stream timeline and overlap it with
+    kernels on other streams.
+    """
+
+    def __init__(self, pcie_bandwidth_bytes: float, *, latency_s: float = 10e-6):
+        if pcie_bandwidth_bytes <= 0:
+            raise ValueError("bandwidth must be positive")
+        self._bandwidth = float(pcie_bandwidth_bytes)
+        self._latency = float(latency_s)
+        self.total_h2d_bytes = 0
+        self.total_d2h_bytes = 0
+        self.transfer_count = 0
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Duration in seconds of a transfer of ``nbytes``."""
+        return self._latency + nbytes / self._bandwidth
+
+    def host_to_device(self, nbytes: int, cost: Optional[CostModel] = None) -> float:
+        """Record an H2D transfer and return its duration."""
+        self.total_h2d_bytes += int(nbytes)
+        self.transfer_count += 1
+        if cost is not None:
+            cost.charge_transfer(nbytes, direction="h2d")
+            cost.partition_transfers += 1
+        return self.transfer_time(nbytes)
+
+    def device_to_host(self, nbytes: int, cost: Optional[CostModel] = None) -> float:
+        """Record a D2H transfer and return its duration."""
+        self.total_d2h_bytes += int(nbytes)
+        self.transfer_count += 1
+        if cost is not None:
+            cost.charge_transfer(nbytes, direction="d2h")
+        return self.transfer_time(nbytes)

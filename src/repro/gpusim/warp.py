@@ -1,0 +1,87 @@
+"""Warp-centric execution abstraction.
+
+C-SAW assigns one *warp* to each SELECT invocation (one frontier vertex's
+neighbor pool), and one *lane* to each vertex selection inside it
+(Section IV-A).  The paper chooses warps over thread blocks because real
+graphs are mostly low degree and a block would sit idle (~2x slower in their
+evaluation).
+
+:class:`WarpExecutor` captures that model for the simulator: it charges
+lock-step steps with the number of active lanes, tracks divergence (lanes
+that finished their do-while loop earlier than others still pay the step, as
+SIMT hardware does), and hands out per-lane random streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.prng import CounterRNG
+
+__all__ = ["WARP_SIZE", "WarpExecutor"]
+
+#: Number of lanes per warp, matching NVIDIA hardware.
+WARP_SIZE = 32
+
+
+@dataclass
+class WarpExecutor:
+    """Execution context for one warp-sized unit of work.
+
+    Parameters
+    ----------
+    warp_id:
+        Globally unique warp identifier (used to derive lane random streams).
+    cost:
+        Cost model all work performed by this warp is charged to.
+    rng:
+        Counter-based generator; lane draws are keyed by
+        ``(warp_id, lane, attempt, tag)`` so replays are impossible.
+    warp_size:
+        Lane count; defaults to :data:`WARP_SIZE`.
+    """
+
+    warp_id: int
+    cost: CostModel
+    rng: CounterRNG
+    warp_size: int = WARP_SIZE
+
+    # ------------------------------------------------------------------ #
+    def lanes(self, count: Optional[int] = None) -> np.ndarray:
+        """Lane indices active for a task of ``count`` items (capped at warp size)."""
+        n = self.warp_size if count is None else min(count, self.warp_size)
+        return np.arange(n, dtype=np.int64)
+
+    def charge_step(self, steps: int = 1, active_lanes: Optional[int] = None) -> None:
+        """Charge lock-step instructions; inactive lanes still occupy the warp."""
+        self.cost.charge_warp_step(steps, self.warp_size if active_lanes is None else active_lanes)
+
+    def charge_divergent_loop(self, per_lane_iterations: np.ndarray) -> None:
+        """Charge a divergent loop: the warp steps as long as its slowest lane.
+
+        ``per_lane_iterations[i]`` is how many loop iterations lane ``i``
+        executed.  Under SIMT the warp executes ``max(iterations)`` steps, and
+        on each step only the still-running lanes are active.
+        """
+        per_lane_iterations = np.asarray(per_lane_iterations, dtype=np.int64)
+        if per_lane_iterations.size == 0:
+            return
+        max_iters = int(per_lane_iterations.max())
+        total_active = int(per_lane_iterations.sum())
+        self.cost.warp_steps += max_iters
+        self.cost.lane_ops += total_active
+
+    def lane_uniform(self, lane_ids: np.ndarray, attempt: int, tag: int = 0) -> np.ndarray:
+        """Uniform random numbers in [0, 1) for the given lanes."""
+        draws = self.rng.uniform(np.int64(self.warp_id), np.asarray(lane_ids, dtype=np.int64),
+                                 np.int64(attempt), np.int64(tag))
+        self.cost.rng_draws += int(np.asarray(lane_ids).size)
+        return draws
+
+    def gather_global(self, nbytes: int) -> None:
+        """Charge a gather of ``nbytes`` from device global memory."""
+        self.cost.charge_global_bytes(nbytes)

@@ -1,0 +1,64 @@
+"""Graph substrate for C-SAW.
+
+This package provides the graph data structures and utilities every other
+subsystem builds on:
+
+* :class:`~repro.graph.csr.CSRGraph` -- the compressed-sparse-row adjacency
+  structure used by the sampling kernels (the paper stores graphs in CSR and
+  partitions them by contiguous vertex ranges).
+* :mod:`~repro.graph.builder` -- constructing CSR graphs from edge lists or
+  :mod:`networkx` graphs.
+* :mod:`~repro.graph.generators` -- synthetic graph generators and the
+  Table II dataset registry (scaled-down stand-ins for the SNAP/KONECT
+  datasets the paper evaluates on).
+* :mod:`~repro.graph.partition` -- contiguous vertex-range partitioning used
+  for out-of-memory sampling (Section V-A of the paper).
+* :mod:`~repro.graph.properties` -- degree statistics and other analytics.
+* :mod:`~repro.graph.io` -- simple text/NPZ persistence.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builder import (
+    from_edge_list,
+    from_networkx,
+    to_networkx,
+)
+from repro.graph.generators import (
+    DatasetSpec,
+    TABLE2_DATASETS,
+    generate_dataset,
+    rmat_graph,
+    powerlaw_graph,
+    erdos_renyi_graph,
+    ring_graph,
+    complete_graph,
+    star_graph,
+)
+from repro.graph.partition import PartitionSet, VertexRangePartition, partition_graph
+from repro.graph.properties import GraphStats, graph_stats
+from repro.graph.io import save_npz, load_npz, save_edge_list, load_edge_list
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_list",
+    "from_networkx",
+    "to_networkx",
+    "DatasetSpec",
+    "TABLE2_DATASETS",
+    "generate_dataset",
+    "rmat_graph",
+    "powerlaw_graph",
+    "erdos_renyi_graph",
+    "ring_graph",
+    "complete_graph",
+    "star_graph",
+    "PartitionSet",
+    "VertexRangePartition",
+    "partition_graph",
+    "GraphStats",
+    "graph_stats",
+    "save_npz",
+    "load_npz",
+    "save_edge_list",
+    "load_edge_list",
+]

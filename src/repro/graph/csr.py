@@ -1,0 +1,252 @@
+"""Compressed sparse row (CSR) graph representation.
+
+The paper stores the input graph in CSR form: a ``row_ptr`` array of length
+``|V| + 1`` and a ``col_idx`` array of length ``|E|`` holding the neighbor
+lists back to back.  Sampling kernels need, for a frontier vertex ``v``, the
+slice ``col_idx[row_ptr[v]:row_ptr[v+1]]`` (its neighbor pool) together with
+the per-edge weights used by :func:`EdgeBias`.
+
+The structure is immutable after construction; every array is validated and
+stored in a canonical dtype so downstream kernels can rely on the layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+_VERTEX_DTYPE = np.int64
+_WEIGHT_DTYPE = np.float64
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An immutable directed graph in compressed sparse row format.
+
+    Parameters
+    ----------
+    row_ptr:
+        ``int64`` array of shape ``(num_vertices + 1,)``.  ``row_ptr[v]`` is
+        the offset of vertex ``v``'s neighbor list inside ``col_idx``.
+    col_idx:
+        ``int64`` array of shape ``(num_edges,)`` with the destination vertex
+        of every edge, grouped by source vertex.
+    weights:
+        Optional ``float64`` array of shape ``(num_edges,)`` with per-edge
+        weights.  When omitted every edge has weight ``1.0``.
+
+    Notes
+    -----
+    Vertices are integers ``0 .. num_vertices - 1``.  Self loops and parallel
+    edges are allowed (several sampling algorithms produce or tolerate them);
+    neighbor lists are kept in construction order.
+    """
+
+    row_ptr: np.ndarray
+    col_idx: np.ndarray
+    weights: Optional[np.ndarray] = None
+    _degrees: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        row_ptr = np.ascontiguousarray(self.row_ptr, dtype=_VERTEX_DTYPE)
+        col_idx = np.ascontiguousarray(self.col_idx, dtype=_VERTEX_DTYPE)
+        if row_ptr.ndim != 1 or row_ptr.size < 1:
+            raise ValueError("row_ptr must be a 1-D array with at least one entry")
+        if col_idx.ndim != 1:
+            raise ValueError("col_idx must be a 1-D array")
+        if row_ptr[0] != 0:
+            raise ValueError("row_ptr[0] must be 0")
+        if row_ptr[-1] != col_idx.size:
+            raise ValueError(
+                f"row_ptr[-1] ({int(row_ptr[-1])}) must equal the number of edges "
+                f"({col_idx.size})"
+            )
+        if np.any(np.diff(row_ptr) < 0):
+            raise ValueError("row_ptr must be non-decreasing")
+        num_vertices = row_ptr.size - 1
+        if col_idx.size and (col_idx.min() < 0 or col_idx.max() >= num_vertices):
+            raise ValueError("col_idx contains vertex ids outside [0, num_vertices)")
+
+        weights = self.weights
+        if weights is not None:
+            weights = np.ascontiguousarray(weights, dtype=_WEIGHT_DTYPE)
+            if weights.shape != col_idx.shape:
+                raise ValueError("weights must have one entry per edge")
+            if np.any(weights < 0):
+                raise ValueError("edge weights must be non-negative")
+            if not np.all(np.isfinite(weights)):
+                raise ValueError("edge weights must be finite")
+
+        object.__setattr__(self, "row_ptr", row_ptr)
+        object.__setattr__(self, "col_idx", col_idx)
+        object.__setattr__(self, "weights", weights)
+        object.__setattr__(self, "_degrees", np.diff(row_ptr))
+        self.row_ptr.setflags(write=False)
+        self.col_idx.setflags(write=False)
+        if self.weights is not None:
+            self.weights.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the graph."""
+        return int(self.row_ptr.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges in the graph."""
+        return int(self.col_idx.size)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex as an ``int64`` array."""
+        return self._degrees
+
+    @property
+    def average_degree(self) -> float:
+        """Mean out-degree; 0.0 for an empty graph."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_edges / self.num_vertices
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether explicit per-edge weights were supplied."""
+        return self.weights is not None
+
+    @property
+    def nbytes(self) -> int:
+        """Total memory footprint of the CSR arrays in bytes.
+
+        This is the quantity the out-of-memory scheduler compares against the
+        simulated device memory capacity.
+        """
+        total = self.row_ptr.nbytes + self.col_idx.nbytes
+        if self.weights is not None:
+            total += self.weights.nbytes
+        return int(total)
+
+    # ------------------------------------------------------------------ #
+    # Neighbor access
+    # ------------------------------------------------------------------ #
+    def degree(self, vertex: int) -> int:
+        """Out-degree of a single vertex."""
+        self._check_vertex(vertex)
+        return int(self._degrees[vertex])
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Neighbor list of ``vertex`` as a read-only view."""
+        self._check_vertex(vertex)
+        start, end = self.row_ptr[vertex], self.row_ptr[vertex + 1]
+        return self.col_idx[start:end]
+
+    def neighbor_weights(self, vertex: int) -> np.ndarray:
+        """Edge weights of ``vertex``'s neighbor list (ones when unweighted)."""
+        self._check_vertex(vertex)
+        start, end = self.row_ptr[vertex], self.row_ptr[vertex + 1]
+        if self.weights is None:
+            return np.ones(int(end - start), dtype=_WEIGHT_DTYPE)
+        return self.weights[start:end]
+
+    def edge_range(self, vertex: int) -> Tuple[int, int]:
+        """``(start, end)`` offsets of ``vertex``'s neighbor list in ``col_idx``."""
+        self._check_vertex(vertex)
+        return int(self.row_ptr[vertex]), int(self.row_ptr[vertex + 1])
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """Whether a directed edge ``src -> dst`` exists."""
+        return bool(np.any(self.neighbors(src) == dst))
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all directed edges as ``(src, dst)`` pairs."""
+        for v in range(self.num_vertices):
+            start, end = self.row_ptr[v], self.row_ptr[v + 1]
+            for u in self.col_idx[start:end]:
+                yield int(v), int(u)
+
+    def edge_array(self) -> np.ndarray:
+        """All edges as an ``(num_edges, 2)`` array of ``(src, dst)`` pairs."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=_VERTEX_DTYPE), self._degrees)
+        return np.column_stack([src, self.col_idx])
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def with_weights(self, weights: Sequence[float]) -> "CSRGraph":
+        """Return a copy of this graph with the given per-edge weights."""
+        return CSRGraph(self.row_ptr.copy(), self.col_idx.copy(), np.asarray(weights))
+
+    def reverse(self) -> "CSRGraph":
+        """Return the graph with every edge direction flipped."""
+        edges = self.edge_array()
+        order = np.argsort(edges[:, 1], kind="stable")
+        rev_src = edges[order, 1]
+        rev_dst = edges[order, 0]
+        counts = np.bincount(rev_src, minlength=self.num_vertices)
+        row_ptr = np.zeros(self.num_vertices + 1, dtype=_VERTEX_DTYPE)
+        np.cumsum(counts, out=row_ptr[1:])
+        weights = None
+        if self.weights is not None:
+            weights = self.weights[order]
+        return CSRGraph(row_ptr, rev_dst, weights)
+
+    def subgraph_by_vertex_range(self, lo: int, hi: int) -> "CSRGraph":
+        """CSR slice holding only the adjacency lists of vertices ``[lo, hi)``.
+
+        Vertex ids are *not* remapped: the slice keeps global destination ids
+        so a partition can insert sampled vertices into other partitions'
+        frontier queues, exactly as the paper's out-of-memory design requires.
+        The returned graph still has ``num_vertices`` rows; rows outside the
+        range are empty.
+        """
+        if not (0 <= lo <= hi <= self.num_vertices):
+            raise ValueError(f"invalid vertex range [{lo}, {hi})")
+        row_ptr = np.zeros(self.num_vertices + 1, dtype=_VERTEX_DTYPE)
+        local_counts = self._degrees[lo:hi]
+        row_ptr[lo + 1 : hi + 1] = np.cumsum(local_counts)
+        row_ptr[hi + 1 :] = row_ptr[hi]
+        start, end = self.row_ptr[lo], self.row_ptr[hi]
+        col_idx = self.col_idx[start:end].copy()
+        weights = None
+        if self.weights is not None:
+            weights = self.weights[start:end].copy()
+        return CSRGraph(row_ptr, col_idx, weights)
+
+    # ------------------------------------------------------------------ #
+    # Dunder helpers
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        if not (
+            np.array_equal(self.row_ptr, other.row_ptr)
+            and np.array_equal(self.col_idx, other.col_idx)
+        ):
+            return False
+        if (self.weights is None) != (other.weights is None):
+            return False
+        if self.weights is not None:
+            return bool(np.allclose(self.weights, other.weights))
+        return True
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    def __repr__(self) -> str:
+        kind = "weighted" if self.is_weighted else "unweighted"
+        return (
+            f"CSRGraph(num_vertices={self.num_vertices}, num_edges={self.num_edges}, "
+            f"{kind})"
+        )
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not (0 <= vertex < self.num_vertices):
+            raise IndexError(
+                f"vertex {vertex} out of range for graph with {self.num_vertices} vertices"
+            )

@@ -1,0 +1,306 @@
+"""Synthetic graph generators and the Table II dataset registry.
+
+The paper evaluates on ten SNAP/KONECT graphs (Table II).  Those datasets are
+not redistributable inside this repository, so we substitute scaled-down
+synthetic graphs whose *shape* matches what drives every experiment:
+
+* the average degree (which controls collision rates in vertex selection and
+  frontier growth in out-of-memory sampling), and
+* the degree skew (scale-free graphs make repeated sampling suffer, which is
+  exactly the effect Figures 10-12 measure).
+
+Each Table II entry is registered as a :class:`DatasetSpec` with the paper's
+vertex count, edge count and average degree, plus the scaled-down generator
+parameters used by the benchmark harness.  ``generate_dataset("LJ")`` returns
+a graph with roughly the LiveJournal average degree and a heavy-tailed degree
+distribution at about 1/1000 of the original size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graph.builder import from_edge_list
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "DatasetSpec",
+    "TABLE2_DATASETS",
+    "generate_dataset",
+    "rmat_graph",
+    "powerlaw_graph",
+    "erdos_renyi_graph",
+    "ring_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Elementary deterministic graphs (useful for unit tests)
+# --------------------------------------------------------------------------- #
+def ring_graph(num_vertices: int, *, bidirectional: bool = True) -> CSRGraph:
+    """Cycle graph ``0 -> 1 -> ... -> n-1 -> 0`` (optionally bidirectional)."""
+    if num_vertices < 1:
+        raise ValueError("ring graph needs at least one vertex")
+    src = np.arange(num_vertices, dtype=np.int64)
+    dst = (src + 1) % num_vertices
+    edges = np.column_stack([src, dst])
+    return from_edge_list(edges, num_vertices=num_vertices, symmetrize=bidirectional)
+
+
+def complete_graph(num_vertices: int, *, self_loops: bool = False) -> CSRGraph:
+    """Directed complete graph on ``num_vertices`` vertices."""
+    if num_vertices < 1:
+        raise ValueError("complete graph needs at least one vertex")
+    src, dst = np.meshgrid(
+        np.arange(num_vertices, dtype=np.int64),
+        np.arange(num_vertices, dtype=np.int64),
+        indexing="ij",
+    )
+    edges = np.column_stack([src.ravel(), dst.ravel()])
+    if not self_loops:
+        edges = edges[edges[:, 0] != edges[:, 1]]
+    return from_edge_list(edges, num_vertices=num_vertices)
+
+
+def star_graph(num_leaves: int, *, bidirectional: bool = True) -> CSRGraph:
+    """Star graph with vertex 0 as hub and ``num_leaves`` leaves."""
+    if num_leaves < 1:
+        raise ValueError("star graph needs at least one leaf")
+    hub = np.zeros(num_leaves, dtype=np.int64)
+    leaves = np.arange(1, num_leaves + 1, dtype=np.int64)
+    edges = np.column_stack([hub, leaves])
+    return from_edge_list(edges, num_vertices=num_leaves + 1, symmetrize=bidirectional)
+
+
+def grid_graph(rows: int, cols: int) -> CSRGraph:
+    """Bidirectional 2-D grid graph of ``rows x cols`` vertices."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid graph needs positive dimensions")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right = np.column_stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()])
+    down = np.column_stack([ids[:-1, :].ravel(), ids[1:, :].ravel()])
+    edges = np.vstack([right, down]) if right.size or down.size else np.empty((0, 2), dtype=np.int64)
+    return from_edge_list(edges, num_vertices=rows * cols, symmetrize=True)
+
+
+# --------------------------------------------------------------------------- #
+# Random graph families
+# --------------------------------------------------------------------------- #
+def erdos_renyi_graph(
+    num_vertices: int,
+    avg_degree: float,
+    *,
+    seed: int = 0,
+    symmetrize: bool = True,
+) -> CSRGraph:
+    """G(n, m)-style uniform random graph with a target average out-degree."""
+    if num_vertices < 1:
+        raise ValueError("graph needs at least one vertex")
+    rng = np.random.default_rng(seed)
+    num_edges = max(1, int(round(num_vertices * avg_degree / (2 if symmetrize else 1))))
+    src = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    mask = src != dst
+    edges = np.column_stack([src[mask], dst[mask]])
+    return from_edge_list(edges, num_vertices=num_vertices, symmetrize=symmetrize, dedup=True)
+
+
+def powerlaw_graph(
+    num_vertices: int,
+    avg_degree: float,
+    *,
+    exponent: float = 2.1,
+    seed: int = 0,
+    symmetrize: bool = True,
+) -> CSRGraph:
+    """Scale-free random graph via a Chung-Lu style expected-degree model.
+
+    Expected degrees follow a power law with the given exponent, rescaled so
+    the realised average degree is close to ``avg_degree``.  The heavy tail is
+    what makes repeated sampling expensive in the paper's Figures 10-11.
+    """
+    if num_vertices < 2:
+        raise ValueError("power-law graph needs at least two vertices")
+    if exponent <= 1.0:
+        raise ValueError("power-law exponent must exceed 1")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_vertices + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    weights *= (avg_degree * num_vertices / (2.0 if symmetrize else 1.0)) / weights.sum()
+
+    # Sample endpoints proportionally to the expected-degree weights.
+    num_edges = max(1, int(round(num_vertices * avg_degree / (2 if symmetrize else 1))))
+    prob = weights / weights.sum()
+    src = rng.choice(num_vertices, size=num_edges, p=prob)
+    dst = rng.choice(num_vertices, size=num_edges, p=prob)
+    mask = src != dst
+    edges = np.column_stack([src[mask], dst[mask]]).astype(np.int64)
+    # Randomly permute labels so vertex id does not correlate with degree;
+    # contiguous-range partitioning would otherwise get artificially skewed.
+    perm = rng.permutation(num_vertices)
+    edges = perm[edges]
+    return from_edge_list(edges, num_vertices=num_vertices, symmetrize=symmetrize, dedup=True)
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: float,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    symmetrize: bool = True,
+) -> CSRGraph:
+    """Recursive-matrix (R-MAT / Graph500 style) generator.
+
+    ``2**scale`` vertices and about ``edge_factor * 2**scale`` undirected
+    edges.  Default parameters follow the Graph500 specification and produce
+    a skewed, community-structured graph similar to social networks.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ValueError("R-MAT probabilities must sum to at most 1")
+    num_vertices = 1 << scale
+    num_edges = max(1, int(round(edge_factor * num_vertices)))
+    rng = np.random.default_rng(seed)
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(num_edges)
+        # Quadrant thresholds: [a, a+b, a+b+c, 1]
+        right = (r >= a) & (r < a + b)
+        down = (r >= a + b) & (r < a + b + c)
+        diag = r >= a + b + c
+        bit = np.int64(1 << (scale - level - 1))
+        dst += np.where(right | diag, bit, 0)
+        src += np.where(down | diag, bit, 0)
+    mask = src != dst
+    edges = np.column_stack([src[mask], dst[mask]])
+    perm = rng.permutation(num_vertices)
+    edges = perm[edges]
+    return from_edge_list(edges, num_vertices=num_vertices, symmetrize=symmetrize, dedup=True)
+
+
+# --------------------------------------------------------------------------- #
+# Table II dataset registry
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A Table II dataset and the scaled-down synthetic stand-in we build.
+
+    Attributes
+    ----------
+    abbr, name:
+        Abbreviation and full dataset name from the paper.
+    paper_vertices, paper_edges, paper_avg_degree:
+        The statistics reported in Table II (vertices/edges in millions).
+    family:
+        Generator family for the stand-in: ``"powerlaw"``, ``"rmat"`` or
+        ``"uniform"``.
+    scaled_vertices:
+        Vertex count of the generated stand-in graph.
+    exponent:
+        Power-law exponent (heavier tail = smaller exponent) used for
+        ``"powerlaw"`` stand-ins.
+    out_of_memory:
+        Whether the paper treats the dataset as exceeding GPU memory
+        (Friendster and Twitter).
+    """
+
+    abbr: str
+    name: str
+    paper_vertices: float
+    paper_edges: float
+    paper_avg_degree: float
+    family: str
+    scaled_vertices: int
+    exponent: float = 2.1
+    out_of_memory: bool = False
+
+
+TABLE2_DATASETS: Dict[str, DatasetSpec] = {
+    spec.abbr: spec
+    for spec in [
+        DatasetSpec("AM", "Amazon0601", 0.4e6, 3.4e6, 8.39, "powerlaw", 4000, 2.6),
+        DatasetSpec("AS", "As-skitter", 1.7e6, 11.1e6, 6.54, "powerlaw", 6000, 2.3),
+        DatasetSpec("CP", "cit-Patents", 3.8e6, 16.5e6, 4.38, "powerlaw", 8000, 2.6),
+        DatasetSpec("LJ", "LiveJournal", 4.8e6, 68.9e6, 14.23, "powerlaw", 8000, 2.2),
+        DatasetSpec("OR", "Orkut", 3.1e6, 117.2e6, 38.14, "powerlaw", 6000, 2.1),
+        DatasetSpec("RE", "Reddit", 0.2e6, 11.6e6, 49.82, "powerlaw", 2000, 2.0),
+        DatasetSpec("WG", "web-Google", 0.8e6, 5.1e6, 5.83, "powerlaw", 5000, 2.4),
+        DatasetSpec("YE", "Yelp", 0.7e6, 6.9e6, 9.73, "powerlaw", 4000, 2.3),
+        DatasetSpec("FR", "Friendster", 65.6e6, 1.8e9, 27.53, "rmat", 14000, 2.1, True),
+        DatasetSpec("TW", "Twitter", 41.6e6, 1.5e9, 35.25, "rmat", 12000, 2.0, True),
+    ]
+}
+
+# Graphs that fit "in memory" in the paper's Figures 10-12 (FR/TW excluded).
+IN_MEMORY_DATASETS = [abbr for abbr, spec in TABLE2_DATASETS.items() if not spec.out_of_memory]
+ALL_DATASETS = list(TABLE2_DATASETS)
+
+
+def generate_dataset(
+    abbr: str,
+    *,
+    seed: int = 0,
+    scale_factor: float = 1.0,
+    weighted: bool = False,
+    weight_distribution: str = "uniform",
+) -> CSRGraph:
+    """Generate the scaled-down stand-in for a Table II dataset.
+
+    Parameters
+    ----------
+    abbr:
+        Dataset abbreviation, e.g. ``"LJ"`` or ``"TW"``.
+    seed:
+        Seed for the generator (all benchmarks use seeds derived from the
+        experiment id so runs are reproducible).
+    scale_factor:
+        Multiplier on the registered stand-in vertex count; benchmark sweeps
+        use this to shrink or enlarge workloads.
+    weighted:
+        When true, attach random edge weights so biased algorithms (node2vec,
+        biased random walk, biased neighbor sampling) have non-trivial edge
+        biases.
+    weight_distribution:
+        ``"uniform"`` draws weights in ``[0.1, 1.0]``; ``"heavy_tailed"``
+        draws Pareto-distributed weights so a few edges dominate each
+        neighbor pool's transition probability -- the regime where selection
+        collisions are frequent and the paper's collision-mitigation
+        optimisations matter most (Figures 10-12).
+    """
+    spec = TABLE2_DATASETS.get(abbr.upper())
+    if spec is None:
+        raise KeyError(f"unknown dataset abbreviation {abbr!r}; known: {sorted(TABLE2_DATASETS)}")
+    num_vertices = max(16, int(spec.scaled_vertices * scale_factor))
+    if spec.family == "powerlaw":
+        graph = powerlaw_graph(
+            num_vertices, spec.paper_avg_degree, exponent=spec.exponent, seed=seed
+        )
+    elif spec.family == "rmat":
+        scale = max(4, int(np.ceil(np.log2(num_vertices))))
+        graph = rmat_graph(scale, spec.paper_avg_degree / 2.0, seed=seed)
+    elif spec.family == "uniform":
+        graph = erdos_renyi_graph(num_vertices, spec.paper_avg_degree, seed=seed)
+    else:  # pragma: no cover - registry is static
+        raise ValueError(f"unknown generator family {spec.family!r}")
+    if weighted:
+        rng = np.random.default_rng(seed + 1)
+        if weight_distribution == "uniform":
+            weights = rng.uniform(0.1, 1.0, size=graph.num_edges)
+        elif weight_distribution == "heavy_tailed":
+            weights = rng.lognormal(mean=0.0, sigma=1.8, size=graph.num_edges) + 0.05
+        else:
+            raise ValueError(f"unknown weight_distribution {weight_distribution!r}")
+        graph = graph.with_weights(weights)
+    return graph

@@ -1,0 +1,83 @@
+"""Simple persistence for CSR graphs.
+
+Two formats are supported:
+
+* NPZ -- the CSR arrays saved via :func:`numpy.savez_compressed`; fast and
+  lossless, used by the benchmark harness to cache generated datasets.
+* edge list -- whitespace-separated ``src dst [weight]`` text, compatible
+  with the SNAP download format the paper's datasets ship in, so a user with
+  access to the original data can drop it in directly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.graph.builder import from_edge_list
+from repro.graph.csr import CSRGraph
+
+__all__ = ["save_npz", "load_npz", "save_edge_list", "load_edge_list"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Save a graph's CSR arrays to a compressed NPZ file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {"row_ptr": graph.row_ptr, "col_idx": graph.col_idx}
+    if graph.weights is not None:
+        arrays["weights"] = graph.weights
+    np.savez_compressed(path, **arrays)
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Load a graph previously saved with :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        weights = data["weights"] if "weights" in data.files else None
+        return CSRGraph(data["row_ptr"], data["col_idx"], weights)
+
+
+def save_edge_list(graph: CSRGraph, path: PathLike, *, header: bool = True) -> None:
+    """Write the graph as a ``src dst [weight]`` text edge list."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    edges = graph.edge_array()
+    with open(path, "w", encoding="utf-8") as fh:
+        if header:
+            fh.write(f"# vertices={graph.num_vertices} edges={graph.num_edges}\n")
+        if graph.weights is not None:
+            for (src, dst), w in zip(edges, graph.weights):
+                fh.write(f"{int(src)} {int(dst)} {float(w):.6g}\n")
+        else:
+            for src, dst in edges:
+                fh.write(f"{int(src)} {int(dst)}\n")
+
+
+def load_edge_list(path: PathLike, *, num_vertices: int | None = None) -> CSRGraph:
+    """Load a SNAP-style text edge list (``#`` lines are comments)."""
+    srcs, dsts, weights = [], [], []
+    has_weights = False
+    with open(Path(path), "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            if len(parts) >= 3:
+                has_weights = True
+                weights.append(float(parts[2]))
+            else:
+                weights.append(1.0)
+    edges = np.column_stack([srcs, dsts]) if srcs else np.empty((0, 2), dtype=np.int64)
+    return from_edge_list(
+        edges,
+        num_vertices=num_vertices,
+        weights=np.asarray(weights) if has_weights else None,
+    )

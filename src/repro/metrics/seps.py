@@ -1,0 +1,38 @@
+"""Sampled Edges Per Second (SEPS) and speedup helpers.
+
+The paper argues SEPS is the right throughput metric for sampling and random
+walk (Section VI, "Metrics"): different algorithms traverse different numbers
+of edges but what matters is how many edges end up in the sample per unit of
+(kernel) time.
+"""
+
+from __future__ import annotations
+
+__all__ = ["seps", "million_seps", "speedup"]
+
+
+def seps(sampled_edges: int, kernel_time_s: float) -> float:
+    """Sampled edges per second.
+
+    Raises
+    ------
+    ValueError
+        If the edge count is negative or the time is not positive.
+    """
+    if sampled_edges < 0:
+        raise ValueError("sampled_edges must be non-negative")
+    if kernel_time_s <= 0:
+        raise ValueError("kernel_time_s must be positive")
+    return sampled_edges / kernel_time_s
+
+
+def million_seps(sampled_edges: int, kernel_time_s: float) -> float:
+    """SEPS expressed in millions, the unit of the paper's Fig. 9."""
+    return seps(sampled_edges, kernel_time_s) / 1e6
+
+
+def speedup(baseline_time_s: float, optimized_time_s: float) -> float:
+    """Baseline-over-optimised time ratio (>1 means the optimisation wins)."""
+    if baseline_time_s <= 0 or optimized_time_s <= 0:
+        raise ValueError("times must be positive")
+    return baseline_time_s / optimized_time_s

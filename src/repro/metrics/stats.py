@@ -1,0 +1,102 @@
+"""Statistical helpers for the evaluation figures and the test suite.
+
+Two groups of functions live here:
+
+* distribution checks -- empirical selection frequencies, chi-square
+  uniformity tests and total-variation distance, used by the tests to verify
+  that every selection technique realises the transition probabilities of
+  Theorem 1 (and that bipartite region search matches updated sampling);
+* figure metrics -- mean do-while iterations (Fig. 11), collision-search
+  reduction ratios (Fig. 12) and kernel-time standard deviation (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy import stats as sp_stats
+
+__all__ = [
+    "empirical_distribution",
+    "chi_square_uniformity",
+    "total_variation_distance",
+    "mean_iterations",
+    "search_reduction_ratio",
+    "kernel_time_std",
+]
+
+
+def empirical_distribution(selections: np.ndarray, num_candidates: int) -> np.ndarray:
+    """Empirical selection frequency of each candidate (sums to 1)."""
+    selections = np.asarray(selections, dtype=np.int64)
+    if num_candidates < 1:
+        raise ValueError("num_candidates must be >= 1")
+    if selections.size and (selections.min() < 0 or selections.max() >= num_candidates):
+        raise ValueError("selection indices out of range")
+    counts = np.bincount(selections, minlength=num_candidates).astype(np.float64)
+    total = counts.sum()
+    return counts / total if total > 0 else counts
+
+
+def chi_square_uniformity(
+    selections: np.ndarray, expected_probs: np.ndarray
+) -> Tuple[float, float]:
+    """Chi-square goodness-of-fit of selections against expected probabilities.
+
+    Returns ``(statistic, p_value)``.  Candidates with zero expected
+    probability must never be selected (a selection there yields p = 0).
+    """
+    selections = np.asarray(selections, dtype=np.int64)
+    expected_probs = np.asarray(expected_probs, dtype=np.float64)
+    counts = np.bincount(selections, minlength=expected_probs.size).astype(np.float64)
+    if counts.size != expected_probs.size:
+        raise ValueError("selections reference candidates outside expected_probs")
+    zero_mask = expected_probs <= 0
+    if np.any(counts[zero_mask] > 0):
+        return float("inf"), 0.0
+    keep = ~zero_mask
+    expected = expected_probs[keep] * counts.sum()
+    statistic, p_value = sp_stats.chisquare(counts[keep], expected)
+    return float(statistic), float(p_value)
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance between two distributions over the same support."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have the same shape")
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def mean_iterations(iteration_counts: Sequence[int]) -> float:
+    """Average do-while iterations per selected vertex (Fig. 11's metric)."""
+    counts = np.asarray(list(iteration_counts), dtype=np.float64)
+    return float(counts.mean()) if counts.size else 0.0
+
+
+def search_reduction_ratio(optimized_searches: int, baseline_searches: int) -> float:
+    """Fig. 12's ratio: total searches with the optimisation over the baseline."""
+    if baseline_searches <= 0:
+        raise ValueError("baseline search count must be positive")
+    if optimized_searches < 0:
+        raise ValueError("optimized search count must be non-negative")
+    return optimized_searches / baseline_searches
+
+
+def kernel_time_std(kernel_times: Sequence[float], *, normalize: bool = True) -> float:
+    """Standard deviation of kernel times (Fig. 14's workload-imbalance metric).
+
+    With ``normalize=True`` the standard deviation is divided by the mean
+    (coefficient of variation) so graphs of different sizes are comparable,
+    which is how the figure's "ratio" axis behaves.
+    """
+    times = np.asarray(list(kernel_times), dtype=np.float64)
+    if times.size == 0:
+        return 0.0
+    std = float(times.std())
+    if not normalize:
+        return std
+    mean = float(times.mean())
+    return std / mean if mean > 0 else 0.0

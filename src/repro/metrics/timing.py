@@ -1,0 +1,59 @@
+"""Host-side wall-clock timing helpers.
+
+The reproduction's headline numbers come from the *simulated* cost model, but
+the benchmark harness also records host wall-clock time (how long the
+simulation itself took) so regressions in the Python implementation are
+visible in ``pytest-benchmark`` output.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["Timer", "host_time"]
+
+
+@dataclass
+class Timer:
+    """Accumulates named wall-clock timings."""
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager adding the elapsed time under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total seconds recorded under ``name``."""
+        return self.totals.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per measurement under ``name``."""
+        count = self.counts.get(name, 0)
+        return self.totals.get(name, 0.0) / count if count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """All totals as a plain dictionary."""
+        return dict(self.totals)
+
+
+@contextmanager
+def host_time() -> Iterator[dict]:
+    """Context manager yielding a dict whose ``"seconds"`` key is filled on exit."""
+    result = {"seconds": 0.0}
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result["seconds"] = time.perf_counter() - start

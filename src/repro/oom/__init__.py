@@ -1,0 +1,41 @@
+"""Out-of-memory and multi-GPU sampling (Section V of the paper).
+
+When the graph exceeds the simulated device memory, C-SAW partitions it into
+contiguous vertex ranges and schedules partitions through the GPU:
+
+* :mod:`~repro.oom.transfer` -- partition residency management (which
+  partitions are on the device, LRU eviction, PCIe transfer accounting).
+* :mod:`~repro.oom.batching` -- batched multi-instance sampling: entries of
+  many instances share one frontier queue per partition and are processed by
+  one kernel (vertex-grained work distribution) instead of one kernel per
+  instance.
+* :mod:`~repro.oom.balancing` -- thread-block based workload balancing:
+  kernels processing busier partitions receive proportionally more thread
+  blocks.
+* :mod:`~repro.oom.scheduler` -- the workload-aware partition scheduler and
+  the :class:`OutOfMemorySampler` driver that ties everything together.
+* :mod:`~repro.oom.multigpu` -- dividing sampling instances across multiple
+  simulated GPUs (no inter-GPU communication needed).
+"""
+
+from repro.oom.transfer import PartitionResidency
+from repro.oom.batching import group_entries_by_instance
+from repro.oom.balancing import block_fractions
+from repro.oom.scheduler import (
+    OutOfMemoryConfig,
+    OutOfMemoryResult,
+    OutOfMemorySampler,
+)
+from repro.oom.multigpu import MultiGPUResult, run_multi_gpu_sampling, run_multi_gpu_walks
+
+__all__ = [
+    "PartitionResidency",
+    "group_entries_by_instance",
+    "block_fractions",
+    "OutOfMemoryConfig",
+    "OutOfMemoryResult",
+    "OutOfMemorySampler",
+    "MultiGPUResult",
+    "run_multi_gpu_sampling",
+    "run_multi_gpu_walks",
+]

@@ -1,0 +1,47 @@
+"""Thread-block based workload balancing (Section V-B).
+
+When several kernels sample different partitions concurrently, the straggler
+determines the round's makespan.  C-SAW balances the kernels implicitly by
+granting each one a number of thread blocks proportional to the workload
+(active frontier vertices) of its partition; the example in Fig. 8 gives the
+2-active-vertex partition twice the blocks of the 1-active-vertex partition.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["block_fractions"]
+
+
+def block_fractions(workloads: Sequence[int], *, balanced: bool, floor: float = 0.05) -> np.ndarray:
+    """Per-kernel thread-block fractions for one scheduling round.
+
+    Parameters
+    ----------
+    workloads:
+        Active-vertex count of each concurrently scheduled partition.
+    balanced:
+        When False every kernel receives an equal share (the baseline); when
+        True shares are proportional to workload.
+    floor:
+        Minimum fraction granted to any kernel so a nearly idle kernel still
+        makes progress (real kernels cannot launch with zero blocks).
+
+    Returns
+    -------
+    Array of fractions summing to 1.0 (one entry per workload).
+    """
+    workloads = np.asarray(list(workloads), dtype=np.float64)
+    if workloads.ndim != 1 or workloads.size == 0:
+        raise ValueError("workloads must be a non-empty 1-D sequence")
+    if np.any(workloads < 0):
+        raise ValueError("workloads must be non-negative")
+    n = workloads.size
+    if not balanced or workloads.sum() == 0:
+        return np.full(n, 1.0 / n)
+    fractions = workloads / workloads.sum()
+    fractions = np.maximum(fractions, floor)
+    return fractions / fractions.sum()

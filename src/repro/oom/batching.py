@@ -1,0 +1,56 @@
+"""Batched multi-instance sampling helpers (Section V-C).
+
+Without batching, each sampling instance's active vertices are processed by
+their own kernel launch (instance-grained work distribution): many tiny,
+unevenly sized kernels that under-fill the GPU and straggle.  With batching,
+all instances' entries in a partition's frontier queue are combined into a
+single kernel (vertex-grained distribution): one big launch whose warps pick
+whichever entry comes next, regardless of the owning instance.
+
+The helpers here split a drained frontier queue into the per-kernel work
+groups corresponding to those two modes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["group_entries_by_instance", "single_batch"]
+
+EntryArrays = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def group_entries_by_instance(
+    vertices: np.ndarray, instances: np.ndarray, depths: np.ndarray
+) -> List[EntryArrays]:
+    """Split queue entries into one group per instance (non-batched mode).
+
+    Groups are returned in ascending instance-id order, mirroring the
+    instance-grained scheduling the paper's baseline uses.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    instances = np.asarray(instances, dtype=np.int64)
+    depths = np.asarray(depths, dtype=np.int64)
+    if not (vertices.shape == instances.shape == depths.shape):
+        raise ValueError("entry arrays must have identical shapes")
+    groups: List[EntryArrays] = []
+    for instance_id in np.unique(instances):
+        mask = instances == instance_id
+        groups.append((vertices[mask], instances[mask], depths[mask]))
+    return groups
+
+
+def single_batch(
+    vertices: np.ndarray, instances: np.ndarray, depths: np.ndarray
+) -> List[EntryArrays]:
+    """Return the entries as one combined group (batched mode)."""
+    vertices = np.asarray(vertices, dtype=np.int64)
+    instances = np.asarray(instances, dtype=np.int64)
+    depths = np.asarray(depths, dtype=np.int64)
+    if not (vertices.shape == instances.shape == depths.shape):
+        raise ValueError("entry arrays must have identical shapes")
+    if vertices.size == 0:
+        return []
+    return [(vertices, instances, depths)]

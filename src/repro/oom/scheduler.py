@@ -1,0 +1,366 @@
+"""Workload-aware partition scheduling and the out-of-memory sampler driver.
+
+The :class:`OutOfMemorySampler` implements Section V of the paper:
+
+1. the graph is partitioned into contiguous vertex ranges, each with the
+   complete neighbor lists of its vertices;
+2. every partition owns a frontier queue of ``(VertexID, InstanceID,
+   CurrDepth)`` entries; seeds are enqueued into the partition that owns them;
+3. in every scheduling round, up to ``num_kernels`` partitions are selected,
+   transferred to the device if not already resident (overlapping the
+   transfer with other streams' kernels) and sampled until their queues are
+   empty; newly sampled vertices are pushed into the queue of the partition
+   that owns them -- possibly a different one, to be processed when that
+   partition is scheduled;
+4. the run finishes when every queue is empty.
+
+The three optimisations of Figures 13-15 are independent switches:
+
+* **batched multi-instance sampling (BA)** -- process all instances' entries
+  of a partition in one kernel instead of one kernel per instance;
+* **workload-aware scheduling (WS)** -- schedule the partitions with the most
+  active vertices first instead of in index order;
+* **thread-block workload balancing (BAL)** -- give concurrently running
+  kernels thread-block shares proportional to their workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.api.bias import SamplingProgram
+from repro.api.config import SamplingConfig
+from repro.api.frontier import FrontierQueue
+from repro.api.instance import InstanceState, make_instances
+from repro.api.results import SampleResult
+from repro.api.select import gather_neighbors, warp_select
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import Device, make_device
+from repro.gpusim.kernel import KernelLaunch, StreamTimeline
+from repro.gpusim.memory import TransferEngine
+from repro.gpusim.prng import CounterRNG
+from repro.gpusim.warp import WarpExecutor
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import PartitionSet, partition_graph
+from repro.oom.balancing import block_fractions
+from repro.oom.batching import group_entries_by_instance, single_batch
+from repro.oom.transfer import PartitionResidency
+
+__all__ = ["OutOfMemoryConfig", "OutOfMemoryResult", "OutOfMemorySampler"]
+
+
+@dataclass(frozen=True)
+class OutOfMemoryConfig:
+    """Switches of the out-of-memory engine (Figures 13-15 configurations)."""
+
+    num_partitions: int = 4
+    max_resident_partitions: int = 2
+    num_kernels: int = 2
+    batched: bool = False
+    workload_aware: bool = False
+    balanced_blocks: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        if self.max_resident_partitions < 1:
+            raise ValueError("max_resident_partitions must be >= 1")
+        if self.num_kernels < 1:
+            raise ValueError("num_kernels must be >= 1")
+
+    @staticmethod
+    def baseline(**overrides) -> "OutOfMemoryConfig":
+        """The unoptimised configuration of Fig. 13."""
+        return OutOfMemoryConfig(**overrides)
+
+    @staticmethod
+    def batched_only(**overrides) -> "OutOfMemoryConfig":
+        """Batched multi-instance sampling only (BA)."""
+        return OutOfMemoryConfig(batched=True, **overrides)
+
+    @staticmethod
+    def batched_scheduled(**overrides) -> "OutOfMemoryConfig":
+        """Batching plus workload-aware scheduling (BA + WS)."""
+        return OutOfMemoryConfig(batched=True, workload_aware=True, **overrides)
+
+    @staticmethod
+    def fully_optimized(**overrides) -> "OutOfMemoryConfig":
+        """All optimisations on (BA + WS + BAL)."""
+        return OutOfMemoryConfig(
+            batched=True, workload_aware=True, balanced_blocks=True, **overrides
+        )
+
+
+@dataclass
+class OutOfMemoryResult:
+    """Outcome of an out-of-memory sampling run."""
+
+    sample: SampleResult
+    makespan: float
+    kernel_times: List[float]
+    transfer_times: List[float]
+    partition_transfers: int
+    rounds: int
+    cost: CostModel
+    config: OutOfMemoryConfig
+    #: Total busy time of each concurrent stream (kernel + transfer work);
+    #: their spread is the workload-imbalance signal of Fig. 14.
+    stream_busy_times: List[float] = field(default_factory=list)
+
+    @property
+    def total_sampled_edges(self) -> int:
+        """Total sampled edges across instances."""
+        return self.sample.total_sampled_edges
+
+    def seps(self) -> float:
+        """Sampled edges per simulated second of makespan (transfers included).
+
+        The paper's out-of-memory SEPS includes partition transfer time, so
+        the makespan (which overlaps transfers and kernels across streams) is
+        the right denominator.
+        """
+        if self.makespan <= 0:
+            return 0.0
+        return self.total_sampled_edges / self.makespan
+
+    def kernel_time_std(self) -> float:
+        """Coefficient of variation of individual kernel durations."""
+        times = np.asarray(self.kernel_times, dtype=np.float64)
+        if times.size == 0 or times.mean() == 0:
+            return 0.0
+        return float(times.std() / times.mean())
+
+    def stream_imbalance(self) -> float:
+        """Relative imbalance of the concurrent kernels' total runtimes.
+
+        This is the Fig. 14 metric: the straggler stream determines the
+        makespan, so the normalised spread of per-stream busy time measures
+        how well batching and thread-block balancing even out the work.
+        """
+        times = np.asarray(self.stream_busy_times, dtype=np.float64)
+        if times.size == 0 or times.mean() == 0:
+            return 0.0
+        return float(times.std() / times.mean())
+
+
+class OutOfMemorySampler:
+    """Partition-scheduled sampler for graphs exceeding device memory."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        program: SamplingProgram,
+        config: SamplingConfig,
+        oom_config: Optional[OutOfMemoryConfig] = None,
+        *,
+        device: Optional[Device] = None,
+        partitions: Optional[PartitionSet] = None,
+    ):
+        self.graph = graph
+        self.program = program
+        self.config = config
+        self.oom = oom_config or OutOfMemoryConfig()
+        self.device = device if device is not None else make_device("gpu")
+        self.partitions = (
+            partitions
+            if partitions is not None
+            else partition_graph(graph, self.oom.num_partitions)
+        )
+        self.rng = CounterRNG(config.seed)
+        self._warp_counter = 0
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        seeds: Union[Sequence[int], np.ndarray],
+        *,
+        num_instances: Optional[int] = None,
+    ) -> OutOfMemoryResult:
+        """Sample all instances, scheduling partitions through device memory."""
+        instances = make_instances(list(np.asarray(seeds).reshape(-1)),
+                                   num_instances=num_instances)
+        for inst in instances:
+            if inst.frontier_pool.min() < 0 or inst.frontier_pool.max() >= self.graph.num_vertices:
+                raise ValueError(f"instance {inst.instance_id} has seeds outside the graph")
+
+        queues: Dict[int, FrontierQueue] = {
+            p: FrontierQueue() for p in range(len(self.partitions))
+        }
+        for inst in instances:
+            for seed in inst.frontier_pool:
+                owner = self.partitions.partition_of(int(seed))
+                queues[owner].push(int(seed), inst.instance_id, 0)
+
+        transfer_engine = TransferEngine(self.device.spec.pcie_bandwidth_bytes)
+        residency = PartitionResidency(
+            self.partitions, self.oom.max_resident_partitions, transfer_engine
+        )
+        timeline = StreamTimeline(self.oom.num_kernels)
+        total_cost = CostModel()
+        kernel_times: List[float] = []
+        transfer_times: List[float] = []
+        iteration_counts: List[int] = []
+        instance_map = {inst.instance_id: inst for inst in instances}
+        rounds = 0
+
+        while any(len(q) for q in queues.values()):
+            rounds += 1
+            active = {p: len(q) for p, q in queues.items() if len(q) > 0}
+            chosen = self._choose_partitions(active)
+            fractions = block_fractions(
+                [active[p] for p in chosen], balanced=self.oom.balanced_blocks
+            )
+            protect = set(chosen)
+            for stream_index, (partition_index, fraction) in enumerate(zip(chosen, fractions)):
+                stream = timeline[stream_index % len(timeline.streams)]
+                transfer_duration = residency.ensure_resident(
+                    partition_index, total_cost, protect=protect
+                )
+                if transfer_duration > 0:
+                    stream.enqueue(f"transfer:p{partition_index}", transfer_duration)
+                    transfer_times.append(transfer_duration)
+                self._drain_partition(
+                    partition_index,
+                    queues,
+                    instance_map,
+                    fraction,
+                    stream,
+                    total_cost,
+                    kernel_times,
+                    iteration_counts,
+                )
+                # Paper: the actively sampled partition is released only once
+                # its frontier queue is empty, which _drain_partition ensures.
+                residency.release(partition_index)
+
+        sample = SampleResult.from_instances(
+            instances,
+            total_cost.copy(),
+            iteration_counts=iteration_counts,
+            metadata={"program": self.program.name, "oom": True},
+        )
+        self.device.cost.merge(total_cost)
+        return OutOfMemoryResult(
+            sample=sample,
+            makespan=timeline.makespan,
+            kernel_times=kernel_times,
+            transfer_times=transfer_times,
+            partition_transfers=residency.transfer_count,
+            rounds=rounds,
+            cost=total_cost,
+            config=self.oom,
+            stream_busy_times=[s.busy_time() for s in timeline.streams],
+        )
+
+    # ------------------------------------------------------------------ #
+    def _choose_partitions(self, active: Dict[int, int]) -> List[int]:
+        """Pick up to ``num_kernels`` partitions to sample this round."""
+        limit = min(self.oom.num_kernels, self.oom.max_resident_partitions, len(active))
+        if self.oom.workload_aware:
+            ordered = sorted(active, key=lambda p: (-active[p], p))
+        else:
+            ordered = sorted(active)
+        return ordered[:limit]
+
+    def _drain_partition(
+        self,
+        partition_index: int,
+        queues: Dict[int, FrontierQueue],
+        instance_map: Dict[int, InstanceState],
+        fraction: float,
+        stream,
+        total_cost: CostModel,
+        kernel_times: List[float],
+        iteration_counts: List[int],
+    ) -> None:
+        """Sample a resident partition until its frontier queue is empty."""
+        queue = queues[partition_index]
+        while len(queue):
+            vertices, instance_ids, depths = queue.pop_all()
+            if self.oom.batched:
+                groups = single_batch(vertices, instance_ids, depths)
+            else:
+                groups = group_entries_by_instance(vertices, instance_ids, depths)
+            for group_vertices, group_instances, group_depths in groups:
+                kernel_cost = CostModel()
+                for vertex, instance_id, depth in zip(group_vertices, group_instances, group_depths):
+                    self._expand_entry(
+                        int(vertex),
+                        instance_map[int(instance_id)],
+                        int(depth),
+                        queues,
+                        kernel_cost,
+                        iteration_counts,
+                    )
+                kernel_cost.kernel_launches += 1
+                launch = KernelLaunch(
+                    name=f"kernel:p{partition_index}",
+                    cost=kernel_cost,
+                    block_fraction=float(fraction),
+                    num_warp_tasks=max(int(group_vertices.size), 1),
+                )
+                duration = launch.duration(self.device.spec)
+                stream.enqueue(launch.name, duration)
+                kernel_times.append(duration)
+                total_cost.merge(kernel_cost)
+
+    def _expand_entry(
+        self,
+        vertex: int,
+        instance: InstanceState,
+        depth: int,
+        queues: Dict[int, FrontierQueue],
+        cost: CostModel,
+        iteration_counts: List[int],
+    ) -> None:
+        """Sample the neighbors of one frontier entry and enqueue its successors."""
+        cfg = self.config
+        if depth >= cfg.depth:
+            return
+        edges = gather_neighbors(self.graph, vertex, instance, cost)
+        if edges.size == 0:
+            return
+        biases = np.asarray(self.program.edge_bias(edges), dtype=np.float64).reshape(-1)
+        if biases.size != edges.size:
+            raise ValueError("edge_bias must return one bias per neighbor")
+        positive = int(np.count_nonzero(biases > 0))
+        if positive == 0:
+            return
+        requested = self.program.neighbor_count(edges, cfg.neighbor_size)
+        if requested <= 0:
+            return
+        count = requested if cfg.with_replacement else min(requested, positive)
+        warp = WarpExecutor(warp_id=self._warp_counter, cost=cost, rng=self.rng)
+        self._warp_counter += 1
+        result = warp_select(
+            biases,
+            count,
+            warp,
+            instance.instance_id,
+            depth,
+            vertex,
+            with_replacement=cfg.with_replacement,
+            strategy=cfg.strategy,
+            detector=cfg.detector,
+        )
+        iteration_counts.extend(int(i) for i in result.iterations)
+        sampled = edges.neighbors[result.indices]
+        accepted = np.asarray(self.program.accept(edges, sampled), dtype=np.int64).reshape(-1)
+        if accepted.size:
+            instance.record_edges(vertex, accepted)
+            cost.sampled_edges += int(accepted.size)
+        new_vertices = np.asarray(
+            self.program.update(edges, accepted), dtype=np.int64
+        ).reshape(-1)
+        if accepted.size and cfg.track_visited:
+            instance.mark_visited(accepted)
+        instance.prev_vertex = vertex
+        next_depth = depth + 1
+        if next_depth >= cfg.depth:
+            return
+        for new_vertex in new_vertices:
+            owner = self.partitions.partition_of(int(new_vertex))
+            queues[owner].push(int(new_vertex), instance.instance_id, next_depth)

@@ -1,0 +1,103 @@
+"""Partition residency management and PCIe transfer accounting.
+
+The simulated GPU can hold a bounded number of graph partitions at once.
+:class:`PartitionResidency` tracks which partitions are resident, evicts the
+least-recently-used ones when space is needed, and charges every host-to-
+device partition copy to the device cost model through the
+:class:`~repro.gpusim.memory.TransferEngine`.  The number of transfers it
+performs is exactly the metric of the paper's Fig. 15.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.memory import TransferEngine
+from repro.graph.partition import PartitionSet
+
+__all__ = ["PartitionResidency"]
+
+
+class PartitionResidency:
+    """LRU-managed set of graph partitions resident on the simulated device."""
+
+    def __init__(
+        self,
+        partitions: PartitionSet,
+        max_resident: int,
+        transfer_engine: TransferEngine,
+    ):
+        if max_resident < 1:
+            raise ValueError("the device must be able to hold at least one partition")
+        self.partitions = partitions
+        self.max_resident = min(max_resident, len(partitions))
+        self.transfer_engine = transfer_engine
+        self.transfer_count = 0
+        #: Resident partition indices in least-recently-used-first order.
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def resident_partitions(self) -> list[int]:
+        """Resident partition indices, least recently used first."""
+        return list(self._resident)
+
+    def is_resident(self, partition_index: int) -> bool:
+        """Whether a partition is currently on the device."""
+        return partition_index in self._resident
+
+    def touch(self, partition_index: int) -> None:
+        """Mark a resident partition as most recently used."""
+        if partition_index in self._resident:
+            self._resident.move_to_end(partition_index)
+
+    # ------------------------------------------------------------------ #
+    def ensure_resident(
+        self,
+        partition_index: int,
+        cost: Optional[CostModel] = None,
+        *,
+        protect: Optional[set[int]] = None,
+    ) -> float:
+        """Make a partition resident, returning the transfer duration (0 if cached).
+
+        ``protect`` lists partition indices that must not be evicted (they are
+        being actively sampled by other kernels in the same round).
+        """
+        if not (0 <= partition_index < len(self.partitions)):
+            raise IndexError(f"partition {partition_index} out of range")
+        if partition_index in self._resident:
+            self.touch(partition_index)
+            return 0.0
+        protect = protect or set()
+        while len(self._resident) >= self.max_resident:
+            victim = self._pick_victim(protect)
+            if victim is None:
+                raise RuntimeError(
+                    "cannot evict any partition: all resident partitions are protected"
+                )
+            del self._resident[victim]
+        duration = self.transfer_engine.host_to_device(
+            self.partitions[partition_index].nbytes, cost
+        )
+        self._resident[partition_index] = None
+        self.transfer_count += 1
+        return duration
+
+    def release(self, partition_index: int) -> None:
+        """Drop a partition from the device (its frontier queue went empty)."""
+        self._resident.pop(partition_index, None)
+
+    def _pick_victim(self, protect: set[int]) -> Optional[int]:
+        for candidate in self._resident:
+            if candidate not in protect:
+                return candidate
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionResidency(resident={list(self._resident)}, "
+            f"max={self.max_resident}, transfers={self.transfer_count})"
+        )

@@ -1,0 +1,131 @@
+"""The alias method (Walker 1977) for O(1) biased selection.
+
+The alias method converts the sparse dartboard into a dense one (Fig. 1(d)):
+every bin of a table of ``n`` bins holds at most two candidates -- its owner
+and an *alias* -- so a selection is one uniform bin pick plus one coin flip.
+Selection is O(1), but building the table is O(n) sequential work per
+candidate pool, which is the preprocessing cost the paper says makes it a
+poor fit for GPUs with dynamic biases.  KnightKing pre-computes alias tables
+for *static* transition probabilities; our KnightKing-like baseline does the
+same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.prng import CounterRNG
+
+__all__ = ["AliasTable", "build_alias_table"]
+
+
+@dataclass(frozen=True)
+class AliasTable:
+    """Dense alias table: per-bin acceptance probability and alias candidate."""
+
+    prob: np.ndarray
+    alias: np.ndarray
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of candidates (bins) in the table."""
+        return int(self.prob.size)
+
+    def sample(
+        self,
+        rng: CounterRNG,
+        *coords: int,
+        cost: Optional[CostModel] = None,
+    ) -> int:
+        """Draw one candidate index in O(1)."""
+        n = self.num_candidates
+        r_bin = rng.uniform(*(list(coords) + [0]))
+        r_flip = rng.uniform(*(list(coords) + [1]))
+        bin_index = min(int(r_bin * n), n - 1)
+        if cost is not None:
+            cost.rng_draws += 2
+            cost.selection_attempts += 1
+            cost.charge_warp_step(1, active_lanes=1)
+        if r_flip < self.prob[bin_index]:
+            return int(bin_index)
+        return int(self.alias[bin_index])
+
+    def sample_many(
+        self,
+        count: int,
+        rng: CounterRNG,
+        *coords: int,
+        cost: Optional[CostModel] = None,
+    ) -> np.ndarray:
+        """Draw ``count`` i.i.d. candidate indices (vectorised)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        n = self.num_candidates
+        lanes = np.arange(count, dtype=np.int64)
+        r_bin = np.atleast_1d(rng.uniform(*(list(coords) + [lanes, 0])))
+        r_flip = np.atleast_1d(rng.uniform(*(list(coords) + [lanes, 1])))
+        bins = np.minimum((r_bin * n).astype(np.int64), n - 1)
+        take_owner = r_flip < self.prob[bins]
+        result = np.where(take_owner, bins, self.alias[bins])
+        if cost is not None:
+            cost.rng_draws += 2 * count
+            cost.selection_attempts += count
+            cost.charge_warp_step(1, active_lanes=min(count, 32))
+        return result.astype(np.int64)
+
+    def probabilities(self) -> np.ndarray:
+        """Reconstruct the selection probability of every candidate."""
+        n = self.num_candidates
+        probs = self.prob.copy()
+        np.add.at(probs, self.alias, 1.0 - self.prob)
+        return probs / n
+
+
+def build_alias_table(biases: np.ndarray, cost: Optional[CostModel] = None) -> AliasTable:
+    """Build an alias table with Vose's O(n) algorithm.
+
+    Construction charges O(n) warp steps to the cost model; this is the
+    preprocessing cost static-probability engines pay up front.
+    """
+    biases = np.asarray(biases, dtype=np.float64)
+    if biases.ndim != 1 or biases.size == 0:
+        raise ValueError("biases must be a non-empty 1-D array")
+    if np.any(biases < 0) or not np.all(np.isfinite(biases)):
+        raise ValueError("biases must be non-negative and finite")
+    total = biases.sum()
+    if total <= 0:
+        raise ValueError("at least one bias must be positive")
+
+    n = biases.size
+    scaled = biases * (n / total)
+    prob = np.zeros(n, dtype=np.float64)
+    alias = np.arange(n, dtype=np.int64)
+
+    small = [i for i in range(n) if scaled[i] < 1.0]
+    large = [i for i in range(n) if scaled[i] >= 1.0]
+    scaled = scaled.copy()
+    while small and large:
+        s = small.pop()
+        l = large.pop()
+        prob[s] = scaled[s]
+        alias[s] = l
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0
+        if scaled[l] < 1.0:
+            small.append(l)
+        else:
+            large.append(l)
+    for remaining in large + small:
+        prob[remaining] = 1.0
+        alias[remaining] = remaining
+
+    if cost is not None:
+        # O(n) sequential construction plus the table writes.
+        cost.charge_warp_step(n, active_lanes=1)
+        cost.charge_global_bytes(prob.nbytes + alias.nbytes)
+    return AliasTable(prob=prob, alias=alias)

@@ -1,0 +1,146 @@
+"""Bipartite region search (Section IV-B, Theorem 2).
+
+When a lane's random number lands in a CTPS region that belongs to an
+already-selected candidate, the naive choices are to throw the number away
+and retry (*repeated sampling*) or to rebuild the CTPS without the selected
+candidate (*updated sampling*).  Bipartite region search gets the best of
+both: it keeps the original CTPS and instead *remaps the random number* so
+that the resulting selection is identical to what updated sampling would have
+produced.
+
+Given the selected region ``(l, h)`` with width ``delta = h - l`` and scale
+``lambda = 1 / (1 - delta)``:
+
+1. shrink the draw back to the un-normalised space: ``r = r' / lambda``;
+2. if ``r < l`` the draw belongs to the left part of the board -- search
+   ``(0, l)`` with ``r`` as is;
+3. otherwise it belongs to the right part -- shift it past the selected
+   region (``r += delta``) and search ``(h, 1)``.
+
+Theorem 2 proves the mapping reproduces the updated-CTPS boundaries exactly,
+so the selection distribution is unchanged while the expensive prefix-sum
+recomputation is avoided.  When the remapped number lands in *another*
+already-selected region (possible once several candidates are excluded), the
+algorithm draws a fresh random number and starts over (step 1 of the paper's
+procedure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.prng import CounterRNG
+from repro.selection.bitmap import CollisionDetector
+from repro.selection.ctps import CTPS
+
+__all__ = ["bipartite_remap", "bipartite_search_select", "BipartiteOutcome"]
+
+
+def bipartite_remap(r_prime: float, region: Tuple[float, float]) -> float:
+    """Remap a random number that hit the pre-selected CTPS region ``(l, h)``.
+
+    Returns the adjusted random number positioned in the original CTPS such
+    that searching it there is equivalent to searching ``r_prime`` in the
+    updated (selected-candidate-removed) CTPS.
+    """
+    l, h = region
+    if not (0.0 <= l < h <= 1.0):
+        raise ValueError(f"invalid CTPS region ({l}, {h})")
+    delta = h - l
+    if delta >= 1.0:
+        raise ValueError("cannot remap when the selected region covers the whole CTPS")
+    lam = 1.0 / (1.0 - delta)
+    r = r_prime / lam
+    if r < l:
+        return r
+    return r + delta
+
+
+@dataclass(frozen=True)
+class BipartiteOutcome:
+    """Result of one bipartite-region-search selection."""
+
+    index: int
+    iterations: int
+    remaps: int
+
+
+def bipartite_search_select(
+    ctps: CTPS,
+    detector: CollisionDetector,
+    rng: CounterRNG,
+    *coords: int,
+    cost: Optional[CostModel] = None,
+    max_attempts: int = 64,
+) -> BipartiteOutcome:
+    """Select one not-yet-selected candidate using bipartite region search.
+
+    ``detector`` records which candidates are already selected (shared with
+    the other lanes of the warp); the chosen candidate is marked before
+    returning.  ``iterations`` counts do-while trips (fresh random draws) and
+    ``remaps`` counts how many of those trips applied the region remapping.
+
+    When several candidates are already selected and the transition
+    probabilities are extremely skewed, the remapped draw can keep landing on
+    other selected regions (the paper's step "go to 1").  After
+    ``max_attempts`` such trips the implementation falls back to one updated
+    (rebuilt) CTPS draw, which is exact and bounded in cost; the fallback is
+    charged to the cost model like any updated-sampling rebuild.
+
+    Raises
+    ------
+    RuntimeError
+        If every candidate with positive probability is already selected.
+    """
+    remaps = 0
+    for attempt in range(max_attempts):
+        r = float(rng.uniform(*(list(coords) + [2 * attempt])))
+        if cost is not None:
+            cost.rng_draws += 1
+            cost.selection_attempts += 1
+        index = ctps.search(r, cost)
+        region = ctps.region(index)
+        if detector.is_marked(index):
+            # Collision: remap a fresh draw around the selected region so the
+            # retry is distributed exactly as inverse transform sampling on
+            # the updated CTPS -- without ever rebuilding it.  (The paper's
+            # presentation reuses the collided draw; doing so skews the
+            # conditional distribution towards the regions adjacent to the
+            # selected one, so we draw anew, which keeps both the cost
+            # advantage and Theorem 2's distribution equivalence.)
+            if region[1] - region[0] >= 1.0:
+                raise RuntimeError("sole candidate already selected")
+            remaps += 1
+            if cost is not None:
+                cost.selection_collisions += 1
+                cost.rng_draws += 1
+                cost.charge_warp_step(1, active_lanes=1)
+            fresh = float(rng.uniform(*(list(coords) + [2 * attempt + 1])))
+            r = bipartite_remap(fresh, region)
+            # Guard against floating point nudging r to exactly 1.0.
+            r = min(r, np.nextafter(1.0, 0.0))
+            index = ctps.search(r, cost)
+        if not detector.check_and_mark(index, cost):
+            return BipartiteOutcome(index=index, iterations=attempt + 1, remaps=remaps)
+        if cost is not None:
+            cost.selection_collisions += 1
+
+    # Pathological skew: fall back to a single updated-CTPS draw over the
+    # still-unselected candidates (exact, one prefix-sum rebuild).
+    marked = np.array(
+        [detector.is_marked(i) for i in range(ctps.num_candidates)], dtype=bool
+    )
+    if np.all(marked | (ctps.probabilities() <= 0.0)):
+        raise RuntimeError("every candidate with positive probability is already selected")
+    updated = ctps.exclude(np.nonzero(marked)[0], cost)
+    r = float(rng.uniform(*(list(coords) + [2 * max_attempts])))
+    if cost is not None:
+        cost.rng_draws += 1
+        cost.selection_attempts += 1
+    index = updated.search(r, cost)
+    detector.check_and_mark(index, cost)
+    return BipartiteOutcome(index=index, iterations=max_attempts + 1, remaps=remaps)

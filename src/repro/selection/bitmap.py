@@ -1,0 +1,212 @@
+"""Collision detection: bitmaps and the linear-search baseline.
+
+Sampling *without* replacement needs to know whether a freshly selected
+candidate was already picked by another lane.  The paper compares three
+mechanisms:
+
+* **Linear search baseline** -- sampled vertices live in GPU shared memory and
+  each new selection linearly scans them (the "baseline" in Fig. 12).  Cheap
+  per probe but the probe count grows with the number of prior selections.
+* **Contiguous bitmap** -- one bit per candidate packed into 8-bit words in
+  candidate order.  A single atomic compare-and-swap per check, but adjacent
+  candidates share a word so warp lanes conflict and serialise (Fig. 7(a)).
+* **Strided bitmap** -- the same bits scattered across words with a stride
+  inspired by set-associative caches (Fig. 7(b)), which spreads concurrent
+  lanes over different words and removes most conflicts.
+
+All detectors implement the same small interface so the collision strategies
+in :mod:`repro.selection.collision` can be composed with any of them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol
+
+import numpy as np
+
+from repro.gpusim.atomics import atomic_cas_bitmap
+from repro.gpusim.costmodel import CostModel
+
+__all__ = [
+    "CollisionDetector",
+    "LinearSearchDetector",
+    "ContiguousBitmap",
+    "StridedBitmap",
+    "make_detector",
+]
+
+_BITS_PER_WORD = 8
+
+
+class CollisionDetector(Protocol):
+    """Interface shared by every collision-detection mechanism."""
+
+    def check_and_mark(self, candidate: int, cost: Optional[CostModel] = None) -> bool:
+        """Mark ``candidate`` selected; return True when it already was."""
+        ...
+
+    def is_marked(self, candidate: int) -> bool:
+        """Whether ``candidate`` is currently marked selected."""
+        ...
+
+    def reset(self) -> None:
+        """Clear all marks so the detector can be reused for the next pool."""
+        ...
+
+
+class LinearSearchDetector:
+    """Shared-memory linear search over previously sampled candidates."""
+
+    def __init__(self, num_candidates: int):
+        if num_candidates < 1:
+            raise ValueError("detector needs at least one candidate")
+        self.num_candidates = num_candidates
+        self._selected: List[int] = []
+
+    def check_and_mark(self, candidate: int, cost: Optional[CostModel] = None) -> bool:
+        """Scan the selected list; append the candidate when absent.
+
+        Appending still requires an atomic increment of the shared list's
+        tail pointer so concurrent lanes do not overwrite each other's slot;
+        only the membership test itself is a plain linear scan.
+        """
+        self._check(candidate)
+        probes = len(self._selected) if self._selected else 1
+        found = candidate in self._selected
+        if cost is not None:
+            cost.collision_probes += probes
+            cost.shared_accesses += probes
+        if not found:
+            self._selected.append(candidate)
+            if cost is not None:
+                cost.charge_atomics(1, 0)
+        return found
+
+    def is_marked(self, candidate: int) -> bool:
+        self._check(candidate)
+        return candidate in self._selected
+
+    def reset(self) -> None:
+        self._selected.clear()
+
+    @property
+    def selected(self) -> List[int]:
+        """Candidates marked so far, in selection order."""
+        return list(self._selected)
+
+    def _check(self, candidate: int) -> None:
+        if not (0 <= candidate < self.num_candidates):
+            raise IndexError(f"candidate {candidate} out of range")
+
+
+class _BitmapBase:
+    """Shared machinery of the two bitmap layouts."""
+
+    def __init__(self, num_candidates: int):
+        if num_candidates < 1:
+            raise ValueError("detector needs at least one candidate")
+        self.num_candidates = num_candidates
+        self.num_words = (self._slot(num_candidates - 1) // _BITS_PER_WORD) + 1
+        self.words = np.zeros(self.num_words, dtype=np.uint8)
+
+    def _slot(self, candidate: int) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _locate(self, candidate: int) -> tuple[int, int]:
+        slot = self._slot(candidate)
+        return slot // _BITS_PER_WORD, slot % _BITS_PER_WORD
+
+    def check_and_mark(self, candidate: int, cost: Optional[CostModel] = None) -> bool:
+        """Atomic test-and-set of the candidate's bit."""
+        if not (0 <= candidate < self.num_candidates):
+            raise IndexError(f"candidate {candidate} out of range")
+        word, bit = self._locate(candidate)
+        was_set, _ = atomic_cas_bitmap(
+            self.words, np.array([word]), np.array([bit]), cost
+        )
+        return bool(was_set[0])
+
+    def check_and_mark_many(
+        self, candidates: np.ndarray, cost: Optional[CostModel] = None
+    ) -> np.ndarray:
+        """Warp-step variant: all lanes test-and-set together.
+
+        Lanes hitting the same *word* in the same step conflict and are
+        charged the serialisation penalty; this is where contiguous and
+        strided layouts differ.
+        """
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if candidates.size and (candidates.min() < 0 or candidates.max() >= self.num_candidates):
+            raise IndexError("candidate out of range")
+        slots = np.array([self._slot(int(c)) for c in candidates], dtype=np.int64)
+        words = slots // _BITS_PER_WORD
+        bits = slots % _BITS_PER_WORD
+        was_set, _ = atomic_cas_bitmap(self.words, words, bits, cost)
+        return was_set
+
+    def is_marked(self, candidate: int) -> bool:
+        if not (0 <= candidate < self.num_candidates):
+            raise IndexError(f"candidate {candidate} out of range")
+        word, bit = self._locate(candidate)
+        return bool(self.words[word] & np.uint8(1 << bit))
+
+    def reset(self) -> None:
+        self.words[:] = 0
+
+
+class ContiguousBitmap(_BitmapBase):
+    """Bitmap with candidate ``i`` stored at bit position ``i`` (Fig. 7(a))."""
+
+    def _slot(self, candidate: int) -> int:
+        return candidate
+
+
+class StridedBitmap(_BitmapBase):
+    """Bitmap whose bits are strided across words (Fig. 7(b)).
+
+    With stride ``s`` (the number of 8-bit words used), candidate ``i`` is
+    mapped to word ``i mod s`` and bit ``i // s``, so candidates that are
+    adjacent in the pool -- exactly the ones concurrent lanes tend to touch --
+    land in different 8-bit words and no longer serialise.  The default stride
+    is large enough that a full warp of concurrent lanes maps to distinct
+    words whenever the pool allows it (at the cost of at most 32 words of
+    extra bitmap storage).
+    """
+
+    def __init__(self, num_candidates: int, stride: Optional[int] = None):
+        self.num_candidates = int(num_candidates)
+        if self.num_candidates < 1:
+            raise ValueError("detector needs at least one candidate")
+        min_words = (self.num_candidates + _BITS_PER_WORD - 1) // _BITS_PER_WORD
+        if stride is None:
+            stride = max(min_words, min(self.num_candidates, 32))
+        self.stride = int(stride)
+        if self.stride < min_words:
+            raise ValueError(
+                f"stride {self.stride} too small: need at least {min_words} words "
+                f"for {self.num_candidates} candidates"
+            )
+        self.num_words = self.stride
+        self.words = np.zeros(self.num_words, dtype=np.uint8)
+
+    def _slot(self, candidate: int) -> int:
+        word = candidate % self.stride
+        bit = candidate // self.stride
+        return word * _BITS_PER_WORD + bit
+
+    @property
+    def capacity(self) -> int:
+        """Maximum candidate count this strided layout can hold."""
+        return self.stride * _BITS_PER_WORD
+
+
+def make_detector(kind: str, num_candidates: int) -> CollisionDetector:
+    """Factory for detectors: ``"linear"``, ``"bitmap"`` or ``"strided_bitmap"``."""
+    kind = kind.lower()
+    if kind in ("linear", "linear_search", "baseline"):
+        return LinearSearchDetector(num_candidates)
+    if kind in ("bitmap", "contiguous", "contiguous_bitmap"):
+        return ContiguousBitmap(num_candidates)
+    if kind in ("strided", "strided_bitmap"):
+        return StridedBitmap(num_candidates)
+    raise ValueError(f"unknown collision detector kind {kind!r}")

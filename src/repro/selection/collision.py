@@ -1,0 +1,208 @@
+"""Sampling without replacement: collision-mitigation strategies.
+
+Traversal-based sampling picks ``NeighborSize`` *distinct* neighbors from a
+pool (Section II-A: "sampling without replacement"), so concurrent lanes of
+the selection warp can collide on the same candidate.  The paper evaluates
+three ways of handling that (Fig. 6):
+
+``REPEATED``
+    Keep the CTPS fixed and redraw the random number until an unselected
+    candidate is hit.  Cheap per attempt but the expected number of attempts
+    explodes on skewed transition probabilities or large ``NeighborSize``.
+``UPDATED``
+    Rebuild the CTPS without the already-selected candidates before every
+    selection.  Always succeeds in one draw but pays a full Kogge-Stone
+    prefix sum (plus normalisation) per selection.
+``BIPARTITE``
+    Bipartite region search (Theorem 2): keep the CTPS fixed and remap the
+    random number around the selected region, giving updated-sampling
+    selection quality at repeated-sampling cost.
+
+Each strategy composes with any collision detector from
+:mod:`repro.selection.bitmap` (linear-search baseline, contiguous bitmap or
+strided bitmap); the returned :class:`SelectionResult` carries the iteration
+and probe statistics Figures 10-12 are built from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.prng import CounterRNG
+from repro.selection.bipartite import bipartite_search_select
+from repro.selection.bitmap import CollisionDetector, make_detector
+from repro.selection.ctps import CTPS
+
+__all__ = ["CollisionStrategy", "SelectionResult", "select_without_replacement"]
+
+_MAX_ATTEMPTS = 10_000
+
+
+class CollisionStrategy(str, enum.Enum):
+    """How SELECT mitigates collisions between concurrent lane selections."""
+
+    REPEATED = "repeated"
+    UPDATED = "updated"
+    BIPARTITE = "bipartite"
+
+    @classmethod
+    def coerce(cls, value: Union[str, "CollisionStrategy"]) -> "CollisionStrategy":
+        """Accept either an enum member or its string value."""
+        if isinstance(value, cls):
+            return value
+        return cls(str(value).lower())
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of selecting ``k`` distinct candidates from one pool."""
+
+    #: Positions of the selected candidates inside the pool, in selection order.
+    indices: np.ndarray
+    #: Do-while trip count of each selection (Fig. 11's metric).
+    iterations: np.ndarray
+    #: Total collision-detection probes performed (Fig. 12's metric).
+    probes: int
+    #: Number of attempts that hit an already-selected candidate.
+    collisions: int
+
+    @property
+    def total_iterations(self) -> int:
+        """Sum of do-while iterations across all selections."""
+        return int(self.iterations.sum())
+
+    @property
+    def mean_iterations(self) -> float:
+        """Average do-while iterations per selection."""
+        return float(self.iterations.mean()) if self.iterations.size else 0.0
+
+
+def _positive_bias_count(biases: np.ndarray) -> int:
+    return int(np.count_nonzero(np.asarray(biases, dtype=np.float64) > 0))
+
+
+def select_without_replacement(
+    biases: np.ndarray,
+    count: int,
+    rng: CounterRNG,
+    *coords: int,
+    strategy: Union[str, CollisionStrategy] = CollisionStrategy.BIPARTITE,
+    detector: Union[str, CollisionDetector] = "strided_bitmap",
+    cost: Optional[CostModel] = None,
+) -> SelectionResult:
+    """Select ``count`` distinct candidates with probability proportional to bias.
+
+    Parameters
+    ----------
+    biases:
+        Non-negative candidate biases (the pool).
+    count:
+        Number of distinct candidates to select; must not exceed the number
+        of candidates with positive bias.
+    rng, coords:
+        Counter-based RNG and stream coordinates identifying this SELECT
+        invocation (e.g. ``(instance, depth, frontier_slot)``); lane and
+        attempt indices are appended internally.
+    strategy:
+        Collision-mitigation strategy (:class:`CollisionStrategy` or string).
+    detector:
+        Collision detector instance or factory name
+        (``"linear" | "bitmap" | "strided_bitmap"``).
+    cost:
+        Cost model charged with all simulated-GPU work.
+    """
+    biases = np.asarray(biases, dtype=np.float64)
+    strategy = CollisionStrategy.coerce(strategy)
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return SelectionResult(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 0, 0)
+    positive = _positive_bias_count(biases)
+    if count > positive:
+        raise ValueError(
+            f"cannot select {count} distinct candidates: only {positive} have positive bias"
+        )
+    if isinstance(detector, str):
+        detector = make_detector(detector, biases.size)
+
+    ctps = CTPS.from_biases(biases, cost)
+    indices = np.empty(count, dtype=np.int64)
+    iterations = np.empty(count, dtype=np.int64)
+    probes_before = cost.collision_probes if cost is not None else 0
+    collisions = 0
+
+    if strategy is CollisionStrategy.BIPARTITE:
+        for lane in range(count):
+            outcome = bipartite_search_select(
+                ctps, detector, rng, *(list(coords) + [lane]), cost=cost
+            )
+            indices[lane] = outcome.index
+            iterations[lane] = outcome.iterations
+            collisions += outcome.remaps + (outcome.iterations - 1)
+
+    elif strategy is CollisionStrategy.REPEATED:
+        for lane in range(count):
+            for attempt in range(_MAX_ATTEMPTS):
+                r = float(rng.uniform(*(list(coords) + [lane, attempt])))
+                if cost is not None:
+                    cost.rng_draws += 1
+                    cost.selection_attempts += 1
+                candidate = ctps.search(r, cost)
+                duplicate = detector.check_and_mark(candidate, cost)
+                if not duplicate:
+                    indices[lane] = candidate
+                    iterations[lane] = attempt + 1
+                    break
+                collisions += 1
+                if cost is not None:
+                    cost.selection_collisions += 1
+            else:
+                # Extremely skewed transition probabilities can make repeated
+                # sampling fail to hit a tiny unselected region within the
+                # attempt budget (this is exactly the pathology the paper's
+                # bipartite region search removes).  Fall back to the first
+                # unselected positive-bias candidate, keeping the attempt
+                # count so the statistics reflect the wasted work.
+                probabilities = ctps.probabilities()
+                for candidate in range(probabilities.size):
+                    if probabilities[candidate] > 0 and not detector.is_marked(candidate):
+                        detector.check_and_mark(candidate, cost)
+                        indices[lane] = candidate
+                        break
+                iterations[lane] = _MAX_ATTEMPTS
+
+    else:  # CollisionStrategy.UPDATED
+        selected: list[int] = []
+        current = ctps
+        for lane in range(count):
+            if lane > 0:
+                # Rebuild the CTPS without the already-selected candidates;
+                # this is the expensive step the strategy is defined by.
+                current = ctps.exclude(np.asarray(selected, dtype=np.int64), cost)
+            r = float(rng.uniform(*(list(coords) + [lane, 0])))
+            if cost is not None:
+                cost.rng_draws += 1
+                cost.selection_attempts += 1
+            candidate = current.search(r, cost)
+            # The rebuilt CTPS gives zero-width regions to selected vertices,
+            # so the candidate is always fresh; the detector still records it
+            # for parity with the other strategies.
+            detector.check_and_mark(candidate, cost)
+            selected.append(candidate)
+            indices[lane] = candidate
+            iterations[lane] = 1
+
+    probes = (cost.collision_probes - probes_before) if cost is not None else 0
+    if cost is not None:
+        cost.sampled_edges += 0  # sampled-edge accounting happens in the sampler
+    return SelectionResult(
+        indices=indices,
+        iterations=iterations,
+        probes=int(probes),
+        collisions=int(collisions),
+    )

@@ -1,0 +1,153 @@
+"""Cumulative Transition Probability Space (CTPS).
+
+Given biases ``b_1 .. b_n``, the paper builds the prefix-sum array
+``S_m = sum_{i<m} b_i`` (``S_1 = 0``, ``S_{n+1} = sum b_i``) and normalises it
+by the total to obtain ``F`` -- the CTPS.  The transition probability of
+candidate ``k`` equals the width of its region ``F_{k+1} - F_k`` (Equation 1),
+so drawing a uniform random number and binary-searching it in ``F`` selects
+candidates exactly with their transition probabilities (inverse transform
+sampling).
+
+This module holds the CTPS data structure used by every selection strategy.
+Construction charges a Kogge-Stone scan to the cost model; every search
+charges ``ceil(log2(n+1))`` binary-search steps, matching the per-operation
+costs of the GPU kernel in Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.scan import warp_prefix_sum
+
+__all__ = ["CTPS"]
+
+
+@dataclass(frozen=True)
+class CTPS:
+    """Normalised cumulative transition probability space over ``n`` candidates.
+
+    Attributes
+    ----------
+    boundaries:
+        Array ``F`` of length ``n + 1`` with ``F[0] = 0`` and ``F[n] = 1``;
+        candidate ``k`` owns the half-open region ``[F[k], F[k+1])``.
+    total_bias:
+        The un-normalised sum of biases (``S_{n+1}``), needed by callers that
+        must renormalise after excluding candidates.
+    """
+
+    boundaries: np.ndarray
+    total_bias: float
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_biases(cls, biases: np.ndarray, cost: Optional[CostModel] = None) -> "CTPS":
+        """Build the CTPS of the given non-negative biases.
+
+        Raises
+        ------
+        ValueError
+            If any bias is negative, non-finite, or all biases are zero.
+        """
+        biases = np.asarray(biases, dtype=np.float64)
+        if biases.ndim != 1 or biases.size == 0:
+            raise ValueError("biases must be a non-empty 1-D array")
+        if np.any(biases < 0):
+            raise ValueError("biases must be non-negative")
+        if not np.all(np.isfinite(biases)):
+            raise ValueError("biases must be finite")
+        prefix = warp_prefix_sum(biases, cost)
+        total = float(prefix[-1])
+        if total <= 0.0:
+            raise ValueError("at least one bias must be positive")
+        boundaries = prefix / total
+        boundaries[-1] = 1.0  # guard against round-off
+        if cost is not None:
+            # Normalisation: one division per element.  The CTPS itself stays
+            # in the warp's shared/register storage for typical pool sizes, so
+            # no additional global-memory traffic is charged beyond the bias
+            # reads already accounted by the scan.
+            cost.charge_warp_step(1, active_lanes=min(biases.size, 32))
+        return cls(boundaries=boundaries, total_bias=total)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_candidates(self) -> int:
+        """Number of candidates in the space."""
+        return int(self.boundaries.size - 1)
+
+    def probability(self, index: int) -> float:
+        """Transition probability of candidate ``index`` (region width)."""
+        self._check_index(index)
+        return float(self.boundaries[index + 1] - self.boundaries[index])
+
+    def probabilities(self) -> np.ndarray:
+        """All transition probabilities (sums to 1)."""
+        return np.diff(self.boundaries)
+
+    def region(self, index: int) -> Tuple[float, float]:
+        """The ``(l, h)`` CTPS region of candidate ``index``."""
+        self._check_index(index)
+        return float(self.boundaries[index]), float(self.boundaries[index + 1])
+
+    # ------------------------------------------------------------------ #
+    # Searching
+    # ------------------------------------------------------------------ #
+    def search(self, r: float, cost: Optional[CostModel] = None) -> int:
+        """Binary-search a random number ``r in [0, 1)`` to a candidate index."""
+        if not (0.0 <= r < 1.0):
+            raise ValueError("random number must lie in [0, 1)")
+        index = int(np.searchsorted(self.boundaries, r, side="right") - 1)
+        # Zero-width regions (zero bias) can never be hit because searchsorted
+        # with side="right" skips boundaries equal to r only when widths are 0;
+        # step forward past any zero-width region we may have landed on.
+        while index < self.num_candidates - 1 and self.boundaries[index + 1] <= r:
+            index += 1
+        if cost is not None:
+            steps = self._search_steps()
+            cost.binary_search_steps += steps
+            # Each binary-search probe reads one CTPS boundary from memory.
+            cost.charge_global_bytes(steps * 8)
+        return index
+
+    def search_many(self, rs: np.ndarray, cost: Optional[CostModel] = None) -> np.ndarray:
+        """Vectorised :meth:`search` over an array of random numbers."""
+        rs = np.asarray(rs, dtype=np.float64)
+        if rs.size and (rs.min() < 0.0 or rs.max() >= 1.0):
+            raise ValueError("random numbers must lie in [0, 1)")
+        indices = np.searchsorted(self.boundaries, rs, side="right") - 1
+        indices = np.clip(indices, 0, self.num_candidates - 1)
+        if cost is not None:
+            steps = self._search_steps()
+            cost.binary_search_steps += steps * int(rs.size)
+            cost.charge_global_bytes(steps * 8 * int(rs.size))
+        return indices.astype(np.int64)
+
+    def exclude(self, selected: np.ndarray, cost: Optional[CostModel] = None) -> "CTPS":
+        """Rebuild the CTPS with the given candidate indices excluded.
+
+        This is the paper's "updated sampling" strawman (Fig. 6(b)): it pays a
+        full prefix-sum recomputation.  Excluded candidates keep an entry with
+        zero-width region so indices remain aligned with the original pool.
+        """
+        selected = np.asarray(selected, dtype=np.int64)
+        biases = np.diff(self.boundaries) * self.total_bias
+        if selected.size:
+            biases = biases.copy()
+            biases[selected] = 0.0
+        return CTPS.from_biases(biases, cost)
+
+    # ------------------------------------------------------------------ #
+    def _search_steps(self) -> int:
+        return max(1, int(np.ceil(np.log2(self.boundaries.size))))
+
+    def _check_index(self, index: int) -> None:
+        if not (0 <= index < self.num_candidates):
+            raise IndexError(f"candidate index {index} out of range")

@@ -1,0 +1,73 @@
+"""Dartboard (2-D rejection) sampling.
+
+The dartboard method (Fig. 1(c)) throws a dart at a 2-D board whose bars are
+the candidate biases: pick a candidate uniformly (the x coordinate) and a
+height uniformly in ``[0, max_bias)`` (the y coordinate); accept when the
+height falls under the candidate's bar, otherwise throw again.  For
+scale-free graphs where a few candidates have much larger biases than the
+rest, the acceptance rate is poor -- which is why C-SAW prefers inverse
+transform sampling and why KnightKing needs alias tables for static biases.
+
+It is implemented here both as a baseline selection method and because the
+KnightKing-like baseline engine uses it for dynamic biases.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.prng import CounterRNG
+
+__all__ = ["dartboard_sample"]
+
+_MAX_TRIALS = 10_000
+
+
+def dartboard_sample(
+    biases: np.ndarray,
+    rng: CounterRNG,
+    *coords: int,
+    cost: Optional[CostModel] = None,
+    max_trials: int = _MAX_TRIALS,
+) -> Tuple[int, int]:
+    """Select one candidate by rejection sampling.
+
+    Returns
+    -------
+    (index, trials):
+        The selected candidate index and how many darts were thrown.  The
+        trial count is the quantity that blows up on skewed bias
+        distributions.
+
+    Raises
+    ------
+    RuntimeError
+        If no dart lands within ``max_trials`` throws (pathological input,
+        e.g. a single huge bias among thousands of zeros combined with an
+        adversarial RNG stream).
+    """
+    biases = np.asarray(biases, dtype=np.float64)
+    if biases.ndim != 1 or biases.size == 0:
+        raise ValueError("biases must be a non-empty 1-D array")
+    if np.any(biases < 0) or not np.all(np.isfinite(biases)):
+        raise ValueError("biases must be non-negative and finite")
+    max_bias = float(biases.max())
+    if max_bias <= 0.0:
+        raise ValueError("at least one bias must be positive")
+    n = biases.size
+
+    for trial in range(max_trials):
+        rx = rng.uniform(*(list(coords) + [2 * trial]))
+        ry = rng.uniform(*(list(coords) + [2 * trial + 1]))
+        index = min(int(rx * n), n - 1)
+        height = ry * max_bias
+        if cost is not None:
+            cost.rng_draws += 2
+            cost.selection_attempts += 1
+            cost.charge_warp_step(1, active_lanes=1)
+        if height < biases[index]:
+            return index, trial + 1
+    raise RuntimeError(f"dartboard sampling failed to accept within {max_trials} trials")

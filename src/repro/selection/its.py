@@ -1,0 +1,58 @@
+"""Inverse transform sampling (the selection method C-SAW adopts).
+
+Sampling *with* replacement -- the random-walk case where one neighbor is
+picked per step and repeats are allowed -- needs no collision handling: build
+the CTPS once, draw a random number per selection and binary-search it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.prng import CounterRNG
+from repro.selection.ctps import CTPS
+
+__all__ = ["sample_one", "sample_with_replacement"]
+
+
+def sample_one(
+    biases: np.ndarray,
+    rng: CounterRNG,
+    *coords: int,
+    cost: Optional[CostModel] = None,
+) -> int:
+    """Select a single candidate index proportionally to ``biases``.
+
+    ``coords`` are the counter-RNG stream coordinates (for example
+    ``(instance, depth)``) so the draw is reproducible.
+    """
+    ctps = CTPS.from_biases(biases, cost)
+    r = float(rng.uniform(*coords)) if coords else float(rng.uniform(0))
+    if cost is not None:
+        cost.rng_draws += 1
+        cost.selection_attempts += 1
+    return ctps.search(r, cost)
+
+
+def sample_with_replacement(
+    biases: np.ndarray,
+    count: int,
+    rng: CounterRNG,
+    *coords: int,
+    cost: Optional[CostModel] = None,
+) -> np.ndarray:
+    """Select ``count`` candidate indices i.i.d. proportionally to ``biases``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    ctps = CTPS.from_biases(biases, cost)
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    lanes = np.arange(count, dtype=np.int64)
+    rs = rng.uniform(*(list(coords) + [lanes])) if coords else rng.uniform(lanes)
+    if cost is not None:
+        cost.rng_draws += count
+        cost.selection_attempts += count
+    return ctps.search_many(np.atleast_1d(rs), cost)

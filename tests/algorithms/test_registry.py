@@ -1,0 +1,73 @@
+"""Tests for the Table I design-space registry."""
+
+import pytest
+
+from repro.algorithms.registry import (
+    ALGORITHM_REGISTRY,
+    default_config,
+    get_algorithm,
+    list_algorithms,
+)
+from repro.api.bias import SamplingProgram
+from repro.api.config import SamplingConfig
+
+
+class TestRegistryContents:
+    def test_all_table1_algorithms_present(self):
+        expected = {
+            "simple_random_walk",
+            "deepwalk",
+            "metropolis_hastings_walk",
+            "random_walk_with_jump",
+            "random_walk_with_restart",
+            "unbiased_neighbor_sampling",
+            "forest_fire_sampling",
+            "snowball_sampling",
+            "biased_random_walk",
+            "biased_neighbor_sampling",
+            "layer_sampling",
+            "multidimensional_random_walk",
+            "node2vec",
+        }
+        assert expected <= set(ALGORITHM_REGISTRY)
+
+    def test_every_bias_category_covered(self):
+        assert set(list_algorithms(bias="unbiased"))
+        assert set(list_algorithms(bias="static"))
+        assert set(list_algorithms(bias="dynamic")) == {
+            "multidimensional_random_walk",
+            "node2vec",
+        }
+
+    def test_random_walk_filter(self):
+        walks = list_algorithms(random_walk=True)
+        samplers = list_algorithms(random_walk=False)
+        assert "deepwalk" in walks and "deepwalk" not in samplers
+        assert "layer_sampling" in samplers
+        assert set(walks) | set(samplers) == set(ALGORITHM_REGISTRY)
+
+    def test_factories_produce_program_and_config(self):
+        for name, info in ALGORITHM_REGISTRY.items():
+            program = info.program_factory()
+            config = info.config_factory()
+            assert isinstance(program, SamplingProgram), name
+            assert isinstance(config, SamplingConfig), name
+            assert program.name == name
+
+    def test_walks_allow_replacement_samplers_do_not(self):
+        for name, info in ALGORITHM_REGISTRY.items():
+            config = info.config_factory()
+            if info.is_random_walk:
+                assert config.with_replacement, name
+            else:
+                assert not config.with_replacement, name
+
+    def test_get_algorithm_and_default_config(self):
+        info = get_algorithm("node2vec")
+        assert info.bias == "dynamic"
+        config = default_config("node2vec", depth=11)
+        assert config.depth == 11
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            get_algorithm("quantum_walk")

@@ -1,0 +1,130 @@
+"""Tests for the reference oracles and the KnightKing / GraphSAINT baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.graphsaint import GraphSAINTSampler
+from repro.baselines.knightking import KnightKingEngine
+from repro.baselines.reference import (
+    reference_neighbor_sampling,
+    reference_random_walk,
+    reference_select_with_replacement,
+    reference_select_without_replacement,
+)
+from repro.gpusim.device import POWER9_SPEC
+
+
+class TestReferenceOracles:
+    def test_with_replacement_distribution(self):
+        rng = np.random.default_rng(0)
+        biases = np.array([1.0, 3.0])
+        picks = reference_select_with_replacement(biases, 10000, rng)
+        assert abs(np.mean(picks == 1) - 0.75) < 0.03
+
+    def test_without_replacement_distinct(self):
+        rng = np.random.default_rng(1)
+        picks = reference_select_without_replacement(np.ones(6), 6, rng)
+        assert sorted(picks.tolist()) == list(range(6))
+
+    def test_without_replacement_too_many(self):
+        with pytest.raises(ValueError):
+            reference_select_without_replacement(np.array([1.0, 0.0]), 2,
+                                                 np.random.default_rng(0))
+
+    def test_random_walk_path_valid(self, toy_graph):
+        rng = np.random.default_rng(2)
+        path = reference_random_walk(toy_graph, 8, 10, rng)
+        assert path[0] == 8
+        for a, b in zip(path, path[1:]):
+            assert toy_graph.has_edge(int(a), int(b))
+
+    def test_neighbor_sampling_no_revisit(self, toy_graph):
+        rng = np.random.default_rng(3)
+        edges, visited = reference_neighbor_sampling(toy_graph, 8, 2, 3, rng)
+        assert 8 in visited
+        targets = edges[:, 1].tolist()
+        # every sampled edge starts from a visited vertex
+        assert all(int(src) in visited for src in edges[:, 0])
+        assert len(visited) <= len(targets) + 1
+
+
+class TestKnightKing:
+    def test_walks_are_valid_paths(self, small_weighted_graph):
+        engine = KnightKingEngine(small_weighted_graph, biased=True, seed=0)
+        result = engine.run_walks(list(range(10)), walk_length=8)
+        assert len(result.walks) == 10
+        for walk in result.walks:
+            assert walk[0] in range(10)
+            for a, b in zip(walk, walk[1:]):
+                assert small_weighted_graph.has_edge(int(a), int(b))
+
+    def test_unbiased_mode_on_unweighted_graph(self, small_powerlaw_graph):
+        engine = KnightKingEngine(small_powerlaw_graph, biased=True, seed=0)
+        assert engine.biased is False  # silently degrades without weights
+        result = engine.run_walks([0, 1, 2], walk_length=5)
+        assert result.total_sampled_edges > 0
+
+    def test_seps_and_times_positive(self, small_weighted_graph):
+        engine = KnightKingEngine(small_weighted_graph, biased=True, seed=1)
+        result = engine.run_walks(list(range(20)), walk_length=10, num_walkers=40)
+        assert result.kernel_time() > 0
+        assert result.preprocessing_time() > 0
+        assert result.seps() > 0
+        assert result.total_sampled_edges <= 40 * 10
+
+    def test_walker_expansion(self, small_weighted_graph):
+        engine = KnightKingEngine(small_weighted_graph, seed=2)
+        result = engine.run_walks([0, 1], walk_length=3, num_walkers=7)
+        assert len(result.walks) == 7
+
+    def test_invalid_arguments(self, small_weighted_graph):
+        engine = KnightKingEngine(small_weighted_graph, seed=3)
+        with pytest.raises(ValueError):
+            engine.run_walks([], walk_length=5)
+        with pytest.raises(ValueError):
+            engine.run_walks([0], walk_length=0)
+        with pytest.raises(ValueError):
+            engine.run_walks([10**7], walk_length=5)
+
+    def test_biased_walk_distribution(self, toy_graph):
+        """With one overwhelming edge weight, the walker should take it."""
+        weights = np.ones(toy_graph.num_edges)
+        start, end = toy_graph.edge_range(8)
+        weights[start] = 1e6
+        g = toy_graph.with_weights(weights)
+        target = int(g.col_idx[start])
+        engine = KnightKingEngine(g, biased=True, seed=4)
+        result = engine.run_walks([8] * 100, walk_length=1)
+        first_steps = [int(w[1]) for w in result.walks if len(w) > 1]
+        assert np.mean([s == target for s in first_steps]) > 0.95
+
+
+class TestGraphSAINT:
+    def test_sampled_edges_valid(self, small_powerlaw_graph):
+        sampler = GraphSAINTSampler(small_powerlaw_graph, seed=0)
+        result = sampler.run(num_instances=5, frontier_size=20, steps=15)
+        assert len(result.edges_per_instance) == 5
+        assert result.total_sampled_edges > 0
+        for edges in result.edges_per_instance:
+            for src, dst in edges:
+                assert small_powerlaw_graph.has_edge(int(src), int(dst))
+
+    def test_seed_pools_respected(self, small_powerlaw_graph):
+        sampler = GraphSAINTSampler(small_powerlaw_graph, seed=1)
+        result = sampler.run(num_instances=2, frontier_size=4, steps=5,
+                             seeds=[7, 8, 9, 10])
+        sources = set(result.edges_per_instance[0][:, 0].tolist())
+        assert sources <= set(range(small_powerlaw_graph.num_vertices))
+
+    def test_metrics_positive(self, small_powerlaw_graph):
+        sampler = GraphSAINTSampler(small_powerlaw_graph, seed=2)
+        result = sampler.run(num_instances=8, frontier_size=16, steps=10)
+        assert result.kernel_time(POWER9_SPEC) > 0
+        assert result.seps() > 0
+
+    def test_invalid_arguments(self, small_powerlaw_graph):
+        sampler = GraphSAINTSampler(small_powerlaw_graph)
+        with pytest.raises(ValueError):
+            sampler.run(num_instances=0, frontier_size=4, steps=4)
+        with pytest.raises(ValueError):
+            sampler.run(num_instances=1, frontier_size=0, steps=4)

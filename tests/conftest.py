@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edge_list
+from repro.graph.generators import generate_dataset, powerlaw_graph, ring_graph
+
+
+@pytest.fixture(scope="session")
+def toy_graph():
+    """The paper's Fig. 1(a) toy graph (13 vertices, undirected).
+
+    Vertex 8's neighbors are {5, 7, 9, 10, 11}, matching the running example
+    used throughout the paper's selection figures.
+    """
+    edges = [
+        (0, 1), (0, 4), (0, 5),
+        (1, 2), (1, 5),
+        (2, 3), (2, 6),
+        (3, 6), (3, 7),
+        (4, 5), (4, 7),
+        (5, 8), (5, 6),
+        (6, 9), (6, 10),
+        (7, 8), (7, 11), (7, 3),
+        (8, 9), (8, 10), (8, 11), (8, 5), (8, 7),
+        (9, 12), (10, 12), (11, 12),
+    ]
+    return from_edge_list(edges, num_vertices=13, symmetrize=True, dedup=True)
+
+
+@pytest.fixture(scope="session")
+def weighted_toy_graph(toy_graph):
+    """The toy graph with deterministic pseudo-random edge weights."""
+    rng = np.random.default_rng(11)
+    return toy_graph.with_weights(rng.uniform(0.5, 3.0, size=toy_graph.num_edges))
+
+
+@pytest.fixture(scope="session")
+def small_powerlaw_graph():
+    """A 500-vertex scale-free graph used by mid-size tests."""
+    return powerlaw_graph(500, 8.0, exponent=2.2, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_weighted_graph(small_powerlaw_graph):
+    """The scale-free graph with uniform random weights."""
+    rng = np.random.default_rng(5)
+    weights = rng.uniform(0.1, 1.0, size=small_powerlaw_graph.num_edges)
+    return small_powerlaw_graph.with_weights(weights)
+
+
+@pytest.fixture(scope="session")
+def ring10():
+    """A 10-vertex bidirectional ring (every vertex has degree 2)."""
+    return ring_graph(10)
+
+
+@pytest.fixture(scope="session")
+def am_dataset():
+    """The Table II 'AM' stand-in graph, weighted."""
+    return generate_dataset("AM", seed=1, weighted=True)

@@ -1,0 +1,119 @@
+"""Tests for atomic primitives and the warp execution abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.atomics import (
+    AtomicCounter,
+    atomic_add,
+    atomic_cas_bitmap,
+    count_word_conflicts,
+)
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.prng import CounterRNG
+from repro.gpusim.warp import WARP_SIZE, WarpExecutor
+
+
+class TestConflictCounting:
+    def test_no_conflicts_for_distinct_words(self):
+        assert count_word_conflicts(np.array([0, 1, 2, 3])) == 0
+
+    def test_all_same_word(self):
+        assert count_word_conflicts(np.array([5, 5, 5, 5])) == 3
+
+    def test_mixed(self):
+        assert count_word_conflicts(np.array([0, 0, 1, 2, 2, 2])) == 3
+
+    def test_empty(self):
+        assert count_word_conflicts(np.array([])) == 0
+
+
+class TestAtomicAdd:
+    def test_returns_old_values_serialised(self):
+        array = np.zeros(4, dtype=np.int64)
+        old = atomic_add(array, np.array([1, 1, 1]), 1)
+        assert list(old) == [0, 1, 2]
+        assert array[1] == 3
+
+    def test_cost_charges_conflicts(self):
+        cost = CostModel()
+        array = np.zeros(4, dtype=np.int64)
+        atomic_add(array, np.array([0, 0, 1]), 1, cost)
+        assert cost.atomic_ops == 3
+        assert cost.atomic_conflicts == 1
+
+
+class TestAtomicCasBitmap:
+    def test_first_set_succeeds_second_detects(self):
+        words = np.zeros(2, dtype=np.uint8)
+        was_set, conflicts = atomic_cas_bitmap(words, np.array([0, 0]), np.array([3, 3]))
+        assert list(was_set) == [False, True]
+        assert conflicts == 1
+        assert words[0] == 8
+
+    def test_distinct_bits_no_collision(self):
+        words = np.zeros(4, dtype=np.uint8)
+        was_set, conflicts = atomic_cas_bitmap(
+            words, np.array([0, 1, 2, 3]), np.array([0, 0, 0, 0])
+        )
+        assert not was_set.any()
+        assert conflicts == 0
+
+    def test_invalid_bit_offset(self):
+        with pytest.raises(ValueError):
+            atomic_cas_bitmap(np.zeros(1, dtype=np.uint8), np.array([0]), np.array([8]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            atomic_cas_bitmap(np.zeros(1, dtype=np.uint8), np.array([0, 1]), np.array([0]))
+
+
+class TestAtomicCounter:
+    def test_fetch_add_semantics(self):
+        counter = AtomicCounter()
+        assert counter.fetch_add(2) == 0
+        assert counter.fetch_add(3) == 2
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+    def test_cost_charged(self):
+        cost = CostModel()
+        AtomicCounter().fetch_add(1, cost)
+        assert cost.atomic_ops == 1
+
+
+class TestWarpExecutor:
+    def make_warp(self):
+        return WarpExecutor(warp_id=7, cost=CostModel(), rng=CounterRNG(3))
+
+    def test_lane_count_capped_at_warp_size(self):
+        warp = self.make_warp()
+        assert warp.lanes(100).size == WARP_SIZE
+        assert warp.lanes(5).size == 5
+
+    def test_divergent_loop_charges_max_and_sum(self):
+        warp = self.make_warp()
+        warp.charge_divergent_loop(np.array([1, 3, 2]))
+        assert warp.cost.warp_steps == 3
+        assert warp.cost.lane_ops == 6
+
+    def test_divergent_loop_empty(self):
+        warp = self.make_warp()
+        warp.charge_divergent_loop(np.array([], dtype=np.int64))
+        assert warp.cost.warp_steps == 0
+
+    def test_lane_uniform_deterministic_and_counted(self):
+        warp_a = self.make_warp()
+        warp_b = self.make_warp()
+        lanes = np.arange(4)
+        a = warp_a.lane_uniform(lanes, attempt=2)
+        b = warp_b.lane_uniform(lanes, attempt=2)
+        assert np.array_equal(a, b)
+        assert warp_a.cost.rng_draws == 4
+        assert np.all((a >= 0) & (a < 1))
+
+    def test_gather_global_charges_bytes(self):
+        warp = self.make_warp()
+        warp.gather_global(512)
+        assert warp.cost.global_bytes == 512

@@ -1,0 +1,177 @@
+"""Tests for the cost model, device specs, memory pool and stream timelines."""
+
+import pytest
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import Device, POWER9_SPEC, V100_SPEC, make_device
+from repro.gpusim.kernel import KernelLaunch, Stream, StreamTimeline
+from repro.gpusim.memory import AllocationError, DeviceMemory, TransferEngine
+
+
+class TestCostModel:
+    def test_charge_and_breakdown(self):
+        cost = CostModel()
+        cost.charge_warp_step(10, active_lanes=16)
+        cost.charge_global_bytes(9000)
+        cost.charge_transfer(16_000, direction="h2d")
+        cost.charge_atomics(5, 2)
+        cost.kernel_launches += 2
+        breakdown = cost.breakdown(V100_SPEC)
+        assert breakdown.compute_time > 0
+        assert breakdown.memory_time == pytest.approx(9000 / V100_SPEC.memory_bandwidth_bytes)
+        assert breakdown.transfer_time == pytest.approx(16_000 / V100_SPEC.pcie_bandwidth_bytes)
+        assert breakdown.launch_time == pytest.approx(2 * V100_SPEC.kernel_launch_overhead)
+        assert breakdown.total >= breakdown.transfer_time
+
+    def test_simulated_time_monotone_in_work(self):
+        light, heavy = CostModel(), CostModel()
+        light.charge_warp_step(10)
+        heavy.charge_warp_step(10_000_000)
+        assert heavy.simulated_time(V100_SPEC) > light.simulated_time(V100_SPEC)
+
+    def test_merge_and_copy(self):
+        a, b = CostModel(), CostModel()
+        a.rng_draws = 5
+        b.rng_draws = 7
+        b.sampled_edges = 3
+        a.merge(b)
+        assert a.rng_draws == 12 and a.sampled_edges == 3
+        c = a.copy()
+        c.rng_draws = 0
+        assert a.rng_draws == 12
+
+    def test_reset(self):
+        cost = CostModel()
+        cost.charge_global_bytes(10)
+        cost.reset()
+        assert cost.global_bytes == 0
+        assert cost.simulated_time(V100_SPEC) == 0.0
+
+    def test_invalid_transfer_direction(self):
+        with pytest.raises(ValueError):
+            CostModel().charge_transfer(10, direction="sideways")
+
+    def test_atomic_conflicts_cost_more(self):
+        clean, contended = CostModel(), CostModel()
+        clean.charge_atomics(32, 0)
+        contended.charge_atomics(32, 31)
+        assert contended.simulated_time(V100_SPEC) > clean.simulated_time(V100_SPEC)
+
+
+class TestDevice:
+    def test_make_device_kinds(self):
+        assert make_device("gpu").spec.name == "V100"
+        assert make_device("cpu").spec.name == "POWER9"
+        with pytest.raises(ValueError):
+            make_device("tpu")
+
+    def test_specs_reflect_hardware_gap(self):
+        assert V100_SPEC.memory_bandwidth_bytes > 3 * POWER9_SPEC.memory_bandwidth_bytes
+        assert V100_SPEC.concurrent_warps > POWER9_SPEC.concurrent_warps
+
+    def test_device_snapshot(self):
+        device = make_device("gpu")
+        device.cost.charge_global_bytes(1000)
+        snap = device.snapshot()
+        assert snap["device"] == "V100:0"
+        assert snap["count_global_bytes"] == 1000
+        device.reset()
+        assert device.cost.global_bytes == 0
+
+    def test_scaled_spec(self):
+        scaled = V100_SPEC.scaled(concurrent_warps=10)
+        assert scaled.concurrent_warps == 10
+        assert scaled.clock_hz == V100_SPEC.clock_hz
+
+
+class TestDeviceMemory:
+    def test_allocate_and_release(self):
+        mem = DeviceMemory(1000)
+        mem.allocate("a", 600)
+        assert mem.used_bytes == 600 and mem.free_bytes == 400
+        assert mem.holds("a")
+        mem.release("a")
+        assert mem.used_bytes == 0
+
+    def test_overflow_raises(self):
+        mem = DeviceMemory(100)
+        mem.allocate("a", 80)
+        with pytest.raises(AllocationError):
+            mem.allocate("b", 30)
+
+    def test_duplicate_name_raises(self):
+        mem = DeviceMemory(100)
+        mem.allocate("a", 10)
+        with pytest.raises(AllocationError):
+            mem.allocate("a", 10)
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(KeyError):
+            DeviceMemory(10).release("ghost")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DeviceMemory(0)
+
+
+class TestTransferEngine:
+    def test_transfer_time_scales_with_bytes(self):
+        engine = TransferEngine(1e9)
+        assert engine.transfer_time(2_000_000) > engine.transfer_time(1_000)
+
+    def test_cost_charging(self):
+        engine = TransferEngine(1e9)
+        cost = CostModel()
+        engine.host_to_device(5000, cost)
+        engine.device_to_host(3000, cost)
+        assert cost.h2d_bytes == 5000 and cost.d2h_bytes == 3000
+        assert cost.partition_transfers == 1
+        assert engine.transfer_count == 2
+
+
+class TestKernelAndStreams:
+    def test_block_fraction_slows_kernel(self):
+        cost = CostModel()
+        cost.charge_warp_step(1_000_000)
+        full = KernelLaunch("k", cost, block_fraction=1.0, num_warp_tasks=10**9)
+        half = KernelLaunch("k", cost, block_fraction=0.5, num_warp_tasks=10**9)
+        assert half.duration(V100_SPEC) > full.duration(V100_SPEC)
+
+    def test_task_limited_kernel(self):
+        cost = CostModel()
+        cost.charge_warp_step(1_000_000)
+        few_tasks = KernelLaunch("k", cost, num_warp_tasks=4)
+        many_tasks = KernelLaunch("k", cost, num_warp_tasks=4096)
+        assert few_tasks.duration(V100_SPEC) > many_tasks.duration(V100_SPEC)
+
+    def test_invalid_kernel_parameters(self):
+        with pytest.raises(ValueError):
+            KernelLaunch("k", CostModel(), block_fraction=0.0).duration(V100_SPEC)
+        with pytest.raises(ValueError):
+            KernelLaunch("k", CostModel(), num_warp_tasks=0).duration(V100_SPEC)
+
+    def test_stream_fifo_ordering(self):
+        stream = Stream(stream_id=0)
+        end1 = stream.enqueue("transfer:p0", 1.0)
+        end2 = stream.enqueue("kernel:p0", 2.0)
+        assert end1 == pytest.approx(1.0)
+        assert end2 == pytest.approx(3.0)
+        assert stream.busy_time() == pytest.approx(3.0)
+
+    def test_stream_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Stream(0).enqueue("x", -1.0)
+
+    def test_timeline_makespan_and_events(self):
+        timeline = StreamTimeline(2)
+        timeline[0].enqueue("transfer:p0", 1.0)
+        timeline[0].enqueue("kernel:p0", 2.0)
+        timeline[1].enqueue("kernel:p1", 1.5)
+        assert timeline.makespan == pytest.approx(3.0)
+        assert timeline.least_loaded().stream_id == 1
+        assert sorted(timeline.kernel_times()) == [1.5, 2.0]
+        assert timeline.transfer_times() == [1.0]
+
+    def test_timeline_needs_one_stream(self):
+        with pytest.raises(ValueError):
+            StreamTimeline(0)

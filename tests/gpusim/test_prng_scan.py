@@ -1,0 +1,90 @@
+"""Tests for the counter RNG and the Kogge-Stone scans."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.prng import CounterRNG, splitmix64
+from repro.gpusim.scan import (
+    kogge_stone_exclusive,
+    kogge_stone_inclusive,
+    warp_prefix_sum,
+)
+
+
+class TestCounterRNG:
+    def test_determinism(self):
+        a = CounterRNG(42)
+        b = CounterRNG(42)
+        assert a.uniform(1, 2, 3) == b.uniform(1, 2, 3)
+        assert np.array_equal(a.uniform(np.arange(10), 5), b.uniform(np.arange(10), 5))
+
+    def test_different_coordinates_differ(self):
+        rng = CounterRNG(1)
+        assert rng.uniform(0, 0) != rng.uniform(0, 1)
+        assert rng.uniform(1, 0) != rng.uniform(0, 0)
+
+    def test_different_seeds_differ(self):
+        assert CounterRNG(1).uniform(7) != CounterRNG(2).uniform(7)
+
+    def test_uniform_range_and_mean(self):
+        rng = CounterRNG(3)
+        draws = rng.uniform(np.arange(20000), 0)
+        assert draws.min() >= 0.0 and draws.max() < 1.0
+        assert abs(draws.mean() - 0.5) < 0.02
+        assert abs(draws.std() - np.sqrt(1 / 12)) < 0.02
+
+    def test_randint_bounds(self):
+        rng = CounterRNG(4)
+        values = rng.randint(3, 9, np.arange(5000))
+        assert values.min() >= 3 and values.max() < 9
+        assert set(np.unique(values)) == set(range(3, 9))
+
+    def test_randint_invalid(self):
+        with pytest.raises(ValueError):
+            CounterRNG(0).randint(5, 5, 1)
+
+    def test_requires_coordinates(self):
+        with pytest.raises(ValueError):
+            CounterRNG(0).random_u64()
+
+    def test_derive_independent_streams(self):
+        base = CounterRNG(9)
+        d1, d2 = base.derive(1), base.derive(2)
+        assert d1.seed != d2.seed
+        assert d1.uniform(0) != d2.uniform(0)
+
+    def test_splitmix_is_bijective_on_sample(self):
+        xs = np.arange(10000, dtype=np.uint64)
+        assert np.unique(splitmix64(xs)).size == xs.size
+
+
+class TestScan:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 31, 32, 33, 100, 1000])
+    def test_inclusive_matches_cumsum(self, n):
+        rng = np.random.default_rng(n)
+        values = rng.uniform(0, 10, size=n)
+        assert np.allclose(kogge_stone_inclusive(values), np.cumsum(values))
+
+    @pytest.mark.parametrize("n", [1, 4, 17, 64])
+    def test_exclusive_matches_shifted_cumsum(self, n):
+        values = np.arange(1.0, n + 1.0)
+        expected = np.concatenate([[0.0], np.cumsum(values)[:-1]])
+        assert np.allclose(kogge_stone_exclusive(values), expected)
+
+    def test_warp_prefix_sum_shape(self):
+        values = np.array([3.0, 6.0, 2.0, 2.0, 2.0])
+        out = warp_prefix_sum(values)
+        assert np.allclose(out, [0, 3, 9, 11, 13, 15])
+
+    def test_cost_charging_logarithmic(self):
+        cost = CostModel()
+        kogge_stone_inclusive(np.ones(64), cost)
+        # 64 elements -> 6 steps, 2 warp-chunks per step.
+        assert cost.prefix_sum_steps == 6 * 2
+        assert cost.warp_steps == 6
+        assert cost.global_bytes == 64 * 8
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            kogge_stone_inclusive(np.ones((2, 2)))

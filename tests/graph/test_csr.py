@@ -1,0 +1,150 @@
+"""Unit tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edge_list
+from repro.graph.csr import CSRGraph
+
+
+def simple_graph():
+    #   0 -> 1, 2 ; 1 -> 2 ; 2 -> (none) ; 3 -> 0
+    return CSRGraph(
+        row_ptr=np.array([0, 2, 3, 3, 4]),
+        col_idx=np.array([1, 2, 2, 0]),
+    )
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = simple_graph()
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+        assert g.average_degree == 1.0
+
+    def test_degrees(self):
+        g = simple_graph()
+        assert list(g.degrees) == [2, 1, 0, 1]
+        assert g.degree(0) == 2
+        assert g.degree(2) == 0
+
+    def test_neighbors(self):
+        g = simple_graph()
+        assert list(g.neighbors(0)) == [1, 2]
+        assert list(g.neighbors(2)) == []
+        assert g.has_edge(3, 0)
+        assert not g.has_edge(0, 3)
+
+    def test_edge_range(self):
+        g = simple_graph()
+        assert g.edge_range(0) == (0, 2)
+        assert g.edge_range(2) == (3, 3)
+
+    def test_neighbor_weights_default_ones(self):
+        g = simple_graph()
+        assert np.allclose(g.neighbor_weights(0), [1.0, 1.0])
+        assert not g.is_weighted
+
+    def test_weighted_graph(self):
+        g = simple_graph().with_weights([0.5, 1.5, 2.0, 3.0])
+        assert g.is_weighted
+        assert np.allclose(g.neighbor_weights(0), [0.5, 1.5])
+        assert np.allclose(g.neighbor_weights(3), [3.0])
+
+    def test_empty_graph(self):
+        g = CSRGraph(np.array([0]), np.array([], dtype=np.int64))
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.average_degree == 0.0
+
+    def test_arrays_are_read_only(self):
+        g = simple_graph()
+        with pytest.raises(ValueError):
+            g.col_idx[0] = 3
+
+    def test_repr_mentions_counts(self):
+        assert "num_vertices=4" in repr(simple_graph())
+
+
+class TestValidation:
+    def test_row_ptr_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+
+    def test_row_ptr_must_match_edges(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2]), np.array([0]))
+
+    def test_row_ptr_must_be_nondecreasing(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2, 1, 3]), np.array([0, 1, 2]))
+
+    def test_col_idx_in_range(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([0]), np.array([-1.0]))
+
+    def test_nonfinite_weights_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([0]), np.array([np.inf]))
+
+    def test_weight_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([0]), np.array([1.0, 2.0]))
+
+    def test_vertex_out_of_range_access(self):
+        g = simple_graph()
+        with pytest.raises(IndexError):
+            g.neighbors(4)
+        with pytest.raises(IndexError):
+            g.degree(-1)
+
+
+class TestTransforms:
+    def test_edge_array_roundtrip(self):
+        g = simple_graph()
+        edges = g.edge_array()
+        rebuilt = from_edge_list(edges, num_vertices=g.num_vertices)
+        assert rebuilt == g
+
+    def test_edges_iterator_matches_edge_array(self):
+        g = simple_graph()
+        assert list(g.edges()) == [tuple(e) for e in g.edge_array()]
+
+    def test_reverse_flips_edges(self):
+        g = simple_graph()
+        rev = g.reverse()
+        assert rev.num_edges == g.num_edges
+        for src, dst in g.edges():
+            assert rev.has_edge(dst, src)
+
+    def test_reverse_preserves_weights(self):
+        g = simple_graph().with_weights([1.0, 2.0, 3.0, 4.0])
+        rev = g.reverse()
+        assert rev.is_weighted
+        assert rev.weights.sum() == pytest.approx(10.0)
+
+    def test_subgraph_by_vertex_range_keeps_global_ids(self):
+        g = simple_graph()
+        sub = g.subgraph_by_vertex_range(0, 2)
+        assert sub.num_vertices == g.num_vertices
+        assert list(sub.neighbors(0)) == [1, 2]
+        assert list(sub.neighbors(1)) == [2]
+        assert list(sub.neighbors(3)) == []  # outside the range -> empty
+
+    def test_subgraph_invalid_range(self):
+        with pytest.raises(ValueError):
+            simple_graph().subgraph_by_vertex_range(3, 2)
+
+    def test_nbytes_positive_and_grows_with_weights(self):
+        g = simple_graph()
+        assert g.nbytes > 0
+        assert g.with_weights([1, 1, 1, 1]).nbytes > g.nbytes
+
+    def test_equality(self):
+        assert simple_graph() == simple_graph()
+        other = CSRGraph(np.array([0, 1, 1, 1, 1]), np.array([1]))
+        assert simple_graph() != other

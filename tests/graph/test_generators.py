@@ -1,0 +1,137 @@
+"""Tests for synthetic graph generators and the Table II registry."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    ALL_DATASETS,
+    IN_MEMORY_DATASETS,
+    TABLE2_DATASETS,
+    complete_graph,
+    erdos_renyi_graph,
+    generate_dataset,
+    grid_graph,
+    powerlaw_graph,
+    ring_graph,
+    rmat_graph,
+    star_graph,
+)
+from repro.graph.properties import gini_coefficient, graph_stats
+
+
+class TestElementaryGraphs:
+    def test_ring_degrees(self):
+        g = ring_graph(8)
+        assert g.num_vertices == 8
+        assert np.all(g.degrees == 2)
+
+    def test_ring_directed(self):
+        g = ring_graph(5, bidirectional=False)
+        assert np.all(g.degrees == 1)
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.num_edges == 5 * 4
+        assert np.all(g.degrees == 4)
+
+    def test_complete_graph_with_self_loops(self):
+        g = complete_graph(3, self_loops=True)
+        assert g.num_edges == 9
+
+    def test_star_graph(self):
+        g = star_graph(6)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 1 for v in range(1, 7))
+
+    def test_grid_graph(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        # Corner vertices have degree 2, edge vertices 3, inner 4.
+        assert g.degree(0) == 2
+        assert int(g.degrees.max()) == 4
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            ring_graph(0)
+        with pytest.raises(ValueError):
+            star_graph(0)
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+
+class TestRandomGraphs:
+    def test_erdos_renyi_degree_target(self):
+        g = erdos_renyi_graph(2000, 10.0, seed=1)
+        assert 5.0 < g.average_degree < 15.0
+
+    def test_powerlaw_is_skewed(self):
+        g = powerlaw_graph(2000, 10.0, exponent=2.1, seed=1)
+        stats = graph_stats(g)
+        assert stats.max_degree > 10 * stats.avg_degree
+        assert stats.degree_gini > 0.3
+
+    def test_powerlaw_determinism(self):
+        a = powerlaw_graph(500, 6.0, seed=9)
+        b = powerlaw_graph(500, 6.0, seed=9)
+        assert a == b
+
+    def test_powerlaw_different_seeds_differ(self):
+        a = powerlaw_graph(500, 6.0, seed=1)
+        b = powerlaw_graph(500, 6.0, seed=2)
+        assert a != b
+
+    def test_powerlaw_validation(self):
+        with pytest.raises(ValueError):
+            powerlaw_graph(1, 4.0)
+        with pytest.raises(ValueError):
+            powerlaw_graph(100, 4.0, exponent=0.9)
+
+    def test_rmat_size(self):
+        g = rmat_graph(10, 8.0, seed=2)
+        assert g.num_vertices == 1024
+        assert g.num_edges > 1024  # symmetrised, deduplicated
+
+    def test_rmat_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_graph(5, 4.0, a=0.5, b=0.4, c=0.3)
+
+
+class TestTable2Registry:
+    def test_registry_has_all_ten_datasets(self):
+        assert len(TABLE2_DATASETS) == 10
+        assert set(ALL_DATASETS) == set(TABLE2_DATASETS)
+        assert set(IN_MEMORY_DATASETS) == set(ALL_DATASETS) - {"FR", "TW"}
+
+    def test_out_of_memory_flags(self):
+        assert TABLE2_DATASETS["FR"].out_of_memory
+        assert TABLE2_DATASETS["TW"].out_of_memory
+        assert not TABLE2_DATASETS["AM"].out_of_memory
+
+    @pytest.mark.parametrize("abbr", ["AM", "RE", "WG", "TW"])
+    def test_generate_dataset_degree_close_to_paper(self, abbr):
+        spec = TABLE2_DATASETS[abbr]
+        g = generate_dataset(abbr, seed=0)
+        assert g.num_vertices >= 16
+        assert 0.3 * spec.paper_avg_degree < g.average_degree < 2.5 * spec.paper_avg_degree
+
+    def test_generate_dataset_unknown(self):
+        with pytest.raises(KeyError):
+            generate_dataset("NOPE")
+
+    def test_generate_dataset_weighted(self):
+        g = generate_dataset("AM", seed=0, weighted=True)
+        assert g.is_weighted
+        assert np.all(g.weights > 0)
+
+    def test_generate_dataset_heavy_tailed_weights(self):
+        g = generate_dataset("AM", seed=0, weighted=True, weight_distribution="heavy_tailed")
+        assert gini_coefficient(g.weights) > 0.5
+
+    def test_generate_dataset_bad_weight_distribution(self):
+        with pytest.raises(ValueError):
+            generate_dataset("AM", weighted=True, weight_distribution="banana")
+
+    def test_scale_factor_changes_size(self):
+        small = generate_dataset("AM", seed=0, scale_factor=0.5)
+        full = generate_dataset("AM", seed=0, scale_factor=1.0)
+        assert small.num_vertices < full.num_vertices

@@ -1,0 +1,105 @@
+"""Tests for graph partitioning and analytics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import powerlaw_graph, ring_graph
+from repro.graph.partition import PartitionSet, partition_graph
+from repro.graph.properties import degree_histogram, gini_coefficient, graph_stats
+
+
+class TestPartition:
+    def test_partition_counts(self, small_powerlaw_graph):
+        parts = partition_graph(small_powerlaw_graph, 4)
+        assert parts.num_partitions == 4
+        assert sum(p.num_vertices for p in parts) == small_powerlaw_graph.num_vertices
+        assert sum(p.num_edges for p in parts) == small_powerlaw_graph.num_edges
+
+    def test_partition_of_matches_ranges(self, small_powerlaw_graph):
+        parts = partition_graph(small_powerlaw_graph, 4)
+        for p in parts:
+            assert parts.partition_of(p.lo) == p.index
+            assert parts.partition_of(p.hi - 1) == p.index
+
+    def test_partition_of_many_vectorised(self, small_powerlaw_graph):
+        parts = partition_graph(small_powerlaw_graph, 3)
+        vertices = np.arange(small_powerlaw_graph.num_vertices)
+        owners = parts.partition_of_many(vertices)
+        scalar = np.array([parts.partition_of(int(v)) for v in vertices])
+        assert np.array_equal(owners, scalar)
+
+    def test_partition_neighbor_lists_complete(self, small_powerlaw_graph):
+        """Every partition keeps the *full* neighbor list of its vertices."""
+        parts = partition_graph(small_powerlaw_graph, 4)
+        for p in parts:
+            for v in range(p.lo, min(p.hi, p.lo + 20)):
+                assert np.array_equal(
+                    p.subgraph.neighbors(v), small_powerlaw_graph.neighbors(v)
+                )
+
+    def test_edge_balanced_partition(self):
+        g = powerlaw_graph(1000, 10.0, seed=4)
+        by_vertex = partition_graph(g, 4, balance="vertices")
+        by_edge = partition_graph(g, 4, balance="edges")
+        assert np.std(by_edge.edge_counts()) <= np.std(by_vertex.edge_counts()) + 1e-9
+
+    def test_single_partition(self, ring10):
+        parts = partition_graph(ring10, 1)
+        assert parts.num_partitions == 1
+        assert parts[0].num_edges == ring10.num_edges
+
+    def test_invalid_partition_requests(self, ring10):
+        with pytest.raises(ValueError):
+            partition_graph(ring10, 0)
+        with pytest.raises(ValueError):
+            partition_graph(ring10, 11)
+        with pytest.raises(ValueError):
+            partition_graph(ring10, 3, balance="magic")
+
+    def test_partition_of_out_of_range(self, ring10):
+        parts = partition_graph(ring10, 2)
+        with pytest.raises(IndexError):
+            parts.partition_of(10)
+
+    def test_bad_boundaries_rejected(self, ring10):
+        with pytest.raises(ValueError):
+            PartitionSet(ring10, [0, 5, 5, 10])
+        with pytest.raises(ValueError):
+            PartitionSet(ring10, [1, 10])
+
+    def test_sizes_bytes(self, small_powerlaw_graph):
+        parts = partition_graph(small_powerlaw_graph, 4)
+        sizes = parts.sizes_bytes()
+        assert sizes.shape == (4,)
+        assert np.all(sizes > 0)
+
+
+class TestProperties:
+    def test_graph_stats_ring(self, ring10):
+        stats = graph_stats(ring10)
+        assert stats.num_vertices == 10
+        assert stats.avg_degree == pytest.approx(2.0)
+        assert stats.max_degree == 2
+        assert stats.degree_gini == pytest.approx(0.0, abs=1e-9)
+        assert stats.isolated_vertices == 0
+
+    def test_gini_coefficient_extremes(self):
+        assert gini_coefficient(np.array([1.0, 1.0, 1.0])) == pytest.approx(0.0, abs=1e-9)
+        skewed = gini_coefficient(np.array([0.0] * 99 + [100.0]))
+        assert skewed > 0.9
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_gini_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([-1.0, 2.0]))
+
+    def test_degree_histogram(self, ring10):
+        hist = degree_histogram(ring10)
+        assert hist[2] == 10
+        assert hist.sum() == 10
+
+    def test_stats_as_dict(self, ring10):
+        d = graph_stats(ring10).as_dict()
+        assert d["num_vertices"] == 10
+        assert "degree_gini" in d

@@ -1,0 +1,121 @@
+"""Tests for collision detectors: linear search, contiguous and strided bitmaps."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.costmodel import CostModel
+from repro.selection.bitmap import (
+    ContiguousBitmap,
+    LinearSearchDetector,
+    StridedBitmap,
+    make_detector,
+)
+
+
+DETECTOR_KINDS = ["linear", "bitmap", "strided_bitmap"]
+
+
+@pytest.mark.parametrize("kind", DETECTOR_KINDS)
+class TestDetectorSemantics:
+    def test_first_mark_is_fresh_second_is_duplicate(self, kind):
+        det = make_detector(kind, 10)
+        assert det.check_and_mark(3) is False
+        assert det.check_and_mark(3) is True
+        assert det.is_marked(3)
+        assert not det.is_marked(4)
+
+    def test_reset_clears_marks(self, kind):
+        det = make_detector(kind, 10)
+        det.check_and_mark(1)
+        det.reset()
+        assert not det.is_marked(1)
+        assert det.check_and_mark(1) is False
+
+    def test_all_candidates_trackable(self, kind):
+        det = make_detector(kind, 37)
+        for candidate in range(37):
+            assert det.check_and_mark(candidate) is False
+        assert all(det.is_marked(c) for c in range(37))
+
+    def test_out_of_range_rejected(self, kind):
+        det = make_detector(kind, 5)
+        with pytest.raises(IndexError):
+            det.check_and_mark(5)
+        with pytest.raises(IndexError):
+            det.is_marked(-1)
+
+
+class TestLinearSearchCosts:
+    def test_probe_count_grows_with_selected(self):
+        det = LinearSearchDetector(16)
+        cost = CostModel()
+        for candidate in range(8):
+            det.check_and_mark(candidate, cost)
+        # Probes: 1 + 1 + 2 + 3 + ... + 7
+        assert cost.collision_probes == 1 + sum(range(1, 8))
+        assert cost.shared_accesses == cost.collision_probes
+        assert det.selected == list(range(8))
+
+    def test_append_requires_atomic(self):
+        cost = CostModel()
+        det = LinearSearchDetector(4)
+        det.check_and_mark(0, cost)
+        det.check_and_mark(0, cost)
+        assert cost.atomic_ops == 1  # only the successful append
+
+
+class TestBitmaps:
+    def test_bitmap_probe_is_constant(self):
+        cost = CostModel()
+        det = ContiguousBitmap(64)
+        for candidate in range(16):
+            det.check_and_mark(candidate, cost)
+        assert cost.collision_probes == 16
+        assert cost.atomic_ops == 16
+
+    def test_contiguous_layout_packs_adjacent_candidates(self):
+        det = ContiguousBitmap(16)
+        assert det._locate(0)[0] == det._locate(7)[0] == 0
+        assert det._locate(8)[0] == 1
+
+    def test_strided_layout_spreads_adjacent_candidates(self):
+        det = StridedBitmap(16)
+        words = {det._locate(c)[0] for c in range(min(8, det.stride))}
+        assert len(words) == min(8, det.stride)
+
+    def test_strided_conflicts_fewer_than_contiguous(self):
+        """Fig. 7: concurrent lanes marking adjacent candidates conflict on the
+        contiguous bitmap but not on the strided one."""
+        candidates = np.arange(8)
+        contiguous, strided = ContiguousBitmap(64), StridedBitmap(64)
+        cost_c, cost_s = CostModel(), CostModel()
+        contiguous.check_and_mark_many(candidates, cost_c)
+        strided.check_and_mark_many(candidates, cost_s)
+        assert cost_c.atomic_conflicts > 0
+        assert cost_s.atomic_conflicts == 0
+
+    def test_check_and_mark_many_detects_duplicates(self):
+        det = StridedBitmap(32)
+        was_set = det.check_and_mark_many(np.array([4, 4, 5]))
+        assert list(was_set) == [False, True, False]
+
+    def test_strided_custom_stride_validation(self):
+        StridedBitmap(64, stride=8)
+        with pytest.raises(ValueError):
+            StridedBitmap(64, stride=4)  # too few words for 64 candidates
+
+    def test_strided_capacity(self):
+        det = StridedBitmap(100)
+        assert det.capacity >= 100
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            ContiguousBitmap(0)
+        with pytest.raises(ValueError):
+            StridedBitmap(0)
+        with pytest.raises(ValueError):
+            LinearSearchDetector(0)
+
+    def test_make_detector_unknown(self):
+        with pytest.raises(ValueError):
+            make_detector("magic", 8)
