@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api.bias import EdgePool, SamplingProgram
+from repro.api.bias import EdgePool, SamplingProgram, SegmentedEdgePool
 from repro.api.config import PoolPolicy, SamplingConfig, SelectionScope
 
 __all__ = ["ForestFireSampling"]
@@ -30,6 +30,9 @@ class ForestFireSampling(SamplingProgram):
         self._rng = np.random.default_rng(seed)
 
     def edge_bias(self, edges: EdgePool) -> np.ndarray:
+        return np.ones(edges.size, dtype=np.float64)
+
+    def edge_bias_batch(self, edges: SegmentedEdgePool) -> np.ndarray:
         return np.ones(edges.size, dtype=np.float64)
 
     def neighbor_count(self, edges: EdgePool, requested: int) -> int:

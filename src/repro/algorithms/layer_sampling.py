@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api.bias import EdgePool, SamplingProgram
+from repro.api.bias import EdgePool, SamplingProgram, SegmentedEdgePool
 from repro.api.config import PoolPolicy, SamplingConfig, SelectionScope
 
 __all__ = ["LayerSampling"]
@@ -27,6 +27,11 @@ class LayerSampling(SamplingProgram):
         self.weighted_bias = weighted_bias
 
     def edge_bias(self, edges: EdgePool) -> np.ndarray:
+        if self.weighted_bias and edges.graph.is_weighted:
+            return np.asarray(edges.weights, dtype=np.float64)
+        return np.ones(edges.size, dtype=np.float64)
+
+    def edge_bias_batch(self, edges: SegmentedEdgePool) -> np.ndarray:
         if self.weighted_bias and edges.graph.is_weighted:
             return np.asarray(edges.weights, dtype=np.float64)
         return np.ones(edges.size, dtype=np.float64)

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api.bias import EdgePool, FrontierPoolView, SamplingProgram
+from repro.api.bias import (EdgePool, FrontierPoolView, SamplingProgram,
+                            SegmentedEdgePool)
 from repro.api.config import PoolPolicy, SamplingConfig, SelectionScope
 
 __all__ = ["MultiDimensionalRandomWalk"]
@@ -31,6 +32,12 @@ class MultiDimensionalRandomWalk(SamplingProgram):
 
     def edge_bias(self, edges: EdgePool) -> np.ndarray:
         return np.ones(edges.size, dtype=np.float64)
+
+    def edge_bias_batch(self, edges: SegmentedEdgePool) -> np.ndarray:
+        return np.ones(edges.size, dtype=np.float64)
+
+    def vertex_bias_batch(self, pools) -> list:
+        return [pool.degrees.astype(np.float64) + 1.0 for pool in pools]
 
     def update(self, edges: EdgePool, sampled: np.ndarray) -> np.ndarray:
         if sampled.size == 0:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.api.bias import EdgePool, SamplingProgram
+from repro.api.bias import EdgePool, SamplingProgram, SegmentedEdgePool
 from repro.api.config import PoolPolicy, SamplingConfig, SelectionScope
 
 __all__ = ["UnbiasedNeighborSampling", "BiasedNeighborSampling"]
@@ -23,6 +23,9 @@ class UnbiasedNeighborSampling(SamplingProgram):
     name = "unbiased_neighbor_sampling"
 
     def edge_bias(self, edges: EdgePool) -> np.ndarray:
+        return np.ones(edges.size, dtype=np.float64)
+
+    def edge_bias_batch(self, edges: SegmentedEdgePool) -> np.ndarray:
         return np.ones(edges.size, dtype=np.float64)
 
     def update(self, edges: EdgePool, sampled: np.ndarray) -> np.ndarray:
@@ -56,4 +59,9 @@ class BiasedNeighborSampling(UnbiasedNeighborSampling):
             return np.asarray(edges.weights, dtype=np.float64)
         # Without weights, bias towards high-degree neighbors, matching the
         # "static bias from graph structure" row of Table I.
+        return edges.neighbor_degrees().astype(np.float64) + 1.0
+
+    def edge_bias_batch(self, edges: SegmentedEdgePool) -> np.ndarray:
+        if edges.graph.is_weighted:
+            return np.asarray(edges.weights, dtype=np.float64)
         return edges.neighbor_degrees().astype(np.float64) + 1.0

@@ -23,7 +23,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.api.bias import EdgePool, SamplingProgram
+from repro.api.bias import EdgePool, SamplingProgram, SegmentedEdgePool
 from repro.api.config import PoolPolicy, SamplingConfig, SelectionScope
 from repro.api.instance import make_instances
 from repro.api.results import SampleResult, InstanceSample
@@ -43,6 +43,9 @@ class SimpleRandomWalk(SamplingProgram):
     name = "simple_random_walk"
 
     def edge_bias(self, edges: EdgePool) -> np.ndarray:
+        return np.ones(edges.size, dtype=np.float64)
+
+    def edge_bias_batch(self, edges: SegmentedEdgePool) -> np.ndarray:
         return np.ones(edges.size, dtype=np.float64)
 
     @staticmethod
@@ -73,6 +76,11 @@ class BiasedRandomWalk(SimpleRandomWalk):
     name = "biased_random_walk"
 
     def edge_bias(self, edges: EdgePool) -> np.ndarray:
+        if edges.graph.is_weighted:
+            return np.asarray(edges.weights, dtype=np.float64)
+        return edges.neighbor_degrees().astype(np.float64) + 1.0
+
+    def edge_bias_batch(self, edges: SegmentedEdgePool) -> np.ndarray:
         if edges.graph.is_weighted:
             return np.asarray(edges.weights, dtype=np.float64)
         return edges.neighbor_degrees().astype(np.float64) + 1.0

@@ -17,7 +17,13 @@ The public surface mirrors the paper's API (Fig. 2):
   CurrDepth) queue structure shared with the out-of-memory engine.
 """
 
-from repro.api.bias import SamplingProgram, UniformProgram, EdgePool, FrontierPoolView
+from repro.api.bias import (
+    SamplingProgram,
+    UniformProgram,
+    EdgePool,
+    SegmentedEdgePool,
+    FrontierPoolView,
+)
 from repro.api.config import SamplingConfig, SelectionScope, PoolPolicy
 from repro.api.frontier import FrontierQueue, FrontierEntry
 from repro.api.instance import InstanceState, make_instances
@@ -29,6 +35,7 @@ __all__ = [
     "SamplingProgram",
     "UniformProgram",
     "EdgePool",
+    "SegmentedEdgePool",
     "FrontierPoolView",
     "SamplingConfig",
     "SelectionScope",

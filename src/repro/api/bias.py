@@ -21,7 +21,7 @@ Two context views are passed to the hooks:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, List, Sequence
 
 import numpy as np
 
@@ -29,7 +29,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.instance import InstanceState
     from repro.graph.csr import CSRGraph
 
-__all__ = ["FrontierPoolView", "EdgePool", "SamplingProgram", "UniformProgram"]
+__all__ = [
+    "FrontierPoolView",
+    "EdgePool",
+    "SegmentedEdgePool",
+    "SamplingProgram",
+    "UniformProgram",
+]
 
 
 @dataclass(frozen=True)
@@ -76,12 +82,102 @@ class EdgePool:
         return self.graph.degrees[self.neighbors]
 
 
+class SegmentedEdgePool:
+    """Many frontier vertices' neighbor pools stored back to back.
+
+    The batched execution engine gathers one whole depth step's CSR rows into
+    flat arrays; ``edge_bias_batch`` receives this view and returns one flat
+    bias array aligned with ``neighbors``.  Segment ``k`` (one frontier
+    vertex's pool) occupies ``[offsets[k], offsets[k + 1])`` of the flat
+    arrays and can be materialised as a scalar :class:`EdgePool` via
+    :meth:`segment` -- which is exactly what the default per-segment fallback
+    does.
+
+    Attributes
+    ----------
+    src:
+        Frontier vertex of each segment (``e.v``), shape ``(K,)``.
+    offsets:
+        Flat-array offsets of each segment, shape ``(K + 1,)``.
+    neighbors:
+        All segments' neighbor ids back to back (``e.u``).
+    weights:
+        Edge weights aligned with ``neighbors``; materialised lazily as ones
+        on unweighted graphs so uniform-bias programs never pay for them.
+    instances:
+        Owning instance of each segment (one entry per segment).
+    graph:
+        The graph being sampled.
+    """
+
+    __slots__ = ("src", "offsets", "neighbors", "instances", "graph", "_weights")
+
+    def __init__(
+        self,
+        src: np.ndarray,
+        offsets: np.ndarray,
+        neighbors: np.ndarray,
+        weights: "np.ndarray | None",
+        instances: Sequence["InstanceState"],
+        graph: "CSRGraph",
+    ):
+        self.src = src
+        self.offsets = offsets
+        self.neighbors = neighbors
+        self.instances = instances
+        self.graph = graph
+        self._weights = weights
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Edge weights aligned with ``neighbors`` (ones when unweighted)."""
+        if self._weights is None:
+            self._weights = np.ones(self.neighbors.size, dtype=np.float64)
+        return self._weights
+
+    @property
+    def num_segments(self) -> int:
+        """Number of candidate pools in the batch."""
+        return int(self.src.size)
+
+    @property
+    def size(self) -> int:
+        """Total number of candidate neighbors across all segments."""
+        return int(self.neighbors.size)
+
+    def lengths(self) -> np.ndarray:
+        """Per-segment candidate counts."""
+        return np.diff(self.offsets)
+
+    def segment(self, k: int) -> EdgePool:
+        """Segment ``k`` as a scalar :class:`EdgePool` (views, no copies)."""
+        lo, hi = int(self.offsets[k]), int(self.offsets[k + 1])
+        return EdgePool(
+            src=int(self.src[k]),
+            neighbors=self.neighbors[lo:hi],
+            weights=self.weights[lo:hi],
+            instance=self.instances[k],
+            graph=self.graph,
+        )
+
+    def neighbor_degrees(self) -> np.ndarray:
+        """Out-degree of every candidate neighbor (flat)."""
+        return self.graph.degrees[self.neighbors]
+
+
 class SamplingProgram:
     """Base class users subclass to express a sampling / random-walk algorithm.
 
     The three hooks correspond one-to-one to the paper's API functions.  The
     default implementations give uniform biases and add every sampled
     neighbor to the frontier pool, i.e. unbiased neighbor sampling.
+
+    The batched execution engine (:mod:`repro.engine`) calls the ``*_batch``
+    variants, whose defaults loop the scalar hooks segment by segment in the
+    same order the scalar MAIN loop would call them.  Programs whose biases
+    are pure array functions can override the batch variants to compute the
+    whole step in one shot; stateful hooks (own RNG streams, shared caches)
+    should keep the default fallback, which preserves per-segment call order.
     """
 
     #: Human-readable algorithm name (used by the registry and harness).
@@ -122,6 +218,43 @@ class SamplingProgram:
         empty array to stop.
         """
         return sampled
+
+    # ------------------------------------------------------------------ #
+    # Batched variants used by the execution engine
+    # ------------------------------------------------------------------ #
+    def vertex_bias_batch(
+        self, pools: Sequence[FrontierPoolView]
+    ) -> List[np.ndarray]:
+        """Biases for many instances' frontier pools at once.
+
+        Default: call :meth:`vertex_bias` once per pool, in instance order
+        (identical to the scalar MAIN loop's call sequence).
+        """
+        return [np.asarray(self.vertex_bias(pool), dtype=np.float64).reshape(-1)
+                for pool in pools]
+
+    def edge_bias_batch(self, edges: SegmentedEdgePool) -> np.ndarray:
+        """Biases for a whole depth step's neighbor pools at once.
+
+        Must return a non-negative flat array of shape ``(edges.size,)``
+        aligned with ``edges.neighbors``.  Default: call :meth:`edge_bias`
+        once per segment in segment order (identical to the scalar MAIN
+        loop's call sequence) and concatenate.
+        """
+        if edges.num_segments == 0:
+            return np.empty(0, dtype=np.float64)
+        parts = []
+        lengths = edges.lengths()
+        for k in range(edges.num_segments):
+            part = np.asarray(self.edge_bias(edges.segment(k)),
+                              dtype=np.float64).reshape(-1)
+            if part.size != int(lengths[k]):
+                raise ValueError(
+                    f"edge_bias must return one bias per candidate "
+                    f"(expected {int(lengths[k])}, got {part.size})"
+                )
+            parts.append(part)
+        return np.concatenate(parts)
 
     # ------------------------------------------------------------------ #
     # Optional knobs algorithms can override

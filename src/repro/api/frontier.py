@@ -46,8 +46,29 @@ class FrontierQueue:
 
     def push_many(self, vertices: np.ndarray, instance: int, depth: int) -> None:
         """Append several vertices of the same instance and depth."""
-        for v in np.asarray(vertices, dtype=np.int64).reshape(-1):
-            self.push(int(v), instance, depth)
+        vertices = np.asarray(vertices, dtype=np.int64).reshape(-1)
+        self.push_batch(
+            vertices,
+            np.full(vertices.size, int(instance), dtype=np.int64),
+            np.full(vertices.size, int(depth), dtype=np.int64),
+        )
+
+    def push_batch(
+        self, vertices: np.ndarray, instances: np.ndarray, depths: np.ndarray
+    ) -> None:
+        """Append whole entry arrays at once (the engine's fully-array path).
+
+        ``instances`` and ``depths`` may be scalars or arrays broadcastable
+        to ``vertices``; entries keep the order of ``vertices``.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64).reshape(-1)
+        instances = np.broadcast_to(
+            np.asarray(instances, dtype=np.int64), vertices.shape
+        )
+        depths = np.broadcast_to(np.asarray(depths, dtype=np.int64), vertices.shape)
+        self._vertices.extend(vertices.tolist())
+        self._instances.extend(instances.tolist())
+        self._depths.extend(depths.tolist())
 
     def extend(self, other: "FrontierQueue") -> None:
         """Append every entry of another queue."""

@@ -28,14 +28,26 @@ class InstanceState:
     depth: int = 0
     finished: bool = False
     #: Vertex explored at the preceding step (node2vec's ``PrevSource``).
+    #:
+    #: **Contract:** the samplers maintain this field only for *single-vertex
+    #: (walk-style) frontiers* -- the one case where "the vertex the walker
+    #: came from" is well defined.  When an instance expands several frontier
+    #: vertices in one iteration the field keeps its previous value; dynamic
+    #: biases that read it (node2vec) are therefore only meaningful for
+    #: NeighborSize/FrontierSize = 1 walk configurations.  (The out-of-memory
+    #: scheduler additionally updates it per expanded queue entry, which
+    #: coincides with this contract for walk workloads.)
     prev_vertex: int = -1
     #: Per-instance visited set (only maintained when the config asks for it).
     visited: set = field(default_factory=set)
     #: The seed vertices this instance started from (immutable copy of the
     #: initial frontier pool).
     seeds: np.ndarray = field(default=None)
-    _src: List[int] = field(default_factory=list)
-    _dst: List[int] = field(default_factory=list)
+    #: Sampled edges, stored as chunks of (src, dst) arrays so batched
+    #: recording appends whole arrays instead of per-edge Python ints.
+    _src: List[np.ndarray] = field(default_factory=list)
+    _dst: List[np.ndarray] = field(default_factory=list)
+    _num_edges: int = 0
 
     def __post_init__(self) -> None:
         self.frontier_pool = np.asarray(self.frontier_pool, dtype=np.int64).reshape(-1)
@@ -49,7 +61,7 @@ class InstanceState:
     @property
     def num_sampled_edges(self) -> int:
         """Number of edges recorded so far."""
-        return len(self._src)
+        return self._num_edges
 
     @property
     def pool_size(self) -> int:
@@ -59,16 +71,21 @@ class InstanceState:
     def record_edges(self, src: int | np.ndarray, dst: np.ndarray) -> None:
         """Append sampled edges ``(src, dst_i)`` to the instance sample."""
         dst = np.asarray(dst, dtype=np.int64).reshape(-1)
-        src_arr = np.broadcast_to(np.asarray(src, dtype=np.int64), dst.shape)
-        self._src.extend(int(s) for s in src_arr)
-        self._dst.extend(int(d) for d in dst)
+        if dst.size == 0:
+            return
+        src_arr = np.ascontiguousarray(
+            np.broadcast_to(np.asarray(src, dtype=np.int64), dst.shape)
+        )
+        self._src.append(src_arr)
+        self._dst.append(dst)
+        self._num_edges += int(dst.size)
 
     def sampled_edges(self) -> np.ndarray:
         """Sampled edges as an ``(n, 2)`` array in sampling order."""
         if not self._src:
             return np.empty((0, 2), dtype=np.int64)
-        return np.column_stack([np.asarray(self._src, dtype=np.int64),
-                                np.asarray(self._dst, dtype=np.int64)])
+        return np.column_stack([np.concatenate(self._src),
+                                np.concatenate(self._dst)])
 
     def sampled_vertices(self) -> np.ndarray:
         """Distinct vertices appearing in the sample (sources, targets, seeds)."""

@@ -16,6 +16,13 @@ over a graph for a set of instances:
 Each depth step is executed as one simulated kernel: all SELECT invocations
 of the step are warp tasks inside it, which is how the result's kernel-time
 and SEPS numbers are obtained.
+
+By default the step body runs on the batched execution engine
+(:class:`repro.engine.BatchedStepEngine`), which executes every instance's
+gather / SELECT / UPDATE as flat array programs; ``use_engine=False`` keeps
+the original instance-by-instance scalar loop.  Both paths produce
+bit-identical results for a fixed seed (the engine equivalence tests assert
+this for every registered algorithm).
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from repro.api.config import PoolPolicy, SamplingConfig, SelectionScope
 from repro.api.instance import InstanceState, make_instances
 from repro.api.results import SampleResult
 from repro.api.select import gather_neighbors, warp_select
+from repro.engine.step import BatchedStepEngine, validate_biases
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.device import Device, make_device
 from repro.gpusim.kernel import KernelLaunch
@@ -48,6 +56,8 @@ class GraphSampler:
         program: SamplingProgram,
         config: SamplingConfig,
         device: Optional[Device] = None,
+        *,
+        use_engine: bool = True,
     ):
         if graph.num_vertices == 0:
             raise ValueError("cannot sample an empty graph")
@@ -56,6 +66,8 @@ class GraphSampler:
         self.config = config
         self.device = device if device is not None else make_device("gpu")
         self.rng = CounterRNG(config.seed)
+        self.use_engine = use_engine
+        self.engine = BatchedStepEngine(graph, program, config, self.rng)
         self._warp_counter = 0
 
     # ------------------------------------------------------------------ #
@@ -73,17 +85,25 @@ class GraphSampler:
 
         for depth in range(self.config.depth):
             step_cost = CostModel()
-            num_tasks = 0
-            any_active = False
-            for inst in instances:
-                if inst.finished or inst.pool_size == 0:
-                    inst.finished = True
-                    continue
-                any_active = True
-                tasks = self._step_instance(inst, depth, step_cost, iteration_counts)
-                num_tasks += tasks
-            if not any_active:
-                break
+            if self.use_engine:
+                engine_tasks = self.engine.step_instances(
+                    instances, depth, step_cost, iteration_counts
+                )
+                if engine_tasks is None:
+                    break
+                num_tasks = engine_tasks
+            else:
+                num_tasks = 0
+                any_active = False
+                for inst in instances:
+                    if inst.finished or inst.pool_size == 0:
+                        inst.finished = True
+                        continue
+                    any_active = True
+                    tasks = self._step_instance(inst, depth, step_cost, iteration_counts)
+                    num_tasks += tasks
+                if not any_active:
+                    break
             step_cost.kernel_launches += 1
             kernels.append(
                 KernelLaunch(
@@ -143,8 +163,11 @@ class GraphSampler:
                 tasks += tasks_inc
 
         # Remember the vertex explored at this step for dynamic biases
-        # (node2vec); meaningful for walk-style programs with one frontier.
-        if frontier.size >= 1:
+        # (node2vec).  Only single-vertex (walk-style) frontiers define a
+        # previous vertex; with a wider frontier there is no single "vertex
+        # the walker came from", and feeding frontier[0] to a node2vec-style
+        # bias would silently skew it (see InstanceState.prev_vertex).
+        if frontier.size == 1:
             inst.prev_vertex = int(frontier[0])
 
         self._update_pool(inst, pool, frontier_positions, inserted)
@@ -328,15 +351,7 @@ class GraphSampler:
         return warp
 
     def _validated_bias(self, biases, expected: int, label: str) -> np.ndarray:
-        biases = np.asarray(biases, dtype=np.float64).reshape(-1)
-        if biases.size != expected:
-            raise ValueError(
-                f"{label} must return one bias per candidate "
-                f"(expected {expected}, got {biases.size})"
-            )
-        if np.any(biases < 0) or not np.all(np.isfinite(biases)):
-            raise ValueError(f"{label} must return finite, non-negative biases")
-        return biases
+        return validate_biases(biases, expected, label)
 
     def _validate_seeds(self, instances: List[InstanceState]) -> None:
         for inst in instances:
@@ -356,7 +371,10 @@ def sample_graph(
     *,
     num_instances: Optional[int] = None,
     device: Optional[Device] = None,
+    use_engine: bool = True,
 ) -> SampleResult:
     """One-call convenience wrapper around :class:`GraphSampler`."""
-    sampler = GraphSampler(graph, program, config or SamplingConfig(), device)
+    sampler = GraphSampler(
+        graph, program, config or SamplingConfig(), device, use_engine=use_engine
+    )
     return sampler.run(seeds, num_instances=num_instances)

@@ -1,0 +1,59 @@
+"""Batched GATHERNEIGHBORS: one CSR row gather for a whole depth step.
+
+The scalar :func:`repro.api.select.gather_neighbors` fetches one frontier
+vertex's adjacency slice per call.  The engine instead computes every
+segment's slice coordinates from ``CSRGraph.row_ptr`` directly and pulls all
+rows out of ``col_idx`` with a single fancy-index, charging the same
+global-memory traffic the scalar calls would charge (two 8-byte streams per
+edge plus a 16-byte row descriptor per vertex) in one aggregate update.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.api.bias import SegmentedEdgePool
+from repro.api.instance import InstanceState
+from repro.gpusim.costmodel import CostModel
+from repro.graph.csr import CSRGraph
+
+__all__ = ["batch_gather_neighbors"]
+
+
+def batch_gather_neighbors(
+    graph: CSRGraph,
+    vertices: np.ndarray,
+    instances: Sequence[InstanceState],
+    cost: Optional[CostModel] = None,
+) -> SegmentedEdgePool:
+    """Gather the neighbor pools of ``vertices`` into one flat batch.
+
+    ``instances[k]`` is the owning instance of ``vertices[k]``; the returned
+    :class:`~repro.api.bias.SegmentedEdgePool` has one segment per vertex
+    (zero-length segments for isolated vertices, which still pay the 16-byte
+    row-descriptor read, exactly like the scalar gather).
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    num_segments = vertices.size
+    starts = graph.row_ptr[vertices]
+    lengths = graph.degrees[vertices]
+    offsets = np.zeros(num_segments + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    total = int(offsets[-1])
+    # Flat position j of segment k maps to col_idx[starts[k] + local_j].
+    flat = np.repeat(starts - offsets[:-1], lengths) + np.arange(total, dtype=np.int64)
+    neighbors = graph.col_idx[flat]
+    # Unweighted graphs defer the ones array until a consumer asks for it.
+    weights = graph.weights[flat] if graph.weights is not None else None
+    if cost is not None:
+        cost.charge_global_bytes(16 * total + 16 * num_segments)
+    return SegmentedEdgePool(
+        src=vertices,
+        offsets=offsets,
+        neighbors=neighbors,
+        weights=weights,
+        instances=instances,
+        graph=graph,
+    )

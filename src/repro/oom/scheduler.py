@@ -37,6 +37,7 @@ from repro.api.frontier import FrontierQueue
 from repro.api.instance import InstanceState, make_instances
 from repro.api.results import SampleResult
 from repro.api.select import gather_neighbors, warp_select
+from repro.engine.step import BatchedStepEngine
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.device import Device, make_device
 from repro.gpusim.kernel import KernelLaunch, StreamTimeline
@@ -158,6 +159,7 @@ class OutOfMemorySampler:
         *,
         device: Optional[Device] = None,
         partitions: Optional[PartitionSet] = None,
+        use_engine: bool = True,
     ):
         self.graph = graph
         self.program = program
@@ -170,6 +172,8 @@ class OutOfMemorySampler:
             else partition_graph(graph, self.oom.num_partitions)
         )
         self.rng = CounterRNG(config.seed)
+        self.use_engine = use_engine
+        self.engine = BatchedStepEngine(graph, program, config, self.rng)
         self._warp_counter = 0
 
     # ------------------------------------------------------------------ #
@@ -286,15 +290,34 @@ class OutOfMemorySampler:
                 groups = group_entries_by_instance(vertices, instance_ids, depths)
             for group_vertices, group_instances, group_depths in groups:
                 kernel_cost = CostModel()
-                for vertex, instance_id, depth in zip(group_vertices, group_instances, group_depths):
-                    self._expand_entry(
-                        int(vertex),
-                        instance_map[int(instance_id)],
-                        int(depth),
-                        queues,
+                if self.use_engine:
+                    succ_v, succ_i, succ_d = self.engine.expand_entries(
+                        group_vertices,
+                        group_instances,
+                        group_depths,
+                        instance_map,
                         kernel_cost,
                         iteration_counts,
                     )
+                    if succ_v.size:
+                        owners = self.partitions.partition_of_many(succ_v)
+                        for owner in np.unique(owners):
+                            mask = owners == owner
+                            queues[int(owner)].push_batch(
+                                succ_v[mask], succ_i[mask], succ_d[mask]
+                            )
+                else:
+                    for vertex, instance_id, depth in zip(
+                        group_vertices, group_instances, group_depths
+                    ):
+                        self._expand_entry(
+                            int(vertex),
+                            instance_map[int(instance_id)],
+                            int(depth),
+                            queues,
+                            kernel_cost,
+                            iteration_counts,
+                        )
                 kernel_cost.kernel_launches += 1
                 launch = KernelLaunch(
                     name=f"kernel:p{partition_index}",

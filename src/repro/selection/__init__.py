@@ -20,6 +20,9 @@ every selection technique the paper discusses:
 * :mod:`~repro.selection.collision` -- sampling *without* replacement using
   repeated sampling, updated sampling or bipartite region search, with the
   iteration/probe statistics Figures 10-12 report.
+* :mod:`~repro.selection.segmented` -- batched (segmented) counterparts of
+  the above used by the execution engine: SELECT over ``K`` candidate pools
+  in one vectorised pass, bit-identical to ``K`` scalar calls.
 """
 
 from repro.selection.ctps import CTPS
@@ -39,6 +42,15 @@ from repro.selection.collision import (
     SelectionResult,
     select_without_replacement,
 )
+from repro.selection.segmented import (
+    SegmentedCTPS,
+    SegmentedSelection,
+    segmented_alias_sample_many,
+    segmented_dartboard_sample,
+    segmented_sample_with_replacement,
+    segmented_select_without_replacement,
+    segmented_warp_select,
+)
 
 __all__ = [
     "CTPS",
@@ -57,4 +69,11 @@ __all__ = [
     "CollisionStrategy",
     "SelectionResult",
     "select_without_replacement",
+    "SegmentedCTPS",
+    "SegmentedSelection",
+    "segmented_alias_sample_many",
+    "segmented_dartboard_sample",
+    "segmented_sample_with_replacement",
+    "segmented_select_without_replacement",
+    "segmented_warp_select",
 ]

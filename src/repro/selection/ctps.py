@@ -138,7 +138,10 @@ class CTPS:
         zero-width region so indices remain aligned with the original pool.
         """
         selected = np.asarray(selected, dtype=np.int64)
-        biases = np.diff(self.boundaries) * self.total_bias
+        # Kogge-Stone partial sums are not exactly monotone (each prefix uses
+        # a different addition order), so region widths can round to a few
+        # negative ulps; clamp them so the rebuilt biases stay valid.
+        biases = np.maximum(np.diff(self.boundaries), 0.0) * self.total_bias
         if selected.size:
             biases = biases.copy()
             biases[selected] = 0.0

@@ -3,9 +3,11 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from repro.api.select import warp_select
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.prng import CounterRNG
 from repro.gpusim.scan import kogge_stone_inclusive, warp_prefix_sum
+from repro.gpusim.warp import WarpExecutor
 from repro.graph.builder import from_edge_list
 from repro.graph.partition import partition_graph
 from repro.graph.properties import gini_coefficient
@@ -14,6 +16,14 @@ from repro.selection.bipartite import bipartite_remap
 from repro.selection.bitmap import ContiguousBitmap, StridedBitmap
 from repro.selection.collision import select_without_replacement
 from repro.selection.ctps import CTPS
+from repro.selection.dartboard import dartboard_sample
+from repro.selection.segmented import (
+    SegmentedCTPS,
+    segmented_alias_sample_many,
+    segmented_dartboard_sample,
+    segmented_kogge_stone_inclusive,
+    segmented_warp_select,
+)
 
 
 positive_biases = st.lists(
@@ -152,6 +162,171 @@ class TestGraphProperties:
     def test_gini_in_unit_interval(self, values):
         g = gini_coefficient(np.array(values))
         assert -1e-9 <= g < 1.0
+
+
+# Zero biases are allowed; positive biases stay well away from the denormal
+# range where a candidate's CTPS region rounds to zero width (there both the
+# scalar and the segmented selectors raise the same RuntimeError).
+segment_pools = st.lists(
+    st.lists(
+        st.one_of(
+            st.just(0.0),
+            st.floats(min_value=0.01, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        min_size=1,
+        max_size=24,
+    ).filter(lambda seg: any(b > 0 for b in seg)),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _flatten_pools(pools):
+    lengths = np.array([len(p) for p in pools], dtype=np.int64)
+    offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    biases = np.concatenate([np.asarray(p, dtype=np.float64) for p in pools])
+    return biases, offsets, lengths
+
+
+class TestSegmentedSelectionProperties:
+    """The engine's segmented kernels must equal per-segment scalar calls."""
+
+    @given(segment_pools)
+    @settings(max_examples=50, deadline=None)
+    def test_segmented_scan_equals_per_segment_scan(self, pools):
+        biases, offsets, _ = _flatten_pools(pools)
+        c_seg, c_ref = CostModel(), CostModel()
+        got = segmented_kogge_stone_inclusive(biases, offsets, c_seg)
+        ref = np.concatenate(
+            [kogge_stone_inclusive(np.asarray(p, dtype=np.float64), c_ref)
+             for p in pools]
+        )
+        assert np.array_equal(got, ref)
+        assert c_seg.as_dict() == c_ref.as_dict()
+
+    @given(segment_pools)
+    @settings(max_examples=40, deadline=None)
+    def test_segmented_ctps_boundaries_bitwise_equal(self, pools):
+        biases, offsets, _ = _flatten_pools(pools)
+        ctps = SegmentedCTPS.from_biases(biases, offsets)
+        for k, pool in enumerate(pools):
+            ref = CTPS.from_biases(np.asarray(pool, dtype=np.float64))
+            assert np.array_equal(ctps.segment_boundaries(k), ref.boundaries)
+
+    @given(segment_pools, st.integers(0, 2**20), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_segmented_its_matches_scalar_warp_select(self, pools, seed, with_repl):
+        """Segmented ITS == per-segment warp_select for identical coordinates."""
+        biases, offsets, lengths = _flatten_pools(pools)
+        rng = CounterRNG(seed)
+        positives = np.array(
+            [int(np.count_nonzero(np.asarray(p) > 0)) for p in pools], dtype=np.int64
+        )
+        counts = np.minimum(3, positives) if not with_repl else np.minimum(3, lengths)
+        insts = np.arange(len(pools), dtype=np.int64)
+        depths = np.full(len(pools), 2, dtype=np.int64)
+        slots = insts + 5
+        warps = insts + 100
+        c_seg, c_ref = CostModel(), CostModel()
+        result = segmented_warp_select(
+            biases, offsets, counts, rng, [insts, depths, slots, warps],
+            with_replacement=with_repl, cost=c_seg,
+        )
+        for k, pool in enumerate(pools):
+            warp = WarpExecutor(warp_id=int(warps[k]), cost=c_ref, rng=rng)
+            ref = warp_select(
+                np.asarray(pool, dtype=np.float64), int(counts[k]), warp,
+                int(insts[k]), int(depths[k]), int(slots[k]),
+                with_replacement=with_repl,
+            )
+            idx, iters = result.segment(k)
+            assert np.array_equal(idx, ref.indices)
+            assert np.array_equal(iters, ref.iterations)
+            if not with_repl:
+                assert int(result.probes[k]) == ref.probes
+                assert int(result.collisions[k]) == ref.collisions
+        assert c_seg.as_dict() == c_ref.as_dict()
+
+    @given(segment_pools, st.integers(0, 2**20),
+           st.sampled_from(["bipartite", "repeated", "updated"]),
+           st.sampled_from(["strided_bitmap", "bitmap", "linear"]))
+    @settings(max_examples=30, deadline=None)
+    def test_segmented_strategies_match_scalar(self, pools, seed, strategy, detector):
+        biases, offsets, _ = _flatten_pools(pools)
+        rng = CounterRNG(seed)
+        positives = np.array(
+            [int(np.count_nonzero(np.asarray(p) > 0)) for p in pools], dtype=np.int64
+        )
+        counts = np.minimum(2, positives)
+        insts = np.arange(len(pools), dtype=np.int64)
+        depths = np.zeros(len(pools), dtype=np.int64)
+        slots = insts
+        warps = insts + 7
+        c_seg, c_ref = CostModel(), CostModel()
+        result = segmented_warp_select(
+            biases, offsets, counts, rng, [insts, depths, slots, warps],
+            with_replacement=False, strategy=strategy, detector=detector, cost=c_seg,
+        )
+        for k, pool in enumerate(pools):
+            warp = WarpExecutor(warp_id=int(warps[k]), cost=c_ref, rng=rng)
+            ref = warp_select(
+                np.asarray(pool, dtype=np.float64), int(counts[k]), warp,
+                int(insts[k]), int(depths[k]), int(slots[k]),
+                with_replacement=False, strategy=strategy, detector=detector,
+            )
+            idx, iters = result.segment(k)
+            assert np.array_equal(idx, ref.indices)
+            assert np.array_equal(iters, ref.iterations)
+        assert c_seg.as_dict() == c_ref.as_dict()
+
+    @given(segment_pools, st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_segmented_alias_matches_scalar_sample_many(self, pools, seed):
+        biases, offsets, lengths = _flatten_pools(pools)
+        rng = CounterRNG(seed)
+        counts = np.minimum(4, lengths)
+        insts = np.arange(len(pools), dtype=np.int64)
+        depths = insts + 3
+        prob = np.concatenate(
+            [build_alias_table(np.asarray(p, dtype=np.float64)).prob for p in pools]
+        )
+        alias = np.concatenate(
+            [build_alias_table(np.asarray(p, dtype=np.float64)).alias for p in pools]
+        )
+        c_seg, c_ref = CostModel(), CostModel()
+        result = segmented_alias_sample_many(
+            prob, alias, offsets, counts, rng, [insts, depths], c_seg
+        )
+        for k, pool in enumerate(pools):
+            table = build_alias_table(np.asarray(pool, dtype=np.float64))
+            ref = table.sample_many(
+                int(counts[k]), rng, int(insts[k]), int(depths[k]), cost=c_ref
+            )
+            idx, _ = result.segment(k)
+            assert np.array_equal(idx, ref)
+        assert c_seg.as_dict() == c_ref.as_dict()
+
+    @given(segment_pools, st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_segmented_dartboard_matches_scalar(self, pools, seed):
+        biases, offsets, _ = _flatten_pools(pools)
+        rng = CounterRNG(seed)
+        insts = np.arange(len(pools), dtype=np.int64)
+        depths = insts + 1
+        c_seg, c_ref = CostModel(), CostModel()
+        indices, trials = segmented_dartboard_sample(
+            biases, offsets, rng, [insts, depths], c_seg
+        )
+        for k, pool in enumerate(pools):
+            ref_idx, ref_trials = dartboard_sample(
+                np.asarray(pool, dtype=np.float64), rng,
+                int(insts[k]), int(depths[k]), cost=c_ref,
+            )
+            assert int(indices[k]) == ref_idx
+            assert int(trials[k]) == ref_trials
+        assert c_seg.as_dict() == c_ref.as_dict()
 
 
 class TestRNGProperties:
