@@ -1,0 +1,188 @@
+"""End-to-end sampling-service example.
+
+Starts a :class:`~repro.service.server.SamplingService` on a generated
+power-law graph, then issues concurrent node2vec and neighbor-sampling
+requests from *both* clients -- blocking threads and an asyncio fan-out --
+and prints aggregate service statistics.
+
+    PYTHONPATH=src python examples/sampling_service.py
+    PYTHONPATH=src python examples/sampling_service.py --smoke
+
+``--smoke`` is the CI mode: process workers, 100 mixed requests (including
+some routed out-of-memory), then a clean shutdown and a shared-memory leak
+audit; exits non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import threading
+import time
+
+import numpy as np
+
+from repro.graph.generators import powerlaw_graph
+from repro.service import (
+    AsyncSamplingClient,
+    SamplingClient,
+    SamplingService,
+    leaked_segments,
+)
+
+
+def sync_clients(service: SamplingService, num_clients: int,
+                 requests_each: int, num_vertices: int) -> list:
+    """Closed-loop blocking clients on threads (one SamplingClient shared)."""
+    client = SamplingClient(service)
+    responses = []
+    lock = threading.Lock()
+
+    def loop(rank: int) -> None:
+        rng = np.random.default_rng(rank)
+        for i in range(requests_each):
+            if (rank + i) % 2:
+                response = client.sample(
+                    "social", "node2vec",
+                    rng.integers(0, num_vertices, 4).tolist(),
+                    depth=6, seed=11, program_kwargs={"p": 2.0, "q": 0.5},
+                    timeout=120,
+                )
+            else:
+                response = client.sample(
+                    "social", "unbiased_neighbor_sampling",
+                    rng.integers(0, num_vertices, 3).tolist(),
+                    depth=2, neighbor_size=4, seed=11, timeout=120,
+                )
+            with lock:
+                responses.append(response)
+
+    threads = [threading.Thread(target=loop, args=(rank,))
+               for rank in range(num_clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return responses
+
+
+def async_clients(service: SamplingService, num_requests: int,
+                  num_vertices: int) -> list:
+    """The same mix through the asyncio client, fanned out as coroutines."""
+    client = AsyncSamplingClient(service)
+
+    async def fanout():
+        rng = np.random.default_rng(99)
+        tasks = []
+        for i in range(num_requests):
+            if i % 2:
+                tasks.append(client.sample(
+                    "social", "node2vec",
+                    rng.integers(0, num_vertices, 4).tolist(),
+                    depth=6, seed=11, program_kwargs={"p": 2.0, "q": 0.5},
+                ))
+            else:
+                tasks.append(client.sample(
+                    "social", "unbiased_neighbor_sampling",
+                    rng.integers(0, num_vertices, 3).tolist(),
+                    depth=2, neighbor_size=4, seed=11,
+                ))
+        return await asyncio.gather(*tasks)
+
+    return list(asyncio.run(fanout()))
+
+
+def report(label: str, responses: list) -> None:
+    edges = sum(r.total_sampled_edges for r in responses)
+    latencies = sorted(r.stats["latency_s"] for r in responses)
+    coalesced = sum(1 for r in responses if r.coalesced_with > 1)
+    p50 = latencies[len(latencies) // 2] * 1e3
+    print(f"  {label}: {len(responses)} responses, {edges} edges, "
+          f"{coalesced} coalesced, p50 latency {p50:.1f} ms")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke: process workers, 100 mixed requests, "
+                             "leak audit, non-zero exit on failure")
+    args = parser.parse_args()
+
+    num_vertices = 5_000
+    graph = powerlaw_graph(num_vertices, avg_degree=8, seed=1)
+    mode = "process" if args.smoke else "thread"
+    failures = []
+
+    print(f"starting service ({mode} workers) on {graph} ...")
+    service = SamplingService(num_workers=2, mode=mode, batch_window_s=0.005)
+    prefix = service.store.prefix
+    try:
+        route = service.load_graph("social", graph)
+        print(f"loaded 'social' -> route={route}, "
+              f"segments={len(service.store.handle('social').segments)}")
+        if args.smoke:
+            # A second, deliberately over-budget copy exercises the
+            # out-of-memory admission path in the same run.
+            tiny_service_budget = graph.nbytes // 4
+            service.memory_budget_bytes = tiny_service_budget
+            oom_route = service.load_graph("social-oom", graph)
+            service.memory_budget_bytes = None
+            if oom_route != "out_of_memory":
+                failures.append(f"expected oom route, got {oom_route}")
+
+        started = time.perf_counter()
+        sync_responses = sync_clients(
+            service, num_clients=4, requests_each=10 if args.smoke else 5,
+            num_vertices=num_vertices,
+        )
+        report("sync clients ", sync_responses)
+        async_responses = async_clients(
+            service, num_requests=40 if args.smoke else 20,
+            num_vertices=num_vertices,
+        )
+        report("async client ", async_responses)
+
+        oom_responses = []
+        if args.smoke:
+            client = SamplingClient(service)
+            for i in range(20):
+                oom_responses.append(client.sample(
+                    "social-oom", "simple_random_walk", [i * 7], depth=4,
+                    seed=3, timeout=120,
+                ))
+            report("oom requests ", oom_responses)
+            if any(r.route != "out_of_memory" for r in oom_responses):
+                failures.append("an oversized-graph request ran in-memory")
+
+        everything = sync_responses + async_responses + oom_responses
+        elapsed = time.perf_counter() - started
+        print(f"  total: {len(everything)} requests in {elapsed:.2f} s "
+              f"({len(everything) / elapsed:.1f} req/s)")
+        print("  service stats:", service.stats.snapshot())
+
+        if any(not r.ok for r in everything):
+            failures.append("a request returned an error")
+        if args.smoke and len(everything) < 100:
+            failures.append(f"smoke issued only {len(everything)} requests")
+        snap = service.stats.snapshot()
+        if snap["requests_failed"]:
+            failures.append(f"{snap['requests_failed']} requests failed")
+    finally:
+        service.shutdown()
+
+    leaked = leaked_segments(prefix)
+    if leaked:
+        failures.append(f"leaked shared-memory segments: {leaked}")
+    print("shutdown clean, no leaked shared-memory segments"
+          if not leaked else f"LEAKED: {leaked}")
+
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,9 @@ class ForestFireSampling(SamplingProgram):
     """Forest fire sampling with geometric NeighborSize (Table I, variable)."""
 
     name = "forest_fire_sampling"
+    #: The geometric draws consume ``self._rng`` in hook call order, so runs
+    #: cannot share an engine batch (see SamplingProgram.supports_coalescing).
+    supports_coalescing = False
 
     def __init__(self, burning_probability: float = 0.7, seed: int = 0):
         if not (0.0 < burning_probability < 1.0):

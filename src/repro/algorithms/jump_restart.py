@@ -28,6 +28,9 @@ class RandomWalkWithJump(SamplingProgram):
     """Random walk that teleports to a random vertex with fixed probability."""
 
     name = "random_walk_with_jump"
+    #: Teleport draws consume ``self._rng`` in hook call order, so runs
+    #: cannot share an engine batch (see SamplingProgram.supports_coalescing).
+    supports_coalescing = False
 
     def __init__(self, jump_probability: float = 0.15, seed: int = 0):
         if not (0.0 <= jump_probability <= 1.0):

@@ -22,6 +22,7 @@ class LayerSampling(SamplingProgram):
     """Per-layer neighbor selection with a constant layer budget."""
 
     name = "layer_sampling"
+    supports_coalescing = True  # hooks are pure functions of their arguments
 
     def __init__(self, *, weighted_bias: bool = True):
         self.weighted_bias = weighted_bias

@@ -24,6 +24,9 @@ class MetropolisHastingsWalk(SamplingProgram):
     """MH random walk: uniform proposal, degree-ratio acceptance."""
 
     name = "metropolis_hastings_walk"
+    #: Acceptance draws consume ``self._rng`` in hook call order, so runs
+    #: cannot share an engine batch (see SamplingProgram.supports_coalescing).
+    supports_coalescing = False
 
     def __init__(self, seed: int = 0):
         self._rng = np.random.default_rng(seed)

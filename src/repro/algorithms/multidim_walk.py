@@ -24,6 +24,7 @@ class MultiDimensionalRandomWalk(SamplingProgram):
     """Frontier sampling: degree-biased pool selection, uniform neighbor pick."""
 
     name = "multidimensional_random_walk"
+    supports_coalescing = True  # hooks are pure functions of their arguments
 
     def vertex_bias(self, pool: FrontierPoolView) -> np.ndarray:
         # Degree as the pool-selection bias (Fig. 3(b)); add-one so isolated

@@ -21,6 +21,7 @@ class UnbiasedNeighborSampling(SamplingProgram):
     """Uniform neighbor sampling without replacement (Table I, unbiased/constant)."""
 
     name = "unbiased_neighbor_sampling"
+    supports_coalescing = True  # hooks are pure functions of their arguments
 
     def edge_bias(self, edges: EdgePool) -> np.ndarray:
         return np.ones(edges.size, dtype=np.float64)

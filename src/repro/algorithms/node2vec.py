@@ -29,6 +29,7 @@ class Node2Vec(SamplingProgram):
     """Node2vec walk program with return parameter ``p`` and in-out parameter ``q``."""
 
     name = "node2vec"
+    supports_coalescing = True  # hooks are pure functions of their arguments
 
     def __init__(self, p: float = 1.0, q: float = 1.0):
         if p <= 0 or q <= 0:

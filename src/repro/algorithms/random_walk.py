@@ -41,6 +41,7 @@ class SimpleRandomWalk(SamplingProgram):
     """Unbiased random walk: uniform transition probability over neighbors."""
 
     name = "simple_random_walk"
+    supports_coalescing = True  # hooks are pure functions of their arguments
 
     def edge_bias(self, edges: EdgePool) -> np.ndarray:
         return np.ones(edges.size, dtype=np.float64)

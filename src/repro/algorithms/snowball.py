@@ -23,6 +23,7 @@ class SnowballSampling(SamplingProgram):
     """Snowball sampling: take every neighbor of every frontier vertex."""
 
     name = "snowball_sampling"
+    supports_coalescing = True  # hooks are pure functions of their arguments
 
     def __init__(self, max_per_vertex: int | None = None):
         if max_per_vertex is not None and max_per_vertex < 1:

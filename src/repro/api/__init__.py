@@ -27,6 +27,7 @@ from repro.api.bias import (
 from repro.api.config import SamplingConfig, SelectionScope, PoolPolicy
 from repro.api.frontier import FrontierQueue, FrontierEntry
 from repro.api.instance import InstanceState, make_instances
+from repro.api.requests import SampleRequest, SampleResponse
 from repro.api.results import SampleResult, InstanceSample
 from repro.api.sampler import GraphSampler, sample_graph
 from repro.api.select import warp_select, gather_neighbors, batch_walk_step
@@ -44,6 +45,8 @@ __all__ = [
     "FrontierEntry",
     "InstanceState",
     "make_instances",
+    "SampleRequest",
+    "SampleResponse",
     "SampleResult",
     "InstanceSample",
     "GraphSampler",

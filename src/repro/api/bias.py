@@ -183,6 +183,16 @@ class SamplingProgram:
     #: Human-readable algorithm name (used by the registry and harness).
     name: str = "custom"
 
+    #: Whether independent runs of this program may be coalesced into one
+    #: engine batch (the sampling service's request coalescing).  Opt-in:
+    #: set it to ``True`` only after verifying every hook is a deterministic
+    #: function of its arguments.  Programs that consume a private RNG
+    #: stream in hook call order (forest fire, Metropolis-Hastings,
+    #: jump/restart) would interleave draws across requests and silently
+    #: break the service's bit-identity guarantee, so the default keeps
+    #: unknown programs at one request per batch.
+    supports_coalescing: bool = False
+
     # ------------------------------------------------------------------ #
     # The paper's three API functions
     # ------------------------------------------------------------------ #
@@ -279,3 +289,4 @@ class UniformProgram(SamplingProgram):
     """Uniform vertex and edge biases; the simplest possible program."""
 
     name = "uniform"
+    supports_coalescing = True  # stateless hooks

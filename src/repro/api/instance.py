@@ -16,7 +16,22 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["InstanceState", "make_instances"]
+__all__ = ["InstanceState", "make_instances", "validate_seed_instances"]
+
+
+def validate_seed_instances(instances, num_vertices: int) -> None:
+    """Reject instances with no seeds or seeds outside ``[0, num_vertices)``.
+
+    Shared by the standalone samplers and the coalesced runner so both
+    paths fail identically.
+    """
+    for inst in instances:
+        if inst.frontier_pool.size == 0:
+            raise ValueError(f"instance {inst.instance_id} has no seed vertices")
+        if inst.frontier_pool.min() < 0 or inst.frontier_pool.max() >= num_vertices:
+            raise ValueError(
+                f"instance {inst.instance_id} has seed vertices outside the graph"
+            )
 
 
 @dataclass

@@ -21,7 +21,15 @@ from repro.gpusim.kernel import KernelLaunch
 from repro.graph.builder import from_edge_list
 from repro.graph.csr import CSRGraph
 
-__all__ = ["InstanceSample", "SampleResult"]
+__all__ = ["InstanceSample", "SampleResult", "concat_sample_edges"]
+
+
+def concat_sample_edges(samples: List["InstanceSample"]) -> np.ndarray:
+    """All samples' edges concatenated into one ``(n, 2)`` array."""
+    parts = [s.edges for s in samples if s.num_edges]
+    if not parts:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.vstack(parts)
 
 
 @dataclass(frozen=True)
@@ -74,10 +82,43 @@ class SampleResult:
 
     def all_edges(self) -> np.ndarray:
         """All sampled edges concatenated into one ``(n, 2)`` array."""
-        if not self.samples:
-            return np.empty((0, 2), dtype=np.int64)
-        return np.vstack([s.edges for s in self.samples if s.num_edges] or
-                         [np.empty((0, 2), dtype=np.int64)])
+        return concat_sample_edges(self.samples)
+
+    def slice_instances(
+        self,
+        start: int,
+        stop: int,
+        *,
+        iteration_counts: Optional[List[int]] = None,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> "SampleResult":
+        """Result restricted to the instance range ``[start, stop)``.
+
+        The sampling service runs many requests as one fused batch and
+        demultiplexes per-request results by instance range.  Samples are
+        shared (not copied); cost and kernel records stay those of the whole
+        batch -- pass ``iteration_counts`` to substitute the range's own
+        counts and ``metadata`` to extend the batch metadata.
+        """
+        if not (0 <= start <= stop <= len(self.samples)):
+            raise ValueError(
+                f"invalid instance range [{start}, {stop}) for "
+                f"{len(self.samples)} instances"
+            )
+        merged = dict(self.metadata)
+        if metadata:
+            merged.update(metadata)
+        return SampleResult(
+            samples=self.samples[start:stop],
+            cost=self.cost.copy(),
+            kernels=list(self.kernels),
+            iteration_counts=(
+                list(self.iteration_counts)
+                if iteration_counts is None
+                else list(iteration_counts)
+            ),
+            metadata=merged,
+        )
 
     # ------------------------------------------------------------------ #
     def kernel_time(self, spec: DeviceSpec = V100_SPEC) -> float:

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.api.bias import FrontierPoolView, SamplingProgram
 from repro.api.config import PoolPolicy, SamplingConfig, SelectionScope
-from repro.api.instance import InstanceState, make_instances
+from repro.api.instance import InstanceState, make_instances, validate_seed_instances
 from repro.api.results import SampleResult
 from repro.api.select import gather_neighbors, warp_select
 from repro.engine.step import BatchedStepEngine, validate_biases
@@ -354,13 +354,7 @@ class GraphSampler:
         return validate_biases(biases, expected, label)
 
     def _validate_seeds(self, instances: List[InstanceState]) -> None:
-        for inst in instances:
-            if inst.frontier_pool.size == 0:
-                raise ValueError(f"instance {inst.instance_id} has no seed vertices")
-            if inst.frontier_pool.min() < 0 or inst.frontier_pool.max() >= self.graph.num_vertices:
-                raise ValueError(
-                    f"instance {inst.instance_id} has seed vertices outside the graph"
-                )
+        validate_seed_instances(instances, self.graph.num_vertices)
 
 
 def sample_graph(

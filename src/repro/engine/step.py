@@ -31,7 +31,7 @@ the one case where the engine can diverge (see ``docs/engine.md``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,9 +51,23 @@ from repro.selection.segmented import (
     take_segments,
 )
 
-__all__ = ["BatchedStepEngine", "validate_biases"]
+__all__ = ["BatchedStepEngine", "record_iterations", "validate_biases"]
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+
+def record_iterations(sink, inst, iters: np.ndarray) -> None:
+    """Append per-selection iteration counts to ``sink``.
+
+    ``sink`` is normally a plain list; a grouped sink (coalesced multi-request
+    runs, :mod:`repro.engine.hetero`) exposes ``extend_for`` so each
+    instance's counts land in its owning request's list.
+    """
+    extend_for = getattr(sink, "extend_for", None)
+    if extend_for is not None:
+        extend_for(inst, iters)
+    else:
+        sink.extend(int(i) for i in iters)
 
 
 def validate_biases(biases: np.ndarray, expected: int, label: str) -> np.ndarray:
@@ -85,6 +99,14 @@ class BatchedStepEngine:
         self.rng = rng
         #: Next warp id; advanced in the scalar path's allocation order.
         self.warp_counter = 0
+        #: Optional per-group warp numbering (coalesced multi-request runs):
+        #: maps ``id(instance)`` to a warp-group index.  When set, each group
+        #: draws warp ids from its own cursor starting at 0 -- in the same
+        #: allocation order a standalone run over just that group would use --
+        #: so the RNG streams (which mix the warp id) are unchanged by what
+        #: else shares the batch.
+        self._warp_group_of: Optional[Mapping[int, int]] = None
+        self._group_warp_cursors: Optional[np.ndarray] = None
         cls = type(program)
         self._edge_bias_overridden = cls.edge_bias is not SamplingProgram.edge_bias
         self._edge_bias_batched = (
@@ -95,6 +117,73 @@ class BatchedStepEngine:
         self._neighbor_count_default = (
             cls.neighbor_count is SamplingProgram.neighbor_count
         )
+
+    # ================================================================== #
+    # Warp-id allocation (engine-global by default, per-group when coalescing)
+    # ================================================================== #
+    def set_warp_groups(
+        self, group_of: Mapping[int, int], num_groups: int
+    ) -> None:
+        """Switch to per-group warp numbering (see ``_warp_group_of``)."""
+        self._warp_group_of = group_of
+        self._group_warp_cursors = np.zeros(num_groups, dtype=np.int64)
+
+    def _alloc_warp(self, inst: InstanceState) -> int:
+        """Allocate one warp id on behalf of ``inst``."""
+        if self._warp_group_of is None:
+            warp_id = self.warp_counter
+            self.warp_counter += 1
+            return warp_id
+        group = self._warp_group_of[id(inst)]
+        warp_id = int(self._group_warp_cursors[group])
+        self._group_warp_cursors[group] += 1
+        return warp_id
+
+    def _alloc_warp_block(
+        self, instances: Sequence[InstanceState], alloc: np.ndarray
+    ) -> np.ndarray:
+        """Warp ids for the allocated segments of a batch (-1 elsewhere).
+
+        Ids are sequential in segment order within each owning group (within
+        the single global sequence when no groups are set), which is exactly
+        the order the scalar loop would hand them out.
+        """
+        warp_ids = np.full(alloc.size, -1, dtype=np.int64)
+        if self._warp_group_of is None:
+            num_alloc = int(alloc.sum())
+            warp_ids[alloc] = self.warp_counter + np.arange(num_alloc, dtype=np.int64)
+            self.warp_counter += num_alloc
+            return warp_ids
+        groups = np.fromiter(
+            (self._warp_group_of[id(inst)] for inst in instances),
+            dtype=np.int64,
+            count=len(instances),
+        )
+        for group in np.unique(groups[alloc]):
+            members = alloc & (groups == group)
+            count = int(members.sum())
+            warp_ids[members] = self._group_warp_cursors[group] + np.arange(
+                count, dtype=np.int64
+            )
+            self._group_warp_cursors[group] += count
+        return warp_ids
+
+    def _alloc_warp_block_for(
+        self, inst: InstanceState, alloc: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`_alloc_warp_block` when every segment belongs to ``inst``."""
+        warp_ids = np.full(alloc.size, -1, dtype=np.int64)
+        num_alloc = int(alloc.sum())
+        if self._warp_group_of is None:
+            warp_ids[alloc] = self.warp_counter + np.arange(num_alloc, dtype=np.int64)
+            self.warp_counter += num_alloc
+        else:
+            group = self._warp_group_of[id(inst)]
+            warp_ids[alloc] = self._group_warp_cursors[group] + np.arange(
+                num_alloc, dtype=np.int64
+            )
+            self._group_warp_cursors[group] += num_alloc
+        return warp_ids
 
     # ================================================================== #
     # In-memory sampler entry point
@@ -171,10 +260,7 @@ class BatchedStepEngine:
                 else np.minimum(requested, positive),
                 0,
             )
-            warp_ids = np.full(alloc.size, -1, dtype=np.int64)
-            num_alloc = int(alloc.sum())
-            warp_ids[alloc] = self.warp_counter + np.arange(num_alloc, dtype=np.int64)
-            self.warp_counter += num_alloc
+            warp_ids = self._alloc_warp_block(seg_instances, alloc)
         else:
             parts: List[SegmentedEdgePool] = []
             seg_rank_parts, seg_slot_parts = [], []
@@ -200,10 +286,7 @@ class BatchedStepEngine:
                 positive_parts.append(positive)
                 requested = self._neighbor_counts(part, lengths, lengths > 0)
                 alloc = (lengths > 0) & (requested > 0) & (positive > 0)
-                warp_ids = np.full(alloc.size, -1, dtype=np.int64)
-                num_alloc = int(alloc.sum())
-                warp_ids[alloc] = self.warp_counter + np.arange(num_alloc, dtype=np.int64)
-                self.warp_counter += num_alloc
+                warp_ids = self._alloc_warp_block_for(inst, alloc)
                 parts.append(part)
                 seg_rank_parts.append(np.full(alloc.size, rank, dtype=np.int64))
                 seg_slot_parts.append(np.arange(alloc.size, dtype=np.int64))
@@ -260,8 +343,8 @@ class BatchedStepEngine:
         inserted: List[List[np.ndarray]] = [[] for _ in stepped]
         for j, k in enumerate(allocated):
             idx, iters = selection.segment(j)
-            iteration_counts.extend(iters.tolist())
             inst = pool.instances[k]
+            record_iterations(iteration_counts, inst, iters)
             sampled = pool.neighbors[pool.offsets[k] + idx]
             segment = None
             if self._accept_default:
@@ -325,8 +408,7 @@ class BatchedStepEngine:
                 if cfg.with_replacement
                 else min(cfg.neighbor_size, positive)
             )
-            warp_id = self.warp_counter
-            self.warp_counter += 1
+            warp_id = self._alloc_warp(inst)
             tasks += 1
             layer.append((part, biases, count, warp_id))
 
@@ -359,8 +441,8 @@ class BatchedStepEngine:
         inserted: List[List[np.ndarray]] = [[] for _ in stepped]
         for j, (rank, (part, _, _, _)) in enumerate(segments or []):
             idx, iters = selection.segment(j)
-            iteration_counts.extend(iters.tolist())
             inst = stepped[rank][0]
+            record_iterations(iteration_counts, inst, iters)
             all_src = np.repeat(part.src, part.lengths())
             chosen_src = all_src[idx]
             chosen_dst = part.neighbors[idx]
@@ -436,8 +518,7 @@ class BatchedStepEngine:
         allocated = np.nonzero(alloc)[0]
         selection = None
         if allocated.size:
-            warp_ids = self.warp_counter + np.arange(allocated.size, dtype=np.int64)
-            self.warp_counter += int(allocated.size)
+            warp_ids = self._alloc_warp_block(seg_instances, alloc)[allocated]
             if allocated.size == alloc.size:
                 sub_biases, sub_offsets = biases, pool.offsets
             else:
@@ -464,8 +545,8 @@ class BatchedStepEngine:
         succ_d: List[int] = []
         for j, k in enumerate(allocated):
             idx, iters = selection.segment(j)
-            iteration_counts.extend(iters.tolist())
             inst = pool.instances[k]
+            record_iterations(iteration_counts, inst, iters)
             sampled = pool.neighbors[pool.offsets[k] + idx]
             segment = None
             if self._accept_default:
@@ -567,8 +648,7 @@ class BatchedStepEngine:
         count = min(cfg.frontier_size, positive)
         if count == 0:
             return _EMPTY, _EMPTY, 0
-        warp = WarpExecutor(warp_id=self.warp_counter, cost=cost, rng=self.rng)
-        self.warp_counter += 1
+        warp = WarpExecutor(warp_id=self._alloc_warp(inst), cost=cost, rng=self.rng)
         result = warp_select(
             biases,
             count,

@@ -2,8 +2,13 @@
 
 Two formats are supported:
 
-* NPZ -- the CSR arrays saved via :func:`numpy.savez_compressed`; fast and
-  lossless, used by the benchmark harness to cache generated datasets.
+* NPZ -- the CSR arrays saved via :func:`numpy.savez_compressed` (or
+  uncompressed via ``save_npz(..., compressed=False)``); fast and lossless,
+  used by the benchmark harness to cache generated datasets.  Uncompressed
+  NPZ files can additionally be **memory-mapped** (``load_npz(...,
+  mmap=True)``): the CSR arrays become read-only views into the page cache
+  instead of heap copies, which is how the sampling service's store loads
+  multi-gigabyte graphs without doubling their footprint.
 * edge list -- whitespace-separated ``src dst [weight]`` text, compatible
   with the SNAP download format the paper's datasets ship in, so a user with
   access to the original data can drop it in directly.
@@ -12,8 +17,9 @@ Two formats are supported:
 from __future__ import annotations
 
 import os
+import zipfile
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
@@ -25,21 +31,77 @@ __all__ = ["save_npz", "load_npz", "save_edge_list", "load_edge_list"]
 PathLike = Union[str, os.PathLike]
 
 
-def save_npz(graph: CSRGraph, path: PathLike) -> None:
-    """Save a graph's CSR arrays to a compressed NPZ file."""
+def save_npz(graph: CSRGraph, path: PathLike, *, compressed: bool = True) -> None:
+    """Save a graph's CSR arrays to an NPZ file.
+
+    ``compressed=False`` stores the members raw (ZIP_STORED), which makes
+    the file memory-mappable via ``load_npz(path, mmap=True)``.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     arrays = {"row_ptr": graph.row_ptr, "col_idx": graph.col_idx}
     if graph.weights is not None:
         arrays["weights"] = graph.weights
-    np.savez_compressed(path, **arrays)
+    if compressed:
+        np.savez_compressed(path, **arrays)
+    else:
+        np.savez(path, **arrays)
 
 
-def load_npz(path: PathLike) -> CSRGraph:
-    """Load a graph previously saved with :func:`save_npz`."""
-    with np.load(Path(path)) as data:
+def load_npz(path: PathLike, *, mmap: bool = False) -> CSRGraph:
+    """Load a graph previously saved with :func:`save_npz`.
+
+    With ``mmap=True`` the CSR arrays are memory-mapped read-only views of
+    the file instead of heap copies -- the OS pages data in on demand and
+    shares it across processes.  This requires the NPZ members to be stored
+    uncompressed (``save_npz(..., compressed=False)``); compressed files
+    fall back to an ordinary copying load.
+    """
+    path = Path(path)
+    if mmap:
+        arrays = _mmap_npz_members(path)
+        if arrays is not None:
+            return CSRGraph(
+                arrays["row_ptr"], arrays["col_idx"], arrays.get("weights")
+            )
+    with np.load(path) as data:
         weights = data["weights"] if "weights" in data.files else None
         return CSRGraph(data["row_ptr"], data["col_idx"], weights)
+
+
+def _mmap_npz_members(path: Path) -> "Dict[str, np.ndarray] | None":
+    """Memory-map every ``.npy`` member of an uncompressed NPZ archive.
+
+    Returns ``None`` when any member is compressed (DEFLATE cannot be
+    mapped).  An NPZ archive is a ZIP file; for a ZIP_STORED member the raw
+    ``.npy`` bytes sit contiguously in the file, so after walking the local
+    file header and the npy header the array data can be handed straight to
+    :class:`numpy.memmap`.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as fh:
+        for info in archive.infolist():
+            if not info.filename.endswith(".npy"):
+                continue
+            if info.compress_type != zipfile.ZIP_STORED:
+                return None
+            # Local file header: 30 fixed bytes, then the (variable) file
+            # name and extra field; the stored member data follows directly.
+            fh.seek(info.header_offset + 26)
+            name_len, extra_len = np.frombuffer(fh.read(4), dtype="<u2")
+            data_offset = info.header_offset + 30 + int(name_len) + int(extra_len)
+            fh.seek(data_offset)
+            version = np.lib.format.read_magic(fh)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+            else:
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+            if fortran or dtype.hasobject:
+                return None
+            arrays[info.filename[: -len(".npy")]] = np.memmap(
+                path, dtype=dtype, mode="r", offset=fh.tell(), shape=shape
+            )
+    return arrays
 
 
 def save_edge_list(graph: CSRGraph, path: PathLike, *, header: bool = True) -> None:

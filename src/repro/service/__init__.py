@@ -1,0 +1,59 @@
+"""The sampling service: shared-memory worker pool with request coalescing.
+
+Production-shaped serving layer over the batched execution engine
+(:mod:`repro.engine`):
+
+* :class:`~repro.service.store.SharedGraphStore` -- graphs live once in
+  ``multiprocessing.shared_memory``; every worker process maps the same CSR
+  arrays zero-copy.
+* :class:`~repro.service.workers.WorkerPool` -- process (or thread) workers,
+  each driving coalesced :class:`~repro.engine.step.BatchedStepEngine`
+  batches.
+* :class:`~repro.service.server.SamplingService` -- front-end queue that
+  coalesces compatible requests arriving within a batching window into one
+  multi-instance engine run, demultiplexes per-request results, and routes
+  graphs larger than the memory budget to the out-of-memory sampler.
+* :class:`~repro.service.client.SamplingClient` /
+  :class:`~repro.service.client.AsyncSamplingClient` -- blocking and asyncio
+  front doors.
+
+Per-request results are bit-identical to standalone sampler runs with the
+same seed regardless of coalescing (see ``docs/service.md``).
+"""
+
+from repro.service.client import AsyncSamplingClient, SamplingClient
+from repro.service.server import SamplingService, ServiceError, ServiceStats
+from repro.service.store import (
+    AttachedGraph,
+    SharedGraphHandle,
+    SharedGraphStore,
+    attach,
+    leaked_segments,
+)
+from repro.service.workers import (
+    RequestPayload,
+    RequestSpec,
+    UnitResult,
+    WorkUnit,
+    WorkerPool,
+    execute_unit,
+)
+
+__all__ = [
+    "AsyncSamplingClient",
+    "AttachedGraph",
+    "RequestPayload",
+    "RequestSpec",
+    "SamplingClient",
+    "SamplingService",
+    "ServiceError",
+    "ServiceStats",
+    "SharedGraphHandle",
+    "SharedGraphStore",
+    "UnitResult",
+    "WorkUnit",
+    "WorkerPool",
+    "attach",
+    "execute_unit",
+    "leaked_segments",
+]

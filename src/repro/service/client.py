@@ -1,0 +1,92 @@
+"""Synchronous and asyncio clients for the sampling service.
+
+Both are thin conveniences over :meth:`SamplingService.submit`: they build
+the :class:`~repro.api.requests.SampleRequest`, hand it to the service and
+resolve the future -- blocking for :class:`SamplingClient`, awaitable for
+:class:`AsyncSamplingClient` (the service's ``concurrent.futures.Future`` is
+bridged onto the running event loop, so thousands of in-flight requests cost
+one coroutine each, not one thread each).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Sequence
+
+from repro.api.requests import SampleRequest, SampleResponse
+from repro.service.server import SamplingService
+
+__all__ = ["SamplingClient", "AsyncSamplingClient"]
+
+
+def _build_request(
+    graph: str,
+    algorithm: str,
+    seeds: Sequence,
+    num_instances: Optional[int],
+    program_kwargs: Optional[dict],
+    config_overrides: dict,
+) -> SampleRequest:
+    return SampleRequest(
+        graph=graph,
+        algorithm=algorithm,
+        seeds=tuple(seeds) if not isinstance(seeds, tuple) else seeds,
+        num_instances=num_instances,
+        config_overrides=config_overrides,
+        program_kwargs=program_kwargs or {},
+    )
+
+
+class SamplingClient:
+    """Blocking client: one call, one :class:`SampleResponse`."""
+
+    def __init__(self, service: SamplingService):
+        self.service = service
+
+    def sample(
+        self,
+        graph: str,
+        algorithm: str,
+        seeds: Sequence,
+        *,
+        num_instances: Optional[int] = None,
+        program_kwargs: Optional[dict] = None,
+        timeout: Optional[float] = None,
+        **config_overrides,
+    ) -> SampleResponse:
+        """Sample and wait.  ``config_overrides`` go to the algorithm's
+        default config (``depth=...``, ``neighbor_size=...``, ``seed=...``)."""
+        request = _build_request(
+            graph, algorithm, seeds, num_instances, program_kwargs,
+            config_overrides,
+        )
+        return self.service.submit(request).result(timeout=timeout)
+
+    def submit(self, request: SampleRequest):
+        """Escape hatch: submit a prebuilt request, get the raw future."""
+        return self.service.submit(request)
+
+
+class AsyncSamplingClient:
+    """Asyncio client; safe to fan out many concurrent ``sample`` calls."""
+
+    def __init__(self, service: SamplingService):
+        self.service = service
+
+    async def sample(
+        self,
+        graph: str,
+        algorithm: str,
+        seeds: Sequence,
+        *,
+        num_instances: Optional[int] = None,
+        program_kwargs: Optional[dict] = None,
+        **config_overrides,
+    ) -> SampleResponse:
+        """Awaitable variant of :meth:`SamplingClient.sample`."""
+        request = _build_request(
+            graph, algorithm, seeds, num_instances, program_kwargs,
+            config_overrides,
+        )
+        future = self.service.submit(request)
+        return await asyncio.wrap_future(future)

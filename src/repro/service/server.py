@@ -1,0 +1,519 @@
+"""The sampling service front-end: queueing, coalescing, routing, demux.
+
+:class:`SamplingService` owns a :class:`~repro.service.store.
+SharedGraphStore` and a :class:`~repro.service.workers.WorkerPool`.  Requests
+enter through :meth:`submit` (returning a ``concurrent.futures.Future``); a
+dispatcher thread collects everything that arrives within the *batching
+window*, groups compatible requests -- equal
+:meth:`~repro.api.requests.SampleRequest.class_key` -- into
+:class:`~repro.service.workers.WorkUnit`s, and a collector thread
+demultiplexes worker results back onto the per-request futures.
+
+Admission / routing: graphs whose CSR footprint exceeds
+``memory_budget_bytes`` are marked ``out_of_memory`` at load time; their
+requests bypass coalescing and run on the partition-scheduled
+:class:`~repro.oom.scheduler.OutOfMemorySampler`, with the partition count
+sized so each partition fits the budget.
+
+Determinism contract: a request's samples are bit-identical to a standalone
+sampler run with the same seeds and config, no matter what it was coalesced
+with (see ``docs/service.md`` and :mod:`repro.engine.hetero`).
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.api.requests import SampleRequest, SampleResponse
+from repro.api.results import InstanceSample
+from repro.graph.csr import CSRGraph
+from repro.oom.scheduler import OutOfMemoryConfig
+from repro.service.store import SharedGraphStore
+from repro.service.workers import RequestSpec, UnitResult, WorkUnit, WorkerPool
+
+__all__ = ["ServiceError", "ServiceStats", "SamplingService"]
+
+
+class ServiceError(RuntimeError):
+    """A request failed inside the service (the worker traceback is attached)."""
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate service counters (read with :meth:`SamplingService.stats`)."""
+
+    requests_submitted: int = 0
+    requests_completed: int = 0
+    requests_failed: int = 0
+    units_dispatched: int = 0
+    coalesced_requests: int = 0  # requests that shared a unit with others
+    oom_requests: int = 0
+    #: Most recent request latencies (bounded: a long-running service must
+    #: not accumulate one float per request forever).
+    latencies_s: Deque[float] = field(
+        default_factory=lambda: collections.deque(maxlen=4096)
+    )
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat copy for printing."""
+        out = {
+            "requests_submitted": self.requests_submitted,
+            "requests_completed": self.requests_completed,
+            "requests_failed": self.requests_failed,
+            "units_dispatched": self.units_dispatched,
+            "coalesced_requests": self.coalesced_requests,
+            "oom_requests": self.oom_requests,
+        }
+        if self.units_dispatched:
+            out["mean_unit_size"] = (
+                self.requests_completed + self.requests_failed
+            ) / self.units_dispatched
+        return out
+
+
+@dataclass
+class _Pending:
+    request: SampleRequest
+    future: Future
+    enqueued_at: float
+
+
+class SamplingService:
+    """In-process sampling service with shared-memory workers."""
+
+    def __init__(
+        self,
+        *,
+        num_workers: int = 2,
+        mode: str = "process",
+        batch_window_s: float = 0.002,
+        max_batch_requests: int = 64,
+        memory_budget_bytes: Optional[int] = 256 * 1024 * 1024,
+        oom_config: Optional[OutOfMemoryConfig] = None,
+        store: Optional[SharedGraphStore] = None,
+        unit_timeout_s: Optional[float] = 600.0,
+    ):
+        """``batch_window_s=0`` with ``max_batch_requests=1`` disables
+        coalescing entirely (every request runs alone) -- the benchmark's
+        baseline configuration.
+
+        ``unit_timeout_s`` bounds how long a dispatched unit may stay
+        unanswered before its requests fail.  It is the backstop for losses
+        the claim protocol cannot see (a worker killed before its claim
+        message flushed); ``None`` disables it.
+        """
+        if max_batch_requests < 1:
+            raise ValueError("max_batch_requests must be >= 1")
+        self.store = store if store is not None else SharedGraphStore()
+        self._owns_store = store is None
+        self.batch_window_s = float(batch_window_s)
+        self.max_batch_requests = int(max_batch_requests)
+        self.memory_budget_bytes = memory_budget_bytes
+        self._oom_config = oom_config
+        self._routes: Dict[str, str] = {}
+        self._graph_oom_configs: Dict[str, OutOfMemoryConfig] = {}
+        self._pool = WorkerPool(
+            num_workers, mode=mode, resolve_graph=self.store.graph
+        )
+        self._queue: "queue.Queue[Optional[_Pending]]" = queue.Queue()
+        self._coalescable: Dict[Tuple, bool] = {}
+        self.unit_timeout_s = unit_timeout_s
+        self._pending: Dict[int, _Pending] = {}
+        self._inflight: Dict[int, List[int]] = {}  # unit id -> request ids
+        self._claims: Dict[int, int] = {}  # unit id -> claiming worker pid
+        self._dispatched_at: Dict[int, float] = {}  # unit id -> perf_counter
+        self._unit_ids = itertools.count()
+        self._lock = threading.Lock()
+        self.stats = ServiceStats()
+        self._shutdown = threading.Event()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="sampling-dispatch", daemon=True
+        )
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="sampling-collect", daemon=True
+        )
+        # The monitor duplicates the collector's crash/timeout backstops on
+        # an independent thread: a collector blocked mid-recv on a truncated
+        # result pickle (worker killed while its queue feeder was writing)
+        # must not leave in-flight units unreapable.
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="sampling-monitor", daemon=True
+        )
+        self._dispatcher.start()
+        self._collector.start()
+        self._monitor.start()
+
+    # ------------------------------------------------------------------ #
+    # Graph admission
+    # ------------------------------------------------------------------ #
+    def load_graph(self, name: str, graph: Optional[CSRGraph] = None,
+                   *, path=None) -> str:
+        """Publish a graph (object or NPZ path) and decide its route.
+
+        Returns ``"in_memory"`` or ``"out_of_memory"``.
+        """
+        if (graph is None) == (path is None):
+            raise ValueError("pass exactly one of graph= or path=")
+        if path is not None:
+            handle = self.store.load_npz_file(name, path)
+        else:
+            handle = self.store.put(name, graph)
+        route = "in_memory"
+        if (
+            self.memory_budget_bytes is not None
+            and handle.nbytes > self.memory_budget_bytes
+        ):
+            route = "out_of_memory"
+            # Freeze the partitioning under the budget in force *now*:
+            # later budget changes must not resize an admitted graph's
+            # partitions out from under its documented sizing.
+            self._graph_oom_configs[name] = self._make_oom_config(handle)
+        self._routes[name] = route
+        return route
+
+    def route_of(self, name: str) -> str:
+        """The admission decision for a loaded graph."""
+        return self._routes[name]
+
+    def _make_oom_config(self, handle) -> OutOfMemoryConfig:
+        if self._oom_config is not None:
+            return self._oom_config
+        budget = (
+            self.memory_budget_bytes
+            if self.memory_budget_bytes is not None
+            else handle.nbytes
+        )
+        num_partitions = max(2, -(-handle.nbytes // max(budget, 1)))
+        return OutOfMemoryConfig.fully_optimized(
+            num_partitions=int(num_partitions),
+            max_resident_partitions=2,
+            num_kernels=2,
+        )
+
+    def _oom_config_for(self, name: str) -> OutOfMemoryConfig:
+        cached = self._graph_oom_configs.get(name)
+        if cached is None:  # pragma: no cover - oom graphs cache at admission
+            cached = self._make_oom_config(self.store.handle(name))
+            self._graph_oom_configs[name] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # Request intake
+    # ------------------------------------------------------------------ #
+    def submit(self, request: SampleRequest) -> Future:
+        """Queue a request; the future resolves to a :class:`SampleResponse`."""
+        if self._shutdown.is_set():
+            raise RuntimeError("service is shut down")
+        if request.graph not in self._routes:
+            raise KeyError(f"graph {request.graph!r} is not loaded")
+        handle = self.store.handle(request.graph)
+        if request.min_seed_vertex() < 0 or request.max_seed_vertex() >= handle.num_vertices:
+            raise ValueError(
+                f"request {request.request_id}: seeds outside "
+                f"[0, {handle.num_vertices})"
+            )
+        # Fail fast, synchronously: bad config overrides raise inside
+        # resolve_config, unhashable program kwargs inside the key's hash.
+        hash(request.class_key())
+        future: Future = Future()
+        pending = _Pending(request, future, time.perf_counter())
+        with self._lock:
+            self.stats.requests_submitted += 1
+            self._pending[request.request_id] = pending
+        self._queue.put(pending)
+        return future
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher: window batching + class grouping
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._shutdown.is_set():
+                    return
+                continue
+            if first is None:
+                return
+            batch = [first]
+            deadline = time.perf_counter() + self.batch_window_s
+            while len(batch) < self.max_batch_requests:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is None:
+                    self._safe_dispatch(batch)
+                    return
+                batch.append(item)
+            self._safe_dispatch(batch)
+
+    def _safe_dispatch(self, batch: List[_Pending]) -> None:
+        """Dispatch a batch; a failure fails the batch, never the thread."""
+        try:
+            self._dispatch_batch(batch)
+        except Exception as exc:  # pragma: no cover - defensive
+            for pending in batch:
+                self._fail(pending.request.request_id, f"dispatch failed: {exc!r}")
+
+    def _class_coalescable(self, request: SampleRequest) -> bool:
+        """Whether this request's program may share an engine batch."""
+        from repro.algorithms.registry import get_algorithm
+
+        key = (request.algorithm, tuple(sorted(request.program_kwargs.items())))
+        cached = self._coalescable.get(key)
+        if cached is None:
+            program = get_algorithm(request.algorithm).program_factory(
+                **request.program_kwargs
+            )
+            cached = bool(program.supports_coalescing)
+            self._coalescable[key] = cached
+        return cached
+
+    def _dispatch_batch(self, batch: List[_Pending]) -> None:
+        classes: Dict[Tuple, List[_Pending]] = {}
+        order: List[Tuple] = []
+        for pending in batch:
+            key = pending.request.class_key()
+            if key not in classes:
+                classes[key] = []
+                order.append(key)
+            classes[key].append(pending)
+        for key in order:
+            group = classes[key]
+            head_request = group[0].request
+            fusible = (
+                self._routes[head_request.graph] == "in_memory"
+                and self._class_coalescable(head_request)
+            )
+            if len(group) > 1 and not fusible:
+                # Non-coalescable programs and the out-of-memory path never
+                # fuse; one unit per request keeps them spread across
+                # workers instead of serialised on one (and keeps the
+                # coalescing stats honest).
+                units = [[pending] for pending in group]
+            else:
+                units = [group]
+            for members in units:
+                self._dispatch_unit(members)
+
+    def _dispatch_unit(self, members: List[_Pending]) -> None:
+        head = members[0].request
+        route = self._routes[head.graph]
+        unit = WorkUnit(
+            unit_id=next(self._unit_ids),
+            handle=self.store.handle(head.graph),
+            algorithm=head.algorithm,
+            config=head.resolve_config(),
+            program_kwargs=tuple(sorted(head.program_kwargs.items())),
+            requests=tuple(
+                RequestSpec(
+                    request_id=p.request.request_id,
+                    seeds=p.request.seeds,
+                    num_instances=p.request.num_instances,
+                )
+                for p in members
+            ),
+            route=route,
+            oom_config=(
+                self._oom_config_for(head.graph)
+                if route == "out_of_memory"
+                else None
+            ),
+        )
+        with self._lock:
+            self._inflight[unit.unit_id] = [
+                p.request.request_id for p in members
+            ]
+            self._dispatched_at[unit.unit_id] = time.perf_counter()
+            self.stats.units_dispatched += 1
+            if route == "out_of_memory":
+                self.stats.oom_requests += len(members)
+            if len(members) > 1:
+                self.stats.coalesced_requests += len(members)
+        self._pool.submit(unit)
+
+    # ------------------------------------------------------------------ #
+    # Collector: demultiplex worker results onto futures
+    # ------------------------------------------------------------------ #
+    def _collect_loop(self) -> None:
+        while True:
+            try:
+                message = self._pool.next_result(timeout=0.05)
+            except queue.Empty:
+                if self._shutdown.is_set() and not self._inflight:
+                    return
+                if self._inflight:
+                    self._reap_dead_workers(drain=True)
+                    self._expire_stale_units()
+                continue
+            except (EOFError, OSError):  # pragma: no cover - pool torn down
+                return
+            self._handle_message(message)
+
+    def _handle_message(self, message) -> None:
+        if isinstance(message, tuple) and message and message[0] == "claim":
+            _, unit_id, pid = message
+            with self._lock:
+                if unit_id in self._inflight:
+                    self._claims[unit_id] = pid
+            return
+        self._finish_unit(message)
+
+    def _monitor_loop(self) -> None:
+        while not self._shutdown.is_set():
+            time.sleep(0.1)
+            if self._inflight:
+                # Never drains here: draining means reading the result pipe,
+                # the very operation that can wedge after a worker crash.
+                self._reap_dead_workers(drain=False)
+                self._expire_stale_units()
+
+    def _reap_dead_workers(self, *, drain: bool) -> None:
+        """Fail units whose worker died; leave healthy workers' work alone."""
+        dead = set(self._pool.dead_worker_pids())
+        pool_dead = not self._pool.any_workers_alive()
+        if not dead and not pool_dead:
+            return
+        # A finished result may still be queued behind the death: drain
+        # whatever already arrived before declaring anything lost.
+        while drain:
+            try:
+                self._handle_message(self._pool.next_result(timeout=0.01))
+            except queue.Empty:
+                break
+            except (EOFError, OSError):  # pragma: no cover - pool torn down
+                break
+        with self._lock:
+            stuck = [
+                unit_id for unit_id, pid in self._claims.items()
+                if pid in dead and unit_id in self._inflight
+            ]
+            if pool_dead:
+                # Spawn failure / total loss: unclaimed queued units will
+                # never even be claimed.
+                stuck.extend(
+                    unit_id for unit_id in self._inflight
+                    if unit_id not in stuck
+                )
+        for unit_id in stuck:
+            self._finish_unit(UnitResult(
+                unit_id=unit_id, error="worker process died"
+            ))
+
+    def _expire_stale_units(self) -> None:
+        """Backstop for losses the claim protocol cannot see."""
+        if self.unit_timeout_s is None:
+            return
+        cutoff = time.perf_counter() - self.unit_timeout_s
+        with self._lock:
+            expired = [
+                unit_id for unit_id, started in self._dispatched_at.items()
+                if started < cutoff and unit_id in self._inflight
+            ]
+        for unit_id in expired:
+            self._finish_unit(UnitResult(
+                unit_id=unit_id,
+                error=f"unit unanswered after {self.unit_timeout_s}s",
+            ))
+
+    def _finish_unit(self, result: UnitResult) -> None:
+        with self._lock:
+            request_ids = self._inflight.pop(result.unit_id, [])
+            self._claims.pop(result.unit_id, None)
+            self._dispatched_at.pop(result.unit_id, None)
+        if result.error is not None:
+            for request_id in request_ids:
+                self._fail(request_id, result.error)
+            return
+        answered = set()
+        for payload in result.payloads:
+            answered.add(payload.request_id)
+            with self._lock:
+                pending = self._pending.pop(payload.request_id, None)
+            if pending is None:
+                continue
+            latency = time.perf_counter() - pending.enqueued_at
+            if payload.error is not None:
+                with self._lock:
+                    self.stats.requests_failed += 1
+                pending.future.set_exception(ServiceError(payload.error))
+                continue
+            response = SampleResponse(
+                request_id=payload.request_id,
+                graph=pending.request.graph,
+                algorithm=pending.request.algorithm,
+                samples=[
+                    InstanceSample(instance_id=i, seeds=s, edges=e)
+                    for i, s, e in payload.samples
+                ],
+                iteration_counts=payload.iteration_counts,
+                route=payload.route,
+                coalesced_with=payload.coalesced_with,
+                stats={**payload.stats, "latency_s": latency},
+            )
+            with self._lock:
+                self.stats.requests_completed += 1
+                self.stats.latencies_s.append(latency)
+            pending.future.set_result(response)
+        for request_id in request_ids:
+            if request_id not in answered:  # pragma: no cover - defensive
+                self._fail(request_id, "worker returned no payload")
+
+    def _fail(self, request_id: int, message: str) -> None:
+        with self._lock:
+            pending = self._pending.pop(request_id, None)
+            if pending is not None:
+                self.stats.requests_failed += 1
+        if pending is not None:
+            pending.future.set_exception(ServiceError(message))
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait until every submitted request has resolved."""
+        deadline = time.perf_counter() + timeout
+        while time.perf_counter() < deadline:
+            with self._lock:
+                if not self._pending and not self._inflight:
+                    return True
+            time.sleep(0.002)
+        return False
+
+    def shutdown(self, *, drain_timeout: float = 30.0) -> None:
+        """Drain, stop the threads, stop the workers, unlink the store."""
+        if self._shutdown.is_set():
+            return
+        self.drain(drain_timeout)
+        self._shutdown.set()
+        self._queue.put(None)
+        self._dispatcher.join(timeout=5.0)
+        self._collector.join(timeout=5.0)
+        self._monitor.join(timeout=5.0)
+        with self._lock:
+            leftovers = list(self._pending.values())
+            self._pending.clear()
+        for pending in leftovers:  # pragma: no cover - drain timeout path
+            if not pending.future.done():
+                pending.future.set_exception(ServiceError("service shut down"))
+        self._pool.shutdown()
+        if self._owns_store:
+            self.store.close()
+
+    def __enter__(self) -> "SamplingService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,328 @@
+"""Shared-memory graph store: one CSR copy mapped by every worker.
+
+The sampling service keeps each loaded graph's CSR arrays in
+:mod:`multiprocessing.shared_memory` segments.  Workers receive a
+:class:`SharedGraphHandle` (names, dtypes and lengths of the segments) and
+:func:`attach` zero-copy NumPy views over them, so N worker processes share
+one physical copy of the graph instead of N pickled replicas.
+
+Lifecycle contract
+------------------
+
+* ``put`` / ``load_npz_file`` (owner) -- create the segments and copy the CSR
+  arrays in; a per-graph int64 *refcount* segment starts at 1 (the owner's
+  reference).
+* ``attach`` (any process) -- map the segments, increment the refcount and
+  return an :class:`AttachedGraph`; call :meth:`AttachedGraph.close` when
+  done (decrements and unmaps).
+* ``release`` / ``close`` (owner) -- drop the owner reference and **unlink**
+  the segments.  Unlinking while workers are still attached is safe on
+  Linux: the memory lives until the last mapping closes, only the name
+  disappears.
+* Crash safety -- the owner registers an ``atexit`` hook that unlinks
+  everything it created, and every segment name carries the store's prefix
+  so :func:`leaked_segments` can audit ``/dev/shm`` after a run.
+
+The refcount is advisory (increments from concurrently attaching processes
+are not atomic); it exists so an owner can warn when it unlinks a graph that
+workers still map, not to arbitrate correctness.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.io import load_npz
+
+__all__ = [
+    "SharedGraphHandle",
+    "AttachedGraph",
+    "SharedGraphStore",
+    "attach",
+    "leaked_segments",
+]
+
+_REFCOUNT_FIELD = "refs"
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """Everything a worker needs to map one stored graph."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    nbytes: int
+    #: ``(field, shared-memory segment name, dtype string, length)`` tuples
+    #: for ``row_ptr`` / ``col_idx`` / optionally ``weights`` plus the
+    #: refcount segment.
+    segments: Tuple[Tuple[str, str, str, int], ...]
+
+    @property
+    def weighted(self) -> bool:
+        """Whether the stored graph carries per-edge weights."""
+        return any(field == "weights" for field, _, _, _ in self.segments)
+
+
+class AttachedGraph:
+    """A process-local mapping of a stored graph (hold it while sampling)."""
+
+    def __init__(self, handle: SharedGraphHandle, graph: CSRGraph,
+                 shms: List[shared_memory.SharedMemory],
+                 refcount: Optional[np.ndarray]):
+        self.handle = handle
+        self.graph = graph
+        self._shms = shms
+        self._refcount = refcount
+        self._closed = False
+
+    @property
+    def refcount(self) -> int:
+        """Current (advisory) number of references to the stored graph."""
+        return int(self._refcount[0]) if self._refcount is not None else 0
+
+    def close(self) -> None:
+        """Drop this mapping (decrements the refcount; never unlinks)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._refcount is not None:
+            self._refcount[0] -= 1
+            self._refcount = None
+        # Drop array views before unmapping; a mapping with live exports
+        # cannot be closed, so the graph must not be used past this point.
+        self.graph = None  # type: ignore[assignment]
+        for shm in self._shms:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - exported views survive
+                pass
+        self._shms = []
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+_attach_lock = threading.Lock()
+
+
+def _open_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting unlink responsibility.
+
+    Python < 3.13 registers every attached segment with the resource
+    tracker, which makes an attach-only consumer's tracker unlink (or
+    double-unregister) segments the *owner* is responsible for.  Suppress
+    the registration during the attach; 3.13+ expresses the same thing as
+    ``track=False``.  ``_attach_lock`` keeps this module's own segment
+    *creation* (:meth:`SharedGraphStore.put`) out of the suppression
+    window; a concurrent creation by unrelated third-party code in another
+    thread could still slip through it un-tracked on Python < 3.13.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # pragma: no cover - Python < 3.13
+        pass
+    with _attach_lock:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original  # type: ignore[assignment]
+
+
+def attach(handle: SharedGraphHandle) -> AttachedGraph:
+    """Map a stored graph into this process (zero-copy views of the CSR)."""
+    shms: List[shared_memory.SharedMemory] = []
+    arrays: Dict[str, np.ndarray] = {}
+    refcount: Optional[np.ndarray] = None
+    try:
+        for field, segment_name, dtype, length in handle.segments:
+            shm = _open_segment(segment_name)
+            shms.append(shm)
+            view = np.ndarray((length,), dtype=np.dtype(dtype), buffer=shm.buf)
+            if field == _REFCOUNT_FIELD:
+                refcount = view
+            else:
+                arrays[field] = view
+        graph = CSRGraph(
+            arrays["row_ptr"], arrays["col_idx"], arrays.get("weights")
+        )
+    except Exception:
+        for shm in shms:
+            try:
+                shm.close()
+            except Exception:
+                pass
+        raise
+    if refcount is not None:
+        refcount[0] += 1
+    return AttachedGraph(handle, graph, shms, refcount)
+
+
+def leaked_segments(prefix: str) -> List[str]:
+    """Names under ``/dev/shm`` still carrying ``prefix`` (Linux audit)."""
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+        return []
+    return sorted(n for n in os.listdir(shm_dir) if n.startswith(prefix))
+
+
+class _StoredGraph:
+    """Owner-side record of one published graph."""
+
+    def __init__(self, handle: SharedGraphHandle,
+                 shms: List[shared_memory.SharedMemory],
+                 refcount: np.ndarray, graph: CSRGraph):
+        self.handle = handle
+        self.shms = shms
+        self.refcount = refcount
+        self.graph = graph
+
+
+class SharedGraphStore:
+    """Owner of the service's shared-memory graph segments."""
+
+    def __init__(self, prefix: Optional[str] = None):
+        #: Segment-name prefix; also the handle for leak audits.  Kept short:
+        #: POSIX shm names are limited and macOS caps them at 31 characters.
+        self.prefix = prefix or f"csaw{os.getpid() % 100000}x{secrets.token_hex(2)}"
+        self._graphs: Dict[str, _StoredGraph] = {}
+        self._segment_counter = 0  # never reused, even after release()
+        self._closed = False
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------ #
+    def put(self, name: str, graph: CSRGraph) -> SharedGraphHandle:
+        """Publish a graph; returns the handle workers attach with."""
+        if self._closed:
+            raise RuntimeError("store is closed")
+        if name in self._graphs:
+            raise ValueError(f"graph {name!r} is already stored")
+        arrays: List[Tuple[str, np.ndarray]] = [
+            ("row_ptr", graph.row_ptr),
+            ("col_idx", graph.col_idx),
+        ]
+        if graph.weights is not None:
+            arrays.append(("weights", graph.weights))
+        arrays.append((_REFCOUNT_FIELD, np.ones(1, dtype=np.int64)))
+
+        shms: List[shared_memory.SharedMemory] = []
+        segments: List[Tuple[str, str, str, int]] = []
+        views: Dict[str, np.ndarray] = {}
+        try:
+            for field, source in arrays:
+                segment_name = f"{self.prefix}s{self._segment_counter}"
+                self._segment_counter += 1
+                with _attach_lock:  # keep creation out of attach's
+                    shm = shared_memory.SharedMemory(  # register-suppression
+                        create=True, size=max(int(source.nbytes), 1),
+                        name=segment_name,
+                    )
+                shms.append(shm)
+                view = np.ndarray(source.shape, dtype=source.dtype, buffer=shm.buf)
+                np.copyto(view, source)
+                views[field] = view
+                segments.append(
+                    (field, segment_name, source.dtype.str, int(source.size))
+                )
+        except Exception:
+            for shm in shms:
+                try:
+                    shm.close()
+                    shm.unlink()
+                except Exception:
+                    pass
+            raise
+
+        handle = SharedGraphHandle(
+            name=name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            nbytes=graph.nbytes,
+            segments=tuple(segments),
+        )
+        shared_graph = CSRGraph(
+            views["row_ptr"], views["col_idx"], views.get("weights")
+        )
+        self._graphs[name] = _StoredGraph(
+            handle, shms, views[_REFCOUNT_FIELD], shared_graph
+        )
+        return handle
+
+    def load_npz_file(self, name: str, path, *, mmap: bool = True) -> SharedGraphHandle:
+        """Load an NPZ graph straight into shared memory.
+
+        With ``mmap=True`` (and an uncompressed NPZ) the file's pages are
+        copied directly into the segments without an intermediate heap copy.
+        """
+        return self.put(name, load_npz(path, mmap=mmap))
+
+    # ------------------------------------------------------------------ #
+    def handle(self, name: str) -> SharedGraphHandle:
+        """Handle of a stored graph."""
+        return self._stored(name).handle
+
+    def graph(self, name: str) -> CSRGraph:
+        """Owner-side zero-copy view of a stored graph (thread workers use it)."""
+        return self._stored(name).graph
+
+    def refcount(self, name: str) -> int:
+        """Advisory reference count of a stored graph."""
+        return int(self._stored(name).refcount[0])
+
+    def names(self) -> List[str]:
+        """Names of all stored graphs."""
+        return sorted(self._graphs)
+
+    def _stored(self, name: str) -> _StoredGraph:
+        stored = self._graphs.get(name)
+        if stored is None:
+            raise KeyError(f"no graph named {name!r} in the store")
+        return stored
+
+    # ------------------------------------------------------------------ #
+    def release(self, name: str) -> None:
+        """Drop and unlink one graph's segments (see the lifecycle contract)."""
+        stored = self._graphs.pop(name, None)
+        if stored is None:
+            return
+        stored.refcount[0] -= 1
+        stored.graph = None  # type: ignore[assignment]
+        stored.refcount = None  # type: ignore[assignment]
+        for shm in stored.shms:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - exported views survive
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def close(self) -> None:
+        """Release every stored graph; idempotent (also runs at exit)."""
+        if self._closed:
+            return
+        for name in list(self._graphs):
+            self.release(name)
+        self._closed = True
+        atexit.unregister(self.close)
+
+    def __enter__(self) -> "SharedGraphStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

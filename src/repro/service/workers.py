@@ -1,0 +1,353 @@
+"""Worker pool: each worker drives coalesced engine batches over shared graphs.
+
+A :class:`WorkUnit` is one dispatchable chunk of the front-end's batching
+decision: a graph handle plus one *class* of compatible requests (same
+algorithm, config and program constructor arguments).  Workers execute the
+whole class as a single coalesced engine batch
+(:func:`repro.engine.hetero.run_coalesced`) when the program allows it, or
+one standalone run per request otherwise, and ship back per-request payloads
+of plain arrays.
+
+Three pool modes share the exact same execution path
+(:func:`execute_unit`):
+
+* ``"process"`` -- real OS processes (spawn), each attaching the store's
+  shared-memory segments; the production shape.
+* ``"thread"``  -- threads mapping the owner's views directly; no process
+  startup cost, useful for benchmarks of coalescing itself and on small
+  boxes.
+* ``"inline"``  -- alias for one thread; deterministic single-consumer mode
+  used by tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import traceback
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.config import SamplingConfig
+from repro.api.instance import make_instances
+from repro.api.sampler import GraphSampler
+from repro.engine.hetero import run_coalesced
+from repro.graph.csr import CSRGraph
+from repro.oom.scheduler import OutOfMemoryConfig, OutOfMemorySampler
+from repro.service.store import SharedGraphHandle, attach
+
+__all__ = [
+    "RequestSpec",
+    "WorkUnit",
+    "RequestPayload",
+    "UnitResult",
+    "execute_unit",
+    "WorkerPool",
+]
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One request's execution inputs (the picklable subset)."""
+
+    request_id: int
+    seeds: Tuple
+    num_instances: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One class of compatible requests bound for a single worker."""
+
+    unit_id: int
+    handle: SharedGraphHandle
+    algorithm: str
+    config: SamplingConfig
+    program_kwargs: Tuple[Tuple[str, object], ...]
+    requests: Tuple[RequestSpec, ...]
+    #: ``"in_memory"`` or ``"out_of_memory"`` (the admission policy's call).
+    route: str = "in_memory"
+    oom_config: Optional[OutOfMemoryConfig] = None
+
+
+@dataclass
+class RequestPayload:
+    """Per-request result shipped back from a worker."""
+
+    request_id: int
+    #: ``(instance_id, seeds, edges)`` per instance, in instance order.
+    samples: List[Tuple[int, np.ndarray, np.ndarray]] = field(default_factory=list)
+    iteration_counts: List[int] = field(default_factory=list)
+    route: str = "in_memory"
+    coalesced_with: int = 1
+    stats: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+
+
+@dataclass
+class UnitResult:
+    """Everything a worker produced for one :class:`WorkUnit`."""
+
+    unit_id: int
+    payloads: List[RequestPayload] = field(default_factory=list)
+    error: Optional[str] = None
+
+
+# --------------------------------------------------------------------------- #
+# Execution (mode-independent)
+# --------------------------------------------------------------------------- #
+def _payload_from_result(spec: RequestSpec, result, route: str,
+                         coalesced_with: int) -> RequestPayload:
+    return RequestPayload(
+        request_id=spec.request_id,
+        samples=[(s.instance_id, s.seeds, s.edges) for s in result.samples],
+        iteration_counts=list(result.iteration_counts),
+        route=route,
+        coalesced_with=coalesced_with,
+        stats={
+            "sampled_edges": float(result.total_sampled_edges),
+            "kernel_time_s": float(result.kernel_time()),
+        },
+    )
+
+
+def execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
+    """Run one work unit against an already-attached graph."""
+    from repro.algorithms.registry import get_algorithm
+
+    info = get_algorithm(unit.algorithm)
+    kwargs = dict(unit.program_kwargs)
+    payloads: List[RequestPayload] = []
+
+    if unit.route == "out_of_memory":
+        # Oversized graphs run the partition-scheduled sampler, one request
+        # per run (bit-identical to a standalone OutOfMemorySampler by
+        # construction); a fresh program per request keeps stateful hooks
+        # standalone-equivalent.
+        for spec in unit.requests:
+            try:
+                sampler = OutOfMemorySampler(
+                    graph, info.program_factory(**kwargs), unit.config,
+                    unit.oom_config,
+                )
+                oom_result = sampler.run(
+                    list(spec.seeds), num_instances=spec.num_instances
+                )
+                payload = _payload_from_result(
+                    spec, oom_result.sample, "out_of_memory", 1
+                )
+                payload.stats["makespan"] = float(oom_result.makespan)
+                payloads.append(payload)
+            except Exception:
+                payloads.append(RequestPayload(
+                    request_id=spec.request_id, route="out_of_memory",
+                    error=traceback.format_exc(limit=8),
+                ))
+        return UnitResult(unit_id=unit.unit_id, payloads=payloads)
+
+    probe = info.program_factory(**kwargs)
+    if probe.supports_coalescing and len(unit.requests) > 1:
+        try:
+            members = [
+                make_instances(
+                    list(spec.seeds), num_instances=spec.num_instances
+                )
+                for spec in unit.requests
+            ]
+            results = run_coalesced(graph, probe, unit.config, members)
+            for spec, result in zip(unit.requests, results):
+                payloads.append(_payload_from_result(
+                    spec, result, "in_memory", len(unit.requests)
+                ))
+            return UnitResult(unit_id=unit.unit_id, payloads=payloads)
+        except Exception:
+            # One member's failure must not take down the whole batch: fall
+            # through to the solo loop, which isolates errors per request.
+            # Surface the fused failure (worker stderr + payload stats) so a
+            # reproducible batch-only engine bug cannot hide behind the
+            # fallback doing double work forever.
+            warnings.warn(
+                "coalesced batch failed, falling back to per-request runs:\n"
+                + traceback.format_exc(limit=8)
+            )
+            payloads = []
+            fell_back = True
+    else:
+        fell_back = False
+
+    for spec in unit.requests:
+        try:
+            sampler = GraphSampler(
+                graph, info.program_factory(**kwargs), unit.config
+            )
+            result = sampler.run(list(spec.seeds), num_instances=spec.num_instances)
+            payload = _payload_from_result(spec, result, "in_memory", 1)
+            if fell_back:
+                payload.stats["coalesced_fallback"] = 1.0
+            payloads.append(payload)
+        except Exception:
+            payloads.append(RequestPayload(
+                request_id=spec.request_id, error=traceback.format_exc(limit=8),
+            ))
+    return UnitResult(unit_id=unit.unit_id, payloads=payloads)
+
+
+# --------------------------------------------------------------------------- #
+# Worker loops
+# --------------------------------------------------------------------------- #
+def _process_worker_main(task_queue, result_queue) -> None:
+    """Process-mode worker: attach shared graphs lazily, loop until sentinel."""
+    import os
+
+    attached: Dict[str, object] = {}
+    try:
+        while True:
+            unit = task_queue.get()
+            if unit is None:
+                break
+            # Claim the unit before running it: if this process dies mid-unit
+            # the front-end can fail exactly this unit instead of guessing.
+            result_queue.put(("claim", unit.unit_id, os.getpid()))
+            try:
+                # Cache by name, validated by segment identity: releasing a
+                # graph and publishing a different one under the same name
+                # must not serve the stale mapping.
+                mapping = attached.get(unit.handle.name)
+                if mapping is None or mapping.handle.segments != unit.handle.segments:
+                    if mapping is not None:
+                        mapping.close()
+                    mapping = attach(unit.handle)
+                    attached[unit.handle.name] = mapping
+                result = execute_unit(mapping.graph, unit)
+            except Exception:
+                result = UnitResult(
+                    unit_id=unit.unit_id, error=traceback.format_exc(limit=8)
+                )
+            result_queue.put(result)
+    finally:
+        for mapping in attached.values():
+            try:
+                mapping.close()
+            except Exception:
+                pass
+
+
+def _thread_worker_main(task_queue, result_queue,
+                        resolve_graph: Callable[[str], CSRGraph]) -> None:
+    """Thread-mode worker: graphs come straight from the owner's store."""
+    while True:
+        unit = task_queue.get()
+        if unit is None:
+            break
+        try:
+            result = execute_unit(resolve_graph(unit.handle.name), unit)
+        except Exception:
+            result = UnitResult(
+                unit_id=unit.unit_id, error=traceback.format_exc(limit=8)
+            )
+        result_queue.put(result)
+
+
+class WorkerPool:
+    """Fixed-size pool executing :class:`WorkUnit`s, any of three modes."""
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        *,
+        mode: str = "process",
+        resolve_graph: Optional[Callable[[str], CSRGraph]] = None,
+        mp_context: str = "spawn",
+    ):
+        if mode == "inline":
+            mode, num_workers = "thread", 1
+        if mode not in ("process", "thread"):
+            raise ValueError(f"unknown worker mode {mode!r}")
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if mode == "thread" and resolve_graph is None:
+            raise ValueError("thread mode needs a resolve_graph callable")
+        self.mode = mode
+        self.num_workers = num_workers
+        self._workers: List = []
+        self._closed = False
+        if mode == "process":
+            ctx = multiprocessing.get_context(mp_context)
+            self._tasks = ctx.Queue()
+            self._results = ctx.Queue()
+            for _ in range(num_workers):
+                proc = ctx.Process(
+                    target=_process_worker_main,
+                    args=(self._tasks, self._results),
+                    daemon=True,
+                )
+                proc.start()
+                self._workers.append(proc)
+        else:
+            self._tasks = queue.Queue()
+            self._results = queue.Queue()
+            for _ in range(num_workers):
+                thread = threading.Thread(
+                    target=_thread_worker_main,
+                    args=(self._tasks, self._results, resolve_graph),
+                    daemon=True,
+                )
+                thread.start()
+                self._workers.append(thread)
+
+    # ------------------------------------------------------------------ #
+    def submit(self, unit: WorkUnit) -> None:
+        """Queue a unit for execution."""
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        self._tasks.put(unit)
+
+    def next_result(self, timeout: Optional[float] = None) -> UnitResult:
+        """Block for the next finished unit (raises ``queue.Empty`` on timeout)."""
+        return self._results.get(timeout=timeout)
+
+    def any_workers_alive(self) -> bool:
+        """Whether at least one worker is still running (a fully dead pool --
+        typically a spawn failure -- means every queued unit hangs forever)."""
+        if self._closed:
+            return False
+        return any(worker.is_alive() for worker in self._workers)
+
+    def dead_worker_pids(self) -> List[int]:
+        """Pids of process workers that are no longer alive.
+
+        Combined with the workers' claim messages this identifies exactly
+        which in-flight units died with their worker.  Thread workers cannot
+        die silently (their loop catches exceptions), so thread pools always
+        return an empty list.
+        """
+        if self._closed or self.mode != "process":
+            return []
+        return [
+            worker.pid for worker in self._workers
+            if worker.pid is not None and not worker.is_alive()
+        ]
+
+    def shutdown(self, join_timeout: float = 5.0) -> None:
+        """Stop all workers (drains nothing: call after the queue is idle)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._tasks.put(None)
+        for worker in self._workers:
+            worker.join(timeout=join_timeout)
+        if self.mode == "process":
+            for worker in self._workers:
+                if worker.is_alive():  # pragma: no cover - stuck worker
+                    worker.terminate()
+            self._tasks.close()
+            self._results.close()
+            # Queue feeder threads must wind down before interpreter exit.
+            self._tasks.join_thread()
+            self._results.join_thread()
+        self._workers = []

@@ -1,0 +1,175 @@
+"""Per-request determinism under coalescing (the service's acceptance bar).
+
+A request with a fixed seed must return identical edges whether it ran alone
+or coalesced into a batch with other requests -- for every registered
+algorithm, at both layers:
+
+* engine layer: :func:`repro.engine.hetero.run_coalesced` /
+  :func:`run_heterogeneous` vs standalone :class:`GraphSampler` runs
+  (extending the ``tests/integration/test_engine_equivalence`` approach);
+* service layer: responses from a live :class:`SamplingService` under
+  concurrent submission vs the same standalone runs.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import ALGORITHM_REGISTRY
+from repro.api.instance import make_instances
+from repro.api.sampler import GraphSampler
+from repro.engine.hetero import InstanceGroup, run_coalesced, run_heterogeneous
+from repro.graph.generators import powerlaw_graph
+from repro.service import SamplingClient, SamplingService
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(300, 6.0, exponent=2.2, seed=3)
+
+
+MEMBER_SEEDS = [
+    list(range(0, 300, 17)),
+    [5, 9, 250],
+    list(range(1, 100, 7)),
+]
+
+
+def make_groups(info, config):
+    """Instance groups as the service builds them: one shared program for
+    coalescable algorithms, a fresh program per request otherwise."""
+    if info.program_factory().supports_coalescing:
+        program = info.program_factory()
+        return [
+            InstanceGroup(program, config, make_instances(seeds))
+            for seeds in MEMBER_SEEDS
+        ]
+    return [
+        InstanceGroup(info.program_factory(), config, make_instances(seeds))
+        for seeds in MEMBER_SEEDS
+    ]
+
+
+def assert_member_equivalent(standalone, coalesced):
+    assert len(standalone.samples) == len(coalesced.samples)
+    for a, b in zip(standalone.samples, coalesced.samples):
+        assert a.instance_id == b.instance_id
+        assert np.array_equal(a.seeds, b.seeds)
+        assert np.array_equal(a.edges, b.edges)
+    assert standalone.iteration_counts == coalesced.iteration_counts
+
+
+class TestEngineLayer:
+    @pytest.mark.parametrize("name", sorted(ALGORITHM_REGISTRY))
+    def test_every_registered_algorithm(self, graph, name):
+        info = ALGORITHM_REGISTRY[name]
+        config = info.config_factory(seed=11)
+        standalone = [
+            GraphSampler(graph, info.program_factory(), config).run(seeds)
+            for seeds in MEMBER_SEEDS
+        ]
+        coalesced = run_heterogeneous(graph, make_groups(info, config))
+        for ref, got in zip(standalone, coalesced):
+            assert_member_equivalent(ref, got)
+
+    def test_mixed_configs_in_one_heterogeneous_batch(self, graph):
+        """Different (algorithm, config) groups ride one batch untouched."""
+        walk = ALGORITHM_REGISTRY["simple_random_walk"]
+        neigh = ALGORITHM_REGISTRY["unbiased_neighbor_sampling"]
+        walk_config = walk.config_factory(seed=2, depth=5)
+        neigh_config = neigh.config_factory(seed=8, depth=2, neighbor_size=3)
+        walk_program = walk.program_factory()
+        groups = [
+            InstanceGroup(walk_program, walk_config, make_instances([1, 2, 3])),
+            InstanceGroup(neigh.program_factory(), neigh_config,
+                          make_instances([10, 20])),
+            InstanceGroup(walk_program, walk_config, make_instances([7])),
+        ]
+        results = run_heterogeneous(graph, groups)
+        refs = [
+            GraphSampler(graph, walk.program_factory(), walk_config).run([1, 2, 3]),
+            GraphSampler(graph, neigh.program_factory(), neigh_config).run([10, 20]),
+            GraphSampler(graph, walk.program_factory(), walk_config).run([7]),
+        ]
+        for ref, got in zip(refs, results):
+            assert_member_equivalent(ref, got)
+
+    def test_coalesced_metadata_records_batch_size(self, graph):
+        info = ALGORITHM_REGISTRY["deepwalk"]
+        config = info.config_factory(seed=1)
+        program = info.program_factory()
+        results = run_coalesced(
+            graph, program, config,
+            [make_instances([1, 2]), make_instances([3])],
+        )
+        assert all(r.metadata["coalesced_members"] == 2 for r in results)
+
+    def test_run_alone_equals_run_in_any_company(self, graph):
+        """The same member is bit-identical across differently-sized batches."""
+        info = ALGORITHM_REGISTRY["node2vec"]
+        config = info.config_factory(seed=5)
+        target = [4, 44, 144]
+        alone = run_coalesced(
+            graph, info.program_factory(), config, [make_instances(target)]
+        )[0]
+        for company in ([[9]], [[9], [10, 11]], [list(range(0, 200, 13))]):
+            members = [make_instances(target)] + [
+                make_instances(seeds) for seeds in company
+            ]
+            batched = run_coalesced(
+                graph, info.program_factory(), config, members
+            )[0]
+            assert_member_equivalent(alone, batched)
+
+    def test_rejects_out_of_range_seeds(self, graph):
+        info = ALGORITHM_REGISTRY["deepwalk"]
+        with pytest.raises(ValueError):
+            run_coalesced(
+                graph, info.program_factory(), info.config_factory(seed=1),
+                [make_instances([graph.num_vertices + 5])],
+            )
+
+
+class TestServiceLayer:
+    @pytest.fixture(scope="class")
+    def service(self, graph):
+        svc = SamplingService(
+            num_workers=1, mode="thread", batch_window_s=0.02,
+            memory_budget_bytes=None,
+        )
+        svc.load_graph("g", graph)
+        yield svc
+        svc.shutdown()
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHM_REGISTRY))
+    def test_concurrent_requests_match_standalone(self, graph, service, name):
+        info = ALGORITHM_REGISTRY[name]
+        config = info.config_factory(seed=13)
+        client = SamplingClient(service)
+        responses = {}
+
+        def issue(rank, seeds):
+            responses[rank] = client.sample(
+                "g", name, seeds, seed=13, timeout=60
+            )
+
+        threads = [
+            threading.Thread(target=issue, args=(rank, seeds))
+            for rank, seeds in enumerate(MEMBER_SEEDS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for rank, seeds in enumerate(MEMBER_SEEDS):
+            ref = GraphSampler(graph, info.program_factory(), config).run(seeds)
+            got = responses[rank]
+            assert got.ok and got.route == "in_memory"
+            assert len(ref.samples) == len(got.samples)
+            for a, b in zip(ref.samples, got.samples):
+                assert a.instance_id == b.instance_id
+                assert np.array_equal(a.seeds, b.seeds)
+                assert np.array_equal(a.edges, b.edges)
+            assert ref.iteration_counts == got.iteration_counts

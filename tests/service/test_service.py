@@ -1,0 +1,380 @@
+"""End-to-end sampling-service behaviour: coalescing, routing, clients,
+process workers, shutdown hygiene."""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import ALGORITHM_REGISTRY
+from repro.api.requests import SampleRequest
+from repro.api.sampler import GraphSampler
+from repro.graph.generators import powerlaw_graph
+from repro.oom.scheduler import OutOfMemorySampler
+from repro.service import (
+    AsyncSamplingClient,
+    SamplingClient,
+    SamplingService,
+    ServiceError,
+    leaked_segments,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(400, 6.0, seed=2)
+
+
+@pytest.fixture()
+def service(graph):
+    svc = SamplingService(
+        num_workers=1, mode="thread", batch_window_s=0.01,
+        memory_budget_bytes=None,
+    )
+    svc.load_graph("g", graph)
+    yield svc
+    svc.shutdown()
+
+
+class TestRequestHandling:
+    def test_single_request_roundtrip(self, service):
+        client = SamplingClient(service)
+        response = client.sample("g", "deepwalk", [1, 2, 3], depth=4, seed=1,
+                                 timeout=30)
+        assert response.ok
+        assert response.num_instances == 3
+        assert response.total_sampled_edges > 0
+        assert response.stats["latency_s"] > 0
+        assert response.all_edges().shape[1] == 2
+
+    def test_num_instances_round_robin(self, service):
+        client = SamplingClient(service)
+        response = client.sample("g", "deepwalk", [1, 2], num_instances=5,
+                                 depth=3, seed=1, timeout=30)
+        assert response.num_instances == 5
+        assert [int(s.seeds[0]) for s in response.samples] == [1, 2, 1, 2, 1]
+
+    def test_concurrent_compatible_requests_coalesce(self, service):
+        client = SamplingClient(service)
+        responses = {}
+
+        def issue(rank):
+            responses[rank] = client.sample(
+                "g", "simple_random_walk", [rank, rank + 50], depth=5, seed=3,
+                timeout=30,
+            )
+
+        threads = [threading.Thread(target=issue, args=(r,)) for r in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert max(r.coalesced_with for r in responses.values()) > 1
+
+    def test_incompatible_configs_do_not_share_a_class(self, service):
+        client = SamplingClient(service)
+        responses = {}
+
+        def issue(rank):
+            responses[rank] = client.sample(
+                "g", "simple_random_walk", [rank], depth=5, seed=rank,
+                timeout=30,
+            )
+
+        threads = [threading.Thread(target=issue, args=(r,)) for r in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Different RNG seeds -> different class keys -> never coalesced.
+        assert all(r.coalesced_with == 1 for r in responses.values())
+
+    def test_non_coalescable_requests_get_one_unit_each(self, service):
+        client = SamplingClient(service)
+        responses = {}
+
+        def issue(rank):
+            responses[rank] = client.sample(
+                "g", "forest_fire_sampling", [rank], depth=2, seed=4,
+                timeout=30,
+            )
+
+        before = service.stats.units_dispatched
+        threads = [threading.Thread(target=issue, args=(r,)) for r in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Stateful programs never fuse: even identically-configured
+        # concurrent requests must each get their own work unit.
+        assert service.stats.units_dispatched - before == 4
+        assert all(r.coalesced_with == 1 for r in responses.values())
+
+    def test_coalesced_batch_failure_isolates_requests(self, graph):
+        from repro.api.bias import SamplingProgram
+        from repro.service.workers import RequestSpec, WorkUnit, execute_unit
+        from repro.service.store import SharedGraphStore
+        from repro.algorithms import registry as registry_module
+        from repro.algorithms.registry import ALGORITHM_REGISTRY, AlgorithmInfo
+
+        class ExplodingProgram(SamplingProgram):
+            name = "exploding"
+            supports_coalescing = True  # claims purity, then violates it
+
+            def update(self, edges, sampled):
+                if edges.instance.seeds[0] == 13:
+                    raise RuntimeError("boom")
+                return sampled
+
+        info = ALGORITHM_REGISTRY["unbiased_neighbor_sampling"]
+        registry_module.ALGORITHM_REGISTRY["exploding"] = AlgorithmInfo(
+            name="exploding", bias="unbiased", neighbor_shape="constant",
+            scope="per_vertex", is_random_walk=False,
+            program_factory=ExplodingProgram,
+            config_factory=info.config_factory,
+        )
+        try:
+            unit = WorkUnit(
+                unit_id=1, handle=None, algorithm="exploding",
+                config=info.config_factory(seed=1, depth=2),
+                program_kwargs=(),
+                requests=(
+                    RequestSpec(request_id=100, seeds=(5,)),
+                    RequestSpec(request_id=101, seeds=(13,)),
+                    RequestSpec(request_id=102, seeds=(7,)),
+                ),
+            )
+            with pytest.warns(UserWarning, match="coalesced batch failed"):
+                result = execute_unit(graph, unit)
+            assert result.error is None
+            by_id = {p.request_id: p for p in result.payloads}
+            # The faulty member fails alone; its batch peers still succeed,
+            # and every solo rerun is marked as a fallback.
+            assert by_id[101].error is not None
+            assert by_id[100].error is None and by_id[102].error is None
+            assert by_id[100].stats["coalesced_fallback"] == 1.0
+        finally:
+            del registry_module.ALGORITHM_REGISTRY["exploding"]
+
+    def test_unknown_graph_rejected(self, service):
+        with pytest.raises(KeyError):
+            service.submit(SampleRequest(graph="nope", algorithm="deepwalk",
+                                         seeds=(1,)))
+
+    def test_out_of_range_seeds_rejected(self, service, graph):
+        with pytest.raises(ValueError):
+            service.submit(SampleRequest(
+                graph="g", algorithm="deepwalk",
+                seeds=(graph.num_vertices + 1,),
+            ))
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(KeyError):
+            SampleRequest(graph="g", algorithm="not_an_algorithm", seeds=(1,))
+
+    def test_bad_config_override_fails_fast(self, service):
+        with pytest.raises(TypeError):
+            service.submit(SampleRequest(
+                graph="g", algorithm="deepwalk", seeds=(1,),
+                config_overrides={"not_a_field": 3},
+            ))
+
+    def test_unhashable_program_kwargs_fail_at_submit(self, service):
+        # Must raise synchronously, not kill the dispatcher thread later.
+        with pytest.raises(TypeError):
+            service.submit(SampleRequest(
+                graph="g", algorithm="node2vec", seeds=(1,),
+                program_kwargs={"p": [1, 2]},
+            ))
+        client = SamplingClient(service)
+        assert client.sample("g", "deepwalk", [1], depth=2, seed=1,
+                             timeout=30).ok
+
+    def test_program_kwargs_separate_classes(self, service):
+        client = SamplingClient(service)
+        a = client.sample("g", "node2vec", [3], seed=2,
+                          program_kwargs={"p": 4.0}, timeout=30)
+        b = client.sample("g", "node2vec", [3], seed=2,
+                          program_kwargs={"p": 0.25}, timeout=30)
+        assert a.ok and b.ok
+
+
+class TestAsyncClient:
+    def test_async_fanout(self, service, graph):
+        client = AsyncSamplingClient(service)
+
+        async def fanout():
+            tasks = [
+                client.sample("g", "simple_random_walk", [i], depth=4, seed=5)
+                for i in range(8)
+            ]
+            return await asyncio.gather(*tasks)
+
+        responses = asyncio.run(fanout())
+        assert len(responses) == 8
+        info = ALGORITHM_REGISTRY["simple_random_walk"]
+        config = info.config_factory(depth=4, seed=5)
+        for i, response in enumerate(responses):
+            ref = GraphSampler(graph, info.program_factory(), config).run([i])
+            assert np.array_equal(ref.samples[0].edges, response.samples[0].edges)
+
+
+class TestAdmissionRouting:
+    def test_oversized_graph_routes_out_of_memory(self, graph):
+        svc = SamplingService(
+            num_workers=1, mode="thread", batch_window_s=0.0,
+            memory_budget_bytes=1024,
+        )
+        try:
+            assert svc.load_graph("big", graph) == "out_of_memory"
+            client = SamplingClient(svc)
+            response = client.sample("big", "unbiased_neighbor_sampling",
+                                     [3, 5, 7], depth=2, neighbor_size=3,
+                                     seed=9, timeout=60)
+            assert response.route == "out_of_memory"
+            info = ALGORITHM_REGISTRY["unbiased_neighbor_sampling"]
+            ref = OutOfMemorySampler(
+                graph, info.program_factory(),
+                info.config_factory(depth=2, neighbor_size=3, seed=9),
+                svc._oom_config_for("big"),
+            ).run([3, 5, 7])
+            for a, b in zip(ref.sample.samples, response.samples):
+                assert np.array_equal(a.edges, b.edges)
+            # OOM requests never fuse: identical concurrent requests must
+            # still get one unit each (spread across workers).
+            before = svc.stats.units_dispatched
+            responses = {}
+
+            def issue(rank):
+                responses[rank] = client.sample(
+                    "big", "simple_random_walk", [rank], depth=3, seed=2,
+                    timeout=60,
+                )
+
+            threads = [threading.Thread(target=issue, args=(r,))
+                       for r in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert svc.stats.units_dispatched - before == 3
+            assert all(r.coalesced_with == 1 for r in responses.values())
+        finally:
+            svc.shutdown()
+
+    def test_small_graph_routes_in_memory(self, graph):
+        svc = SamplingService(num_workers=1, mode="thread",
+                              memory_budget_bytes=64 * 1024 * 1024)
+        try:
+            assert svc.load_graph("small", graph) == "in_memory"
+        finally:
+            svc.shutdown()
+
+
+class TestProcessWorkers:
+    def test_process_pool_end_to_end_and_no_leaks(self, graph):
+        svc = SamplingService(num_workers=2, mode="process",
+                              batch_window_s=0.01, memory_budget_bytes=None)
+        prefix = svc.store.prefix
+        try:
+            svc.load_graph("g", graph)
+            client = SamplingClient(svc)
+            responses = {}
+
+            def issue(rank):
+                responses[rank] = client.sample(
+                    "g", "simple_random_walk", [rank, rank + 1], depth=4,
+                    seed=6, timeout=120,
+                )
+
+            threads = [threading.Thread(target=issue, args=(r,))
+                       for r in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            info = ALGORITHM_REGISTRY["simple_random_walk"]
+            config = info.config_factory(depth=4, seed=6)
+            for rank, response in responses.items():
+                ref = GraphSampler(graph, info.program_factory(), config).run(
+                    [rank, rank + 1]
+                )
+                for a, b in zip(ref.samples, response.samples):
+                    assert np.array_equal(a.edges, b.edges)
+        finally:
+            svc.shutdown()
+        assert leaked_segments(prefix) == []
+
+    def test_worker_crash_fails_its_unit_but_not_the_service(self, graph):
+        import os
+        import signal
+        import time
+
+        from repro.service import ServiceError
+
+        svc = SamplingService(num_workers=2, mode="process",
+                              batch_window_s=0.0, max_batch_requests=1,
+                              memory_budget_bytes=None)
+        try:
+            svc.load_graph("g", graph)
+            # A walk far too large to ever finish before the signal lands
+            # (the kill interrupts it milliseconds after the claim arrives).
+            future = svc.submit(SampleRequest(
+                graph="g", algorithm="simple_random_walk", seeds=tuple(range(200)),
+                num_instances=5000, config_overrides={"depth": 5000, "seed": 1},
+            ))
+            deadline = time.time() + 20
+            while not svc._claims and time.time() < deadline:
+                time.sleep(0.01)
+            assert svc._claims, "unit was never claimed"
+            victim = next(iter(svc._claims.values()))
+            os.kill(victim, signal.SIGKILL)
+            with pytest.raises(ServiceError):
+                future.result(timeout=30)
+            # The surviving worker keeps serving.
+            client = SamplingClient(svc)
+            assert client.sample("g", "deepwalk", [1], depth=3, seed=1,
+                                 timeout=60).ok
+        finally:
+            svc.shutdown()
+
+    def test_shutdown_is_idempotent(self, graph):
+        svc = SamplingService(num_workers=1, mode="thread")
+        svc.load_graph("g", graph)
+        svc.shutdown()
+        svc.shutdown()
+        with pytest.raises(RuntimeError):
+            svc.submit(SampleRequest(graph="g", algorithm="deepwalk",
+                                     seeds=(1,)))
+
+
+class TestStatsAndSlicing:
+    def test_stats_counters(self, graph):
+        svc = SamplingService(num_workers=1, mode="thread",
+                              batch_window_s=0.01)
+        try:
+            svc.load_graph("g", graph)
+            client = SamplingClient(svc)
+            for i in range(3):
+                client.sample("g", "deepwalk", [i], depth=3, seed=1, timeout=30)
+            snap = svc.stats.snapshot()
+            assert snap["requests_submitted"] == 3
+            assert snap["requests_completed"] == 3
+            assert snap["requests_failed"] == 0
+        finally:
+            svc.shutdown()
+
+    def test_sample_result_slice_instances(self, graph):
+        info = ALGORITHM_REGISTRY["deepwalk"]
+        result = GraphSampler(
+            graph, info.program_factory(), info.config_factory(seed=1)
+        ).run([1, 2, 3, 4])
+        part = result.slice_instances(1, 3, iteration_counts=[7],
+                                      metadata={"tag": "x"})
+        assert [s.instance_id for s in part.samples] == [1, 2]
+        assert part.iteration_counts == [7]
+        assert part.metadata["tag"] == "x"
+        assert part.metadata["program"] == "deepwalk"
+        with pytest.raises(ValueError):
+            result.slice_instances(2, 9)

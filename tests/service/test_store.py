@@ -1,0 +1,126 @@
+"""Shared-memory graph store: publish/attach lifecycle and mmap loading."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import powerlaw_graph
+from repro.graph.io import load_npz, save_npz
+from repro.service.store import SharedGraphStore, attach, leaked_segments
+
+
+@pytest.fixture()
+def graph():
+    return powerlaw_graph(500, 6.0, seed=4)
+
+
+@pytest.fixture()
+def weighted(graph):
+    rng = np.random.default_rng(9)
+    return graph.with_weights(rng.uniform(0.1, 2.0, size=graph.num_edges))
+
+
+class TestStoreLifecycle:
+    def test_put_and_owner_view_roundtrip(self, graph):
+        with SharedGraphStore() as store:
+            handle = store.put("g", graph)
+            assert handle.num_vertices == graph.num_vertices
+            assert handle.num_edges == graph.num_edges
+            assert not handle.weighted
+            assert store.graph("g") == graph
+
+    def test_weighted_roundtrip(self, weighted):
+        with SharedGraphStore() as store:
+            handle = store.put("g", weighted)
+            assert handle.weighted
+            assert store.graph("g") == weighted
+
+    def test_attach_is_zero_copy(self, graph):
+        with SharedGraphStore() as store:
+            mapping = attach(store.put("g", graph))
+            try:
+                assert mapping.graph == graph
+                # The attached arrays must be views over the shared buffer,
+                # not heap copies.
+                assert not mapping.graph.col_idx.flags["OWNDATA"]
+                assert not mapping.graph.row_ptr.flags["OWNDATA"]
+            finally:
+                mapping.close()
+
+    def test_refcount_tracks_attachments(self, graph):
+        with SharedGraphStore() as store:
+            handle = store.put("g", graph)
+            assert store.refcount("g") == 1  # the owner's reference
+            first = attach(handle)
+            second = attach(handle)
+            assert store.refcount("g") == 3
+            first.close()
+            assert store.refcount("g") == 2
+            first.close()  # idempotent
+            assert store.refcount("g") == 2
+            second.close()
+            assert store.refcount("g") == 1
+
+    def test_release_unlinks_segments(self, graph):
+        store = SharedGraphStore()
+        store.put("g", graph)
+        prefix = store.prefix
+        assert leaked_segments(prefix)
+        store.release("g")
+        assert leaked_segments(prefix) == []
+        with pytest.raises(KeyError):
+            store.handle("g")
+        store.close()
+
+    def test_close_unlinks_everything(self, graph):
+        store = SharedGraphStore()
+        store.put("a", graph)
+        store.put("b", graph)
+        prefix = store.prefix
+        store.close()
+        assert leaked_segments(prefix) == []
+
+    def test_duplicate_name_rejected(self, graph):
+        with SharedGraphStore() as store:
+            store.put("g", graph)
+            with pytest.raises(ValueError):
+                store.put("g", graph)
+
+    def test_segment_names_not_reused_after_release(self, graph):
+        with SharedGraphStore() as store:
+            store.put("a", graph)
+            store.put("b", graph)
+            store.release("a")
+            handle = store.put("c", graph)
+            b_names = {name for _, name, _, _ in store.handle("b").segments}
+            assert b_names.isdisjoint(name for _, name, _, _ in handle.segments)
+            assert store.graph("b") == graph
+
+
+class TestMmapLoading:
+    def test_uncompressed_npz_memory_maps(self, weighted, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(weighted, path, compressed=False)
+        mapped = load_npz(path, mmap=True)
+        assert mapped == weighted
+        # Views over the file mapping, not heap copies.
+        assert isinstance(mapped.col_idx.base, np.memmap)
+        assert isinstance(mapped.row_ptr.base, np.memmap)
+        assert isinstance(mapped.weights.base, np.memmap)
+        assert np.array_equal(mapped.neighbors(5), weighted.neighbors(5))
+
+    def test_compressed_npz_falls_back_to_copy(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(graph, path, compressed=True)
+        loaded = load_npz(path, mmap=True)
+        assert loaded == graph
+        assert loaded.col_idx.base is None or not isinstance(
+            loaded.col_idx.base, np.memmap
+        )
+
+    def test_store_loads_npz_directly(self, weighted, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(weighted, path, compressed=False)
+        with SharedGraphStore() as store:
+            handle = store.load_npz_file("g", path)
+            assert handle.weighted
+            assert store.graph("g") == weighted
