@@ -1,0 +1,148 @@
+"""Incremental vs full sampling-structure rebuilds under dynamic updates.
+
+Acceptance benchmark for the dynamic-graph path
+(:mod:`repro.graph.delta` + :mod:`repro.selection.incremental`): on a
+100k-vertex weighted graph mutated at a 1% update rate, patching only the
+touched vertices' ITS prefix sums and alias tables must be at least 3x
+faster than rebuilding every vertex's structures from scratch -- while
+producing bit-identical structures (spot-checked per run).
+
+Also reports the DeltaGraph mutation + compaction cost itself, so the end
+to end "apply a batch of updates and be ready to sample" latency is
+visible.
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_dynamic_updates.py            # full
+    PYTHONPATH=src python benchmarks/bench_dynamic_updates.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.graph.delta import DeltaGraph
+from repro.graph.generators import powerlaw_graph
+from repro.selection.ctps import CTPS
+from repro.selection.alias import build_alias_table
+from repro.selection.incremental import VertexAliasCache, VertexITSCache
+
+SPEEDUP_FLOOR = 3.0
+UPDATE_RATE = 0.01
+
+
+def mutate(graph, update_rate, seed):
+    """Apply ~update_rate * |V| edge updates; returns (delta, touched)."""
+    rng = np.random.default_rng(seed)
+    delta = DeltaGraph(graph)
+    num_updates = max(1, int(graph.num_vertices * update_rate))
+    targets = rng.choice(graph.num_vertices, size=num_updates, replace=False)
+    t0 = time.perf_counter()
+    for v in targets:
+        v = int(v)
+        neigh = graph.neighbors(v)
+        if neigh.size and rng.uniform() < 0.3:
+            delta.remove_edge(v, int(neigh[0]))
+        else:
+            delta.add_edge(v, int(rng.integers(graph.num_vertices)),
+                           float(rng.uniform(0.1, 2.0)))
+    mutate_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    touched = delta.compact()
+    compact_s = time.perf_counter() - t0
+    return delta, touched, mutate_s, compact_s
+
+
+def spot_check(cache, graph, touched, kind, rng):
+    """Sampled bit-compat check: touched + random vertices vs fresh builds."""
+    probe = list(touched[:16]) + [
+        int(v) for v in rng.integers(0, graph.num_vertices, size=16)
+    ]
+    for v in probe:
+        weights = graph.neighbor_weights(int(v))
+        if weights.size == 0 or not np.any(weights > 0):
+            assert not cache.has(int(v))
+            continue
+        if kind == "its":
+            fresh = CTPS.from_biases(weights)
+            assert np.array_equal(cache.ctps(int(v)).boundaries, fresh.boundaries)
+        else:
+            fresh = build_alias_table(weights)
+            assert np.array_equal(cache.table(int(v)).prob, fresh.prob)
+            assert np.array_equal(cache.table(int(v)).alias, fresh.alias)
+
+
+def bench_structure(label, cache_cls, kind, graph, new_graph, touched):
+    t0 = time.perf_counter()
+    cache = cache_cls.build(graph)
+    build_s = time.perf_counter() - t0
+
+    cache.update(graph, np.empty(0, dtype=np.int64))  # warm the update path
+    t0 = time.perf_counter()
+    rebuilt = cache.update(new_graph, touched)
+    update_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    cache_cls.build(new_graph)
+    full_rebuild_s = time.perf_counter() - t0
+
+    spot_check(cache, new_graph, touched, kind, np.random.default_rng(4))
+    speedup = full_rebuild_s / update_s if update_s > 0 else float("inf")
+    print(
+        f"{label:16s} {build_s:8.2f}s {full_rebuild_s:12.2f}s "
+        f"{update_s:11.3f}s {speedup:7.1f}x  ({rebuilt} structures patched)"
+    )
+    return speedup
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sizes for CI smoke runs (no speedup assertion)",
+    )
+    args = parser.parse_args()
+
+    num_vertices = 5_000 if args.quick else 100_000
+    graph = powerlaw_graph(num_vertices, avg_degree=8, seed=1)
+    rng = np.random.default_rng(2)
+    graph = graph.with_weights(rng.uniform(0.1, 2.0, size=graph.num_edges))
+
+    delta, touched, mutate_s, compact_s = mutate(graph, UPDATE_RATE, seed=3)
+    new_graph = delta.base
+    print(
+        f"graph: {graph}, update rate: {UPDATE_RATE:.0%} "
+        f"({touched.size} touched vertices)"
+    )
+    print(f"mutation buffering: {mutate_s:.3f}s, compaction: {compact_s:.3f}s")
+    print(
+        f"{'structure':16s} {'build':>9s} {'full rebuild':>13s} "
+        f"{'incremental':>12s} {'speedup':>8s}"
+    )
+
+    failures = []
+    for label, cls, kind in (
+        ("ITS prefix sums", VertexITSCache, "its"),
+        ("alias tables", VertexAliasCache, "alias"),
+    ):
+        speedup = bench_structure(label, cls, kind, graph, new_graph, touched)
+        if not args.quick and speedup < SPEEDUP_FLOOR:
+            failures.append(
+                f"{label}: incremental speedup {speedup:.1f}x below the "
+                f"{SPEEDUP_FLOOR}x floor"
+            )
+
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure)
+        return 1
+    print("OK" + ("" if args.quick else
+                  f": incremental rebuilds >= {SPEEDUP_FLOOR}x full rebuilds"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,6 +59,9 @@ class GraphSampler:
         *,
         use_engine: bool = True,
     ):
+        from repro.graph.delta import as_csr
+
+        graph = as_csr(graph)  # DeltaGraphs sample their canonical snapshot
         if graph.num_vertices == 0:
             raise ValueError("cannot sample an empty graph")
         self.graph = graph

@@ -99,6 +99,9 @@ def run_coalesced(
     iteration counts are bit-identical to a standalone ``GraphSampler`` run
     of that member alone (cost/kernel records are the shared batch's).
     """
+    from repro.graph.delta import as_csr
+
+    graph = as_csr(graph)  # DeltaGraphs sample their canonical snapshot
     members = [list(m) for m in members]
     member_of: Dict[int, int] = {}
     all_instances: List[InstanceState] = []

@@ -6,6 +6,9 @@ subsystem builds on:
 * :class:`~repro.graph.csr.CSRGraph` -- the compressed-sparse-row adjacency
   structure used by the sampling kernels (the paper stores graphs in CSR and
   partitions them by contiguous vertex ranges).
+* :class:`~repro.graph.delta.DeltaGraph` -- a mutable overlay buffering
+  edge/vertex insertions and deletions over a CSR base, with budgeted
+  canonical compaction (the dynamic-graph substrate; see ``docs/dynamic.md``).
 * :mod:`~repro.graph.builder` -- constructing CSR graphs from edge lists or
   :mod:`networkx` graphs.
 * :mod:`~repro.graph.generators` -- synthetic graph generators and the
@@ -18,6 +21,7 @@ subsystem builds on:
 """
 
 from repro.graph.csr import CSRGraph
+from repro.graph.delta import DeltaGraph, as_csr
 from repro.graph.builder import (
     from_edge_list,
     from_networkx,
@@ -40,6 +44,8 @@ from repro.graph.io import save_npz, load_npz, save_edge_list, load_edge_list
 
 __all__ = [
     "CSRGraph",
+    "DeltaGraph",
+    "as_csr",
     "from_edge_list",
     "from_networkx",
     "to_networkx",

@@ -161,6 +161,9 @@ class OutOfMemorySampler:
         partitions: Optional[PartitionSet] = None,
         use_engine: bool = True,
     ):
+        from repro.graph.delta import as_csr
+
+        graph = as_csr(graph)  # DeltaGraphs sample their canonical snapshot
         self.graph = graph
         self.program = program
         self.config = config

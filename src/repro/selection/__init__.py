@@ -42,6 +42,11 @@ from repro.selection.collision import (
     SelectionResult,
     select_without_replacement,
 )
+from repro.selection.incremental import (
+    VertexAliasCache,
+    VertexITSCache,
+    bind as bind_caches,
+)
 from repro.selection.segmented import (
     SegmentedCTPS,
     SegmentedSelection,
@@ -69,6 +74,9 @@ __all__ = [
     "CollisionStrategy",
     "SelectionResult",
     "select_without_replacement",
+    "VertexITSCache",
+    "VertexAliasCache",
+    "bind_caches",
     "SegmentedCTPS",
     "SegmentedSelection",
     "segmented_alias_sample_many",

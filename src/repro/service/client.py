@@ -26,12 +26,14 @@ def _build_request(
     num_instances: Optional[int],
     program_kwargs: Optional[dict],
     config_overrides: dict,
+    epoch: Optional[int] = None,
 ) -> SampleRequest:
     return SampleRequest(
         graph=graph,
         algorithm=algorithm,
         seeds=tuple(seeds) if not isinstance(seeds, tuple) else seeds,
         num_instances=num_instances,
+        epoch=epoch,
         config_overrides=config_overrides,
         program_kwargs=program_kwargs or {},
     )
@@ -52,13 +54,15 @@ class SamplingClient:
         num_instances: Optional[int] = None,
         program_kwargs: Optional[dict] = None,
         timeout: Optional[float] = None,
+        epoch: Optional[int] = None,
         **config_overrides,
     ) -> SampleResponse:
         """Sample and wait.  ``config_overrides`` go to the algorithm's
-        default config (``depth=...``, ``neighbor_size=...``, ``seed=...``)."""
+        default config (``depth=...``, ``neighbor_size=...``, ``seed=...``);
+        ``epoch`` pins a published graph version (default: latest)."""
         request = _build_request(
             graph, algorithm, seeds, num_instances, program_kwargs,
-            config_overrides,
+            config_overrides, epoch,
         )
         return self.service.submit(request).result(timeout=timeout)
 
@@ -81,12 +85,13 @@ class AsyncSamplingClient:
         *,
         num_instances: Optional[int] = None,
         program_kwargs: Optional[dict] = None,
+        epoch: Optional[int] = None,
         **config_overrides,
     ) -> SampleResponse:
         """Awaitable variant of :meth:`SamplingClient.sample`."""
         request = _build_request(
             graph, algorithm, seeds, num_instances, program_kwargs,
-            config_overrides,
+            config_overrides, epoch,
         )
         future = self.service.submit(request)
         return await asyncio.wrap_future(future)

@@ -83,6 +83,8 @@ class _Pending:
     request: SampleRequest
     future: Future
     enqueued_at: float
+    #: Graph epoch the request is bound to (resolved at submission).
+    epoch: int = 0
 
 
 class SamplingService:
@@ -117,10 +119,21 @@ class SamplingService:
         self.max_batch_requests = int(max_batch_requests)
         self.memory_budget_bytes = memory_budget_bytes
         self._oom_config = oom_config
-        self._routes: Dict[str, str] = {}
-        self._graph_oom_configs: Dict[str, OutOfMemoryConfig] = {}
+        #: Admission decision per (graph name, epoch).
+        self._routes: Dict[Tuple[str, int], str] = {}
+        self._graph_oom_configs: Dict[Tuple[str, int], OutOfMemoryConfig] = {}
+        #: Unresolved requests per (graph name, epoch); a retiring epoch is
+        #: released once its count drains to zero.
+        self._epoch_active: Dict[Tuple[str, int], int] = {}
+        self._retiring: set = set()
+        #: Serialises update_graph per service: concurrent updates of one
+        #: name must not interleave their publish/retire steps.
+        self._update_lock = threading.Lock()
         self._pool = WorkerPool(
-            num_workers, mode=mode, resolve_graph=self.store.graph
+            num_workers, mode=mode,
+            resolve_graph=lambda handle: self.store.graph(
+                handle.name, handle.epoch
+            ),
         )
         self._queue: "queue.Queue[Optional[_Pending]]" = queue.Queue()
         self._coalescable: Dict[Tuple, bool] = {}
@@ -165,6 +178,59 @@ class SamplingService:
             handle = self.store.load_npz_file(name, path)
         else:
             handle = self.store.put(name, graph)
+        return self._admit(handle)
+
+    def update_graph(self, name: str, graph=None, *,
+                     add_edges=None, add_weights=None,
+                     remove_edges=None, retire_vertices=None) -> int:
+        """Publish a new epoch of a loaded graph; returns the epoch number.
+
+        Pass either ``graph`` (a :class:`CSRGraph` or
+        :class:`~repro.graph.delta.DeltaGraph`, snapshotted canonically) or
+        any combination of ``add_edges`` / ``remove_edges`` /
+        ``retire_vertices``, which are applied to the current latest epoch
+        through a :class:`~repro.graph.delta.DeltaGraph` overlay and
+        compacted.  The previous epoch keeps serving the requests already
+        bound to it and is refcount-released once they drain; requests
+        submitted after this call (without an explicit pin) run on the new
+        epoch.  Admission (in-memory vs out-of-memory) is re-evaluated for
+        the new epoch's footprint.
+        """
+        from repro.graph.delta import DeltaGraph, as_csr
+
+        mutations = (add_edges, remove_edges, retire_vertices)
+        if (graph is None) == all(m is None for m in mutations):
+            raise ValueError("pass exactly one of graph= or mutation kwargs")
+        # One update at a time: interleaved publish/retire steps of two
+        # concurrent updates would leave the intermediate epoch unretired
+        # (and its segments leaked) forever.
+        with self._update_lock:
+            if graph is not None:
+                new_graph = as_csr(graph)
+            else:
+                delta = DeltaGraph(self.store.graph(name))
+                if add_edges is not None:
+                    delta.add_edges(add_edges, add_weights)
+                if remove_edges is not None:
+                    delta.remove_edges(remove_edges)
+                for vertex in (retire_vertices or ()):
+                    delta.retire_vertex(int(vertex))
+                new_graph = delta.to_csr()
+            handle = self.store.publish(name, new_graph)
+            self._admit(handle)
+            with self._lock:
+                old_epochs = [
+                    epoch for epoch in self.store.epochs(name)
+                    if epoch != handle.epoch
+                ]
+                self._retiring.update((name, epoch) for epoch in old_epochs)
+        for epoch in old_epochs:
+            self._maybe_release_epoch(name, epoch)
+        return handle.epoch
+
+    def _admit(self, handle) -> str:
+        """Decide and record the route of one published graph epoch."""
+        key = (handle.name, handle.epoch)
         route = "in_memory"
         if (
             self.memory_budget_bytes is not None
@@ -174,13 +240,19 @@ class SamplingService:
             # Freeze the partitioning under the budget in force *now*:
             # later budget changes must not resize an admitted graph's
             # partitions out from under its documented sizing.
-            self._graph_oom_configs[name] = self._make_oom_config(handle)
-        self._routes[name] = route
+            self._graph_oom_configs[key] = self._make_oom_config(handle)
+        self._routes[key] = route
         return route
 
-    def route_of(self, name: str) -> str:
-        """The admission decision for a loaded graph."""
-        return self._routes[name]
+    def route_of(self, name: str, epoch: Optional[int] = None) -> str:
+        """The admission decision for a loaded graph (latest epoch default)."""
+        if epoch is None:
+            epoch = self.store.latest_epoch(name)
+        return self._routes[(name, epoch)]
+
+    def graph_epoch(self, name: str) -> int:
+        """The latest published epoch of a loaded graph."""
+        return self.store.latest_epoch(name)
 
     def _make_oom_config(self, handle) -> OutOfMemoryConfig:
         if self._oom_config is not None:
@@ -197,11 +269,13 @@ class SamplingService:
             num_kernels=2,
         )
 
-    def _oom_config_for(self, name: str) -> OutOfMemoryConfig:
-        cached = self._graph_oom_configs.get(name)
+    def _oom_config_for(self, name: str, epoch: Optional[int] = None) -> OutOfMemoryConfig:
+        if epoch is None:
+            epoch = self.store.latest_epoch(name)
+        cached = self._graph_oom_configs.get((name, epoch))
         if cached is None:  # pragma: no cover - oom graphs cache at admission
-            cached = self._make_oom_config(self.store.handle(name))
-            self._graph_oom_configs[name] = cached
+            cached = self._make_oom_config(self.store.handle(name, epoch))
+            self._graph_oom_configs[(name, epoch)] = cached
         return cached
 
     # ------------------------------------------------------------------ #
@@ -211,24 +285,45 @@ class SamplingService:
         """Queue a request; the future resolves to a :class:`SampleResponse`."""
         if self._shutdown.is_set():
             raise RuntimeError("service is shut down")
-        if request.graph not in self._routes:
+        if request.graph not in self.store.names():
             raise KeyError(f"graph {request.graph!r} is not loaded")
-        handle = self.store.handle(request.graph)
-        if request.min_seed_vertex() < 0 or request.max_seed_vertex() >= handle.num_vertices:
-            raise ValueError(
-                f"request {request.request_id}: seeds outside "
-                f"[0, {handle.num_vertices})"
-            )
-        # Fail fast, synchronously: bad config overrides raise inside
-        # resolve_config, unhashable program kwargs inside the key's hash.
-        hash(request.class_key())
-        future: Future = Future()
-        pending = _Pending(request, future, time.perf_counter())
+        # Resolve the epoch the request binds to (an explicit pin must name
+        # a still-serving epoch; None means latest-now) and take the epoch
+        # reference in the SAME critical section -- a concurrent
+        # update_graph between the two would otherwise release the epoch
+        # out from under the request.
+        with self._lock:
+            if request.epoch is None:
+                epoch = self.store.latest_epoch(request.graph)
+            else:
+                epoch = int(request.epoch)
+                self.store.handle(request.graph, epoch)  # raises if unknown
+                if (request.graph, epoch) in self._retiring:
+                    raise KeyError(
+                        f"graph {request.graph!r} epoch {epoch} is retiring; "
+                        "pin a current epoch or submit unpinned"
+                    )
+            handle = self.store.handle(request.graph, epoch)
+            key = (request.graph, epoch)
+            self._epoch_active[key] = self._epoch_active.get(key, 0) + 1
+        pending = _Pending(request, Future(), time.perf_counter(), epoch=epoch)
+        try:
+            if request.min_seed_vertex() < 0 or request.max_seed_vertex() >= handle.num_vertices:
+                raise ValueError(
+                    f"request {request.request_id}: seeds outside "
+                    f"[0, {handle.num_vertices})"
+                )
+            # Fail fast, synchronously: bad config overrides raise inside
+            # resolve_config, unhashable program kwargs inside the key's hash.
+            hash(request.class_key())
+        except Exception:
+            self._note_resolved(pending)  # give the epoch reference back
+            raise
         with self._lock:
             self.stats.requests_submitted += 1
             self._pending[request.request_id] = pending
         self._queue.put(pending)
-        return future
+        return pending.future
 
     # ------------------------------------------------------------------ #
     # Dispatcher: window batching + class grouping
@@ -285,7 +380,9 @@ class SamplingService:
         classes: Dict[Tuple, List[_Pending]] = {}
         order: List[Tuple] = []
         for pending in batch:
-            key = pending.request.class_key()
+            # The resolved epoch joins the coalescing key: two requests that
+            # straddle an update_graph call must not share an engine batch.
+            key = (pending.request.class_key(), pending.epoch)
             if key not in classes:
                 classes[key] = []
                 order.append(key)
@@ -294,7 +391,7 @@ class SamplingService:
             group = classes[key]
             head_request = group[0].request
             fusible = (
-                self._routes[head_request.graph] == "in_memory"
+                self._routes[(head_request.graph, group[0].epoch)] == "in_memory"
                 and self._class_coalescable(head_request)
             )
             if len(group) > 1 and not fusible:
@@ -310,10 +407,11 @@ class SamplingService:
 
     def _dispatch_unit(self, members: List[_Pending]) -> None:
         head = members[0].request
-        route = self._routes[head.graph]
+        epoch = members[0].epoch
+        route = self._routes[(head.graph, epoch)]
         unit = WorkUnit(
             unit_id=next(self._unit_ids),
-            handle=self.store.handle(head.graph),
+            handle=self.store.handle(head.graph, epoch),
             algorithm=head.algorithm,
             config=head.resolve_config(),
             program_kwargs=tuple(sorted(head.program_kwargs.items())),
@@ -327,7 +425,7 @@ class SamplingService:
             ),
             route=route,
             oom_config=(
-                self._oom_config_for(head.graph)
+                self._oom_config_for(head.graph, epoch)
                 if route == "out_of_memory"
                 else None
             ),
@@ -449,6 +547,7 @@ class SamplingService:
                 with self._lock:
                     self.stats.requests_failed += 1
                 pending.future.set_exception(ServiceError(payload.error))
+                self._note_resolved(pending)
                 continue
             response = SampleResponse(
                 request_id=payload.request_id,
@@ -460,6 +559,7 @@ class SamplingService:
                 ],
                 iteration_counts=payload.iteration_counts,
                 route=payload.route,
+                epoch=pending.epoch,
                 coalesced_with=payload.coalesced_with,
                 stats={**payload.stats, "latency_s": latency},
             )
@@ -467,6 +567,7 @@ class SamplingService:
                 self.stats.requests_completed += 1
                 self.stats.latencies_s.append(latency)
             pending.future.set_result(response)
+            self._note_resolved(pending)
         for request_id in request_ids:
             if request_id not in answered:  # pragma: no cover - defensive
                 self._fail(request_id, "worker returned no payload")
@@ -478,6 +579,37 @@ class SamplingService:
                 self.stats.requests_failed += 1
         if pending is not None:
             pending.future.set_exception(ServiceError(message))
+            self._note_resolved(pending)
+
+    # ------------------------------------------------------------------ #
+    # Epoch lifecycle: retiring epochs release once their requests drain
+    # ------------------------------------------------------------------ #
+    def _note_resolved(self, pending: _Pending) -> None:
+        """One request finished: drop its epoch reference, reap if drained."""
+        name = pending.request.graph
+        epoch = pending.epoch
+        with self._lock:
+            key = (name, epoch)
+            count = self._epoch_active.get(key, 0) - 1
+            if count > 0:
+                self._epoch_active[key] = count
+            else:
+                self._epoch_active.pop(key, None)
+        self._maybe_release_epoch(name, epoch)
+
+    def _maybe_release_epoch(self, name: str, epoch: int) -> None:
+        """Release a retiring epoch's segments once no request references it."""
+        with self._lock:
+            key = (name, epoch)
+            if key not in self._retiring or self._epoch_active.get(key, 0) > 0:
+                return
+            self._retiring.discard(key)
+            self._routes.pop(key, None)
+            self._graph_oom_configs.pop(key, None)
+            # Release under the lock: a concurrent submit must observe
+            # either a pinnable epoch or a KeyError, never the gap between
+            # un-retiring and unlinking.
+            self.store.release(name, epoch)
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -12,6 +12,10 @@ Lifecycle contract
 * ``put`` / ``load_npz_file`` (owner) -- create the segments and copy the CSR
   arrays in; a per-graph int64 *refcount* segment starts at 1 (the owner's
   reference).
+* ``publish`` (owner) -- store a new *epoch* (version) of an existing graph
+  in fresh segments.  Old epochs stay mapped until explicitly released, so
+  in-flight work keeps sampling the version it started on; the serving
+  layer drains and releases them (see ``docs/dynamic.md``).
 * ``attach`` (any process) -- map the segments, increment the refcount and
   return an :class:`AttachedGraph`; call :meth:`AttachedGraph.close` when
   done (decrements and unmaps).
@@ -56,7 +60,7 @@ _REFCOUNT_FIELD = "refs"
 
 @dataclass(frozen=True)
 class SharedGraphHandle:
-    """Everything a worker needs to map one stored graph."""
+    """Everything a worker needs to map one stored graph *version*."""
 
     name: str
     num_vertices: int
@@ -66,6 +70,10 @@ class SharedGraphHandle:
     #: for ``row_ptr`` / ``col_idx`` / optionally ``weights`` plus the
     #: refcount segment.
     segments: Tuple[Tuple[str, str, str, int], ...]
+    #: Graph version this handle maps.  :meth:`SharedGraphStore.publish`
+    #: creates a new epoch per update; work dispatched against an epoch
+    #: keeps running on it even after a newer epoch is published.
+    epoch: int = 0
 
     @property
     def weighted(self) -> bool:
@@ -199,18 +207,44 @@ class SharedGraphStore:
         #: Segment-name prefix; also the handle for leak audits.  Kept short:
         #: POSIX shm names are limited and macOS caps them at 31 characters.
         self.prefix = prefix or f"csaw{os.getpid() % 100000}x{secrets.token_hex(2)}"
-        self._graphs: Dict[str, _StoredGraph] = {}
+        #: name -> epoch -> stored graph.  Epochs are monotonically
+        #: increasing per name and never reused, even after release.
+        self._graphs: Dict[str, Dict[int, _StoredGraph]] = {}
+        self._next_epoch: Dict[str, int] = {}
         self._segment_counter = 0  # never reused, even after release()
         self._closed = False
         atexit.register(self.close)
 
     # ------------------------------------------------------------------ #
     def put(self, name: str, graph: CSRGraph) -> SharedGraphHandle:
-        """Publish a graph; returns the handle workers attach with."""
+        """Publish a graph under a name not currently stored.
+
+        The first ``put`` of a name starts at epoch 0.  Epoch numbers are
+        monotone per name for the store's whole lifetime -- re-``put``-ting
+        a fully released name continues the old numbering, so stale handles
+        can never alias a new graph version.
+        """
         if self._closed:
             raise RuntimeError("store is closed")
         if name in self._graphs:
             raise ValueError(f"graph {name!r} is already stored")
+        return self._store_epoch(name, graph)
+
+    def publish(self, name: str, graph: CSRGraph) -> SharedGraphHandle:
+        """Publish a new *epoch* (version) of an already-stored graph.
+
+        The previous epoch stays mapped and attachable until it is released
+        -- in-flight work dispatched against it finishes on the version it
+        started on.  Returns the new epoch's handle.
+        """
+        if self._closed:
+            raise RuntimeError("store is closed")
+        if name not in self._graphs:
+            raise KeyError(f"no graph named {name!r} in the store")
+        return self._store_epoch(name, graph)
+
+    def _store_epoch(self, name: str, graph: CSRGraph) -> SharedGraphHandle:
+        epoch = self._next_epoch.get(name, 0)
         arrays: List[Tuple[str, np.ndarray]] = [
             ("row_ptr", graph.row_ptr),
             ("col_idx", graph.col_idx),
@@ -253,13 +287,15 @@ class SharedGraphStore:
             num_edges=graph.num_edges,
             nbytes=graph.nbytes,
             segments=tuple(segments),
+            epoch=epoch,
         )
         shared_graph = CSRGraph(
             views["row_ptr"], views["col_idx"], views.get("weights")
         )
-        self._graphs[name] = _StoredGraph(
+        self._graphs.setdefault(name, {})[epoch] = _StoredGraph(
             handle, shms, views[_REFCOUNT_FIELD], shared_graph
         )
+        self._next_epoch[name] = epoch + 1
         return handle
 
     def load_npz_file(self, name: str, path, *, mmap: bool = True) -> SharedGraphHandle:
@@ -271,46 +307,73 @@ class SharedGraphStore:
         return self.put(name, load_npz(path, mmap=mmap))
 
     # ------------------------------------------------------------------ #
-    def handle(self, name: str) -> SharedGraphHandle:
-        """Handle of a stored graph."""
-        return self._stored(name).handle
+    def handle(self, name: str, epoch: Optional[int] = None) -> SharedGraphHandle:
+        """Handle of a stored graph (latest epoch unless one is pinned)."""
+        return self._stored(name, epoch).handle
 
-    def graph(self, name: str) -> CSRGraph:
+    def graph(self, name: str, epoch: Optional[int] = None) -> CSRGraph:
         """Owner-side zero-copy view of a stored graph (thread workers use it)."""
-        return self._stored(name).graph
+        return self._stored(name, epoch).graph
 
-    def refcount(self, name: str) -> int:
-        """Advisory reference count of a stored graph."""
-        return int(self._stored(name).refcount[0])
+    def refcount(self, name: str, epoch: Optional[int] = None) -> int:
+        """Advisory reference count of a stored graph epoch."""
+        return int(self._stored(name, epoch).refcount[0])
 
     def names(self) -> List[str]:
         """Names of all stored graphs."""
         return sorted(self._graphs)
 
-    def _stored(self, name: str) -> _StoredGraph:
-        stored = self._graphs.get(name)
-        if stored is None:
+    def epochs(self, name: str) -> List[int]:
+        """Epochs of ``name`` still mapped, oldest first."""
+        if name not in self._graphs:
             raise KeyError(f"no graph named {name!r} in the store")
+        return sorted(self._graphs[name])
+
+    def latest_epoch(self, name: str) -> int:
+        """Most recently published epoch of ``name``."""
+        return self.epochs(name)[-1]
+
+    def _stored(self, name: str, epoch: Optional[int] = None) -> _StoredGraph:
+        by_epoch = self._graphs.get(name)
+        if not by_epoch:
+            raise KeyError(f"no graph named {name!r} in the store")
+        if epoch is None:
+            epoch = max(by_epoch)
+        stored = by_epoch.get(epoch)
+        if stored is None:
+            raise KeyError(f"graph {name!r} has no epoch {epoch} (released?)")
         return stored
 
     # ------------------------------------------------------------------ #
-    def release(self, name: str) -> None:
-        """Drop and unlink one graph's segments (see the lifecycle contract)."""
-        stored = self._graphs.pop(name, None)
-        if stored is None:
+    def release(self, name: str, epoch: Optional[int] = None) -> None:
+        """Drop and unlink a graph's segments (see the lifecycle contract).
+
+        With ``epoch=None`` every epoch of ``name`` is released; otherwise
+        only the given epoch is (the name stays stored while other epochs
+        remain).  Releasing an unknown name or epoch is a no-op.
+        """
+        by_epoch = self._graphs.get(name)
+        if by_epoch is None:
             return
-        stored.refcount[0] -= 1
-        stored.graph = None  # type: ignore[assignment]
-        stored.refcount = None  # type: ignore[assignment]
-        for shm in stored.shms:
-            try:
-                shm.close()
-            except BufferError:  # pragma: no cover - exported views survive
-                pass
-            try:
-                shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+        targets = sorted(by_epoch) if epoch is None else [epoch]
+        for target in targets:
+            stored = by_epoch.pop(target, None)
+            if stored is None:
+                continue
+            stored.refcount[0] -= 1
+            stored.graph = None  # type: ignore[assignment]
+            stored.refcount = None  # type: ignore[assignment]
+            for shm in stored.shms:
+                try:
+                    shm.close()
+                except BufferError:  # pragma: no cover - exported views survive
+                    pass
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+        if not by_epoch:
+            self._graphs.pop(name, None)
 
     def close(self) -> None:
         """Release every stored graph; idempotent (also runs at exit)."""

@@ -237,14 +237,14 @@ def _process_worker_main(task_queue, result_queue) -> None:
 
 
 def _thread_worker_main(task_queue, result_queue,
-                        resolve_graph: Callable[[str], CSRGraph]) -> None:
+                        resolve_graph: Callable[[SharedGraphHandle], CSRGraph]) -> None:
     """Thread-mode worker: graphs come straight from the owner's store."""
     while True:
         unit = task_queue.get()
         if unit is None:
             break
         try:
-            result = execute_unit(resolve_graph(unit.handle.name), unit)
+            result = execute_unit(resolve_graph(unit.handle), unit)
         except Exception:
             result = UnitResult(
                 unit_id=unit.unit_id, error=traceback.format_exc(limit=8)
@@ -260,7 +260,7 @@ class WorkerPool:
         num_workers: int = 2,
         *,
         mode: str = "process",
-        resolve_graph: Optional[Callable[[str], CSRGraph]] = None,
+        resolve_graph: Optional[Callable[[SharedGraphHandle], CSRGraph]] = None,
         mp_context: str = "spawn",
     ):
         if mode == "inline":

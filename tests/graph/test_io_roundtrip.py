@@ -1,0 +1,115 @@
+"""NPZ round-trips across the full compressed x mmap matrix.
+
+``save_npz(compressed=)`` and ``load_npz(mmap=)`` combine four ways:
+
+* compressed + copy load -- the default cache format;
+* compressed + ``mmap=True`` -- DEFLATE members cannot be mapped, so the
+  loader must *fall back* to a copying load (still correct, never an error);
+* uncompressed + copy load;
+* uncompressed + ``mmap=True`` -- true zero-copy page-cache views.
+
+Every combination must round-trip weighted, unweighted, empty and
+zero-degree-vertex graphs exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, from_edge_list
+from repro.graph.io import load_npz, save_npz
+
+
+def weighted_graph():
+    return from_edge_list(
+        [(0, 1), (0, 2), (1, 2), (3, 0), (3, 3)], num_vertices=5,
+        weights=[0.5, 1.5, 2.0, 0.25, 3.0],
+    )
+
+
+def unweighted_graph():
+    return from_edge_list([(0, 1), (1, 2), (2, 0)], num_vertices=4)
+
+
+def empty_graph():
+    return CSRGraph(np.array([0]), np.array([], dtype=np.int64))
+
+
+def edgeless_graph():
+    # Vertices exist but every one of them has degree zero.
+    return CSRGraph(np.zeros(7, dtype=np.int64), np.array([], dtype=np.int64))
+
+
+def zero_degree_tail_graph():
+    # The last vertices have no edges: their row_ptr entries all equal |E|,
+    # which trips naive row reconstruction.
+    return from_edge_list([(0, 1)], num_vertices=6, weights=[2.0])
+
+
+GRAPHS = [
+    ("weighted", weighted_graph),
+    ("unweighted", unweighted_graph),
+    ("empty", empty_graph),
+    ("edgeless", edgeless_graph),
+    ("zero_degree_tail", zero_degree_tail_graph),
+]
+
+
+def assert_graphs_equal(a: CSRGraph, b: CSRGraph) -> None:
+    assert a.num_vertices == b.num_vertices
+    assert a.num_edges == b.num_edges
+    assert np.array_equal(a.row_ptr, b.row_ptr)
+    assert np.array_equal(a.col_idx, b.col_idx)
+    assert (a.weights is None) == (b.weights is None)
+    if a.weights is not None:
+        assert np.array_equal(a.weights, b.weights)
+
+
+@pytest.mark.parametrize("label,factory", GRAPHS)
+@pytest.mark.parametrize("compressed", [True, False])
+@pytest.mark.parametrize("mmap", [True, False])
+def test_npz_roundtrip_matrix(tmp_path, label, factory, compressed, mmap):
+    graph = factory()
+    path = tmp_path / f"{label}.npz"
+    save_npz(graph, path, compressed=compressed)
+    loaded = load_npz(path, mmap=mmap)
+    assert_graphs_equal(graph, loaded)
+
+
+def test_mmap_load_of_uncompressed_is_a_view(tmp_path):
+    graph = weighted_graph()
+    path = tmp_path / "g.npz"
+    save_npz(graph, path, compressed=False)
+    loaded = load_npz(path, mmap=True)
+    # CSRGraph canonicalisation may wrap the memmap in a plain view; either
+    # way the file's pages back the data (no heap copy was made).
+    assert isinstance(loaded.col_idx, np.memmap) or isinstance(
+        loaded.col_idx.base, np.memmap
+    )
+    assert not loaded.col_idx.flags.writeable
+    assert_graphs_equal(graph, loaded)
+
+
+def test_mmap_load_of_compressed_falls_back_to_copy(tmp_path):
+    graph = weighted_graph()
+    path = tmp_path / "g.npz"
+    save_npz(graph, path, compressed=True)
+    loaded = load_npz(path, mmap=True)
+    assert not isinstance(loaded.col_idx, np.memmap)
+    assert not isinstance(loaded.col_idx.base, np.memmap)
+    assert_graphs_equal(graph, loaded)
+
+
+def test_roundtrip_preserves_sampling_determinism(tmp_path):
+    from repro.algorithms.registry import ALGORITHM_REGISTRY
+    from repro.api.sampler import GraphSampler
+
+    graph = weighted_graph()
+    path = tmp_path / "g.npz"
+    save_npz(graph, path, compressed=False)
+    loaded = load_npz(path, mmap=True)
+    info = ALGORITHM_REGISTRY["biased_random_walk"]
+    config = info.config_factory(depth=4, seed=3)
+    a = GraphSampler(graph, info.program_factory(), config).run([0, 3])
+    b = GraphSampler(loaded, info.program_factory(), config).run([0, 3])
+    for sa, sb in zip(a.samples, b.samples):
+        assert np.array_equal(sa.edges, sb.edges)

@@ -1,0 +1,163 @@
+"""Statistical correctness of every selection kernel (chi-square GOF).
+
+Each kernel draws a large, *fixed-seed* sample and a chi-square
+goodness-of-fit test compares the empirical category counts against the
+exact edge-weight distribution.
+
+Rejection thresholds
+--------------------
+
+All tests assert ``p > ALPHA`` with ``ALPHA = 1e-3``: a correct kernel
+fails such a test for ~1 in 1000 seeds, and because every seed here is
+fixed the tests are fully deterministic -- each one was verified to pass
+at its pinned seed, so any future failure means a kernel's distribution
+actually changed, not statistical bad luck.  Sample sizes keep every
+expected cell count well above 5 (the classical chi-square validity rule).
+
+Without-replacement kernels are checked two ways:
+
+* the *first* selection of every trial is exactly bias-proportional
+  (multinomial over candidates);
+* the *selected set* of every trial follows successive weighted sampling
+  without replacement, whose exact set probabilities are enumerated over
+  all ordered selections -- repeated, updated and bipartite strategies must
+  all match it (Theorem 2's equivalence), whatever collision detector
+  backs them.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.gpusim.prng import CounterRNG
+from repro.selection import (
+    CTPS,
+    build_alias_table,
+    dartboard_sample,
+    sample_with_replacement,
+    select_without_replacement,
+)
+
+ALPHA = 1e-3
+
+#: A deliberately skewed pool: the shapes rejection/bitmap kernels struggle
+#: with, and small enough for exact set-probability enumeration.
+BIASES = np.array([0.5, 1.0, 2.0, 4.0, 0.25])
+
+
+def chisquare_pvalue(counts, probabilities):
+    total = int(np.sum(counts))
+    expected = np.asarray(probabilities, dtype=np.float64) * total
+    assert expected.min() > 5, "sample size too small for a valid chi-square"
+    return stats.chisquare(counts, expected).pvalue
+
+
+def exact_set_probabilities(biases, k):
+    """P(selected set) under successive weighted sampling w/o replacement."""
+    probs = {}
+    total = float(np.sum(biases))
+    for sequence in itertools.permutations(range(len(biases)), k):
+        p, remaining = 1.0, total
+        for index in sequence:
+            p *= biases[index] / remaining
+            remaining -= biases[index]
+        key = frozenset(sequence)
+        probs[key] = probs.get(key, 0.0) + p
+    return probs
+
+
+class TestWithReplacementKernels:
+    def test_its_sample_with_replacement(self):
+        rng = CounterRNG(101)
+        draws = sample_with_replacement(BIASES, 40_000, rng, 0)
+        counts = np.bincount(draws, minlength=BIASES.size)
+        assert chisquare_pvalue(counts, BIASES / BIASES.sum()) > ALPHA
+
+    def test_ctps_search_many(self):
+        ctps = CTPS.from_biases(BIASES)
+        rng = CounterRNG(202)
+        rs = rng.uniform(np.arange(40_000, dtype=np.int64))
+        counts = np.bincount(ctps.search_many(rs), minlength=BIASES.size)
+        assert chisquare_pvalue(counts, ctps.probabilities()) > ALPHA
+
+    def test_ctps_zero_width_regions_never_hit(self):
+        biases = np.array([1.0, 0.0, 2.0, 0.0, 1.0])
+        ctps = CTPS.from_biases(biases)
+        rng = CounterRNG(303)
+        rs = rng.uniform(np.arange(30_000, dtype=np.int64))
+        counts = np.bincount(ctps.search_many(rs), minlength=biases.size)
+        assert counts[1] == 0 and counts[3] == 0
+        positive = biases > 0
+        assert chisquare_pvalue(
+            counts[positive], biases[positive] / biases.sum()
+        ) > ALPHA
+
+    def test_alias_table_sample_many(self):
+        table = build_alias_table(BIASES)
+        rng = CounterRNG(404)
+        draws = table.sample_many(40_000, rng, 0)
+        counts = np.bincount(draws, minlength=BIASES.size)
+        assert chisquare_pvalue(counts, BIASES / BIASES.sum()) > ALPHA
+        # The reconstructed table probabilities are exact.
+        np.testing.assert_allclose(table.probabilities(), BIASES / BIASES.sum())
+
+    def test_dartboard_rejection_sampling(self):
+        rng = CounterRNG(505)
+        counts = np.zeros(BIASES.size, dtype=np.int64)
+        for trial in range(8_000):
+            index, _ = dartboard_sample(BIASES, rng, trial)
+            counts[index] += 1
+        assert chisquare_pvalue(counts, BIASES / BIASES.sum()) > ALPHA
+
+
+#: (strategy, detector) pairs cover every collision-mitigation kernel and
+#: every bitmap layout; all must produce the same selection distribution.
+STRATEGY_MATRIX = [
+    ("bipartite", "strided_bitmap", 606),
+    ("bipartite", "bitmap", 707),
+    ("repeated", "bitmap", 808),
+    ("repeated", "linear", 909),
+    ("updated", "strided_bitmap", 1010),
+    ("updated", "linear", 1111),
+]
+
+
+class TestWithoutReplacementKernels:
+    @pytest.mark.parametrize("strategy,detector,seed", STRATEGY_MATRIX)
+    def test_first_selection_is_bias_proportional(self, strategy, detector, seed):
+        rng = CounterRNG(seed)
+        counts = np.zeros(BIASES.size, dtype=np.int64)
+        for trial in range(8_000):
+            result = select_without_replacement(
+                BIASES, 3, rng, trial, strategy=strategy, detector=detector
+            )
+            counts[result.indices[0]] += 1
+        assert chisquare_pvalue(counts, BIASES / BIASES.sum()) > ALPHA
+
+    @pytest.mark.parametrize("strategy,detector,seed", STRATEGY_MATRIX)
+    def test_selected_set_matches_exact_enumeration(self, strategy, detector, seed):
+        k = 3
+        exact = exact_set_probabilities(BIASES, k)
+        keys = sorted(exact, key=sorted)
+        rng = CounterRNG(seed + 1)
+        counts = {key: 0 for key in keys}
+        trials = 6_000
+        for trial in range(trials):
+            result = select_without_replacement(
+                BIASES, k, rng, trial, strategy=strategy, detector=detector
+            )
+            counts[frozenset(int(i) for i in result.indices)] += 1
+        observed = np.array([counts[key] for key in keys])
+        probabilities = np.array([exact[key] for key in keys])
+        assert chisquare_pvalue(observed, probabilities) > ALPHA
+
+    def test_uniform_pool_full_selection_is_exhaustive(self):
+        rng = CounterRNG(1212)
+        biases = np.ones(4)
+        for trial in range(50):
+            result = select_without_replacement(
+                biases, 4, rng, trial, strategy="bipartite"
+            )
+            assert sorted(result.indices.tolist()) == [0, 1, 2, 3]

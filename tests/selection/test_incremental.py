@@ -1,0 +1,167 @@
+"""Incremental per-vertex sampling-structure rebuilds: bit-compat with full builds."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.knightking import KnightKingEngine
+from repro.graph import from_edge_list
+from repro.graph.delta import DeltaGraph
+from repro.gpusim.costmodel import CostModel
+from repro.selection import (
+    CTPS,
+    VertexAliasCache,
+    VertexITSCache,
+    bind_caches,
+    build_alias_table,
+)
+
+
+def make_graph(num_vertices=40, seed=7):
+    rng = np.random.default_rng(seed)
+    edges, weights = [], []
+    for v in range(num_vertices):
+        deg = int(rng.integers(0, 6))
+        for dst in rng.integers(0, num_vertices, size=deg):
+            edges.append((v, int(dst)))
+            weights.append(float(rng.uniform(0.1, 3.0)))
+    return from_edge_list(edges, num_vertices=num_vertices, weights=weights)
+
+
+def assert_its_matches_fresh(cache, graph):
+    for v in range(graph.num_vertices):
+        weights = graph.neighbor_weights(v)
+        if weights.size == 0 or not np.any(weights > 0):
+            assert not cache.has(v)
+            with pytest.raises(KeyError):
+                cache.ctps(v)
+        else:
+            fresh = CTPS.from_biases(weights)
+            assert np.array_equal(cache.ctps(v).boundaries, fresh.boundaries)
+            assert cache.ctps(v).total_bias == fresh.total_bias
+
+
+def assert_alias_matches_fresh(cache, graph):
+    for v in range(graph.num_vertices):
+        weights = graph.neighbor_weights(v)
+        if weights.size == 0 or not np.any(weights > 0):
+            assert not cache.has(v)
+        else:
+            fresh = build_alias_table(weights)
+            assert np.array_equal(cache.table(v).prob, fresh.prob)
+            assert np.array_equal(cache.table(v).alias, fresh.alias)
+
+
+class TestFullBuild:
+    def test_its_build_matches_fresh_ctps(self):
+        graph = make_graph()
+        cache = VertexITSCache.build(graph)
+        assert_its_matches_fresh(cache, graph)
+        assert cache.num_cached == cache.built_total
+
+    def test_alias_build_matches_fresh_tables(self):
+        graph = make_graph()
+        cache = VertexAliasCache.build(graph)
+        assert_alias_matches_fresh(cache, graph)
+
+    def test_build_charges_cost(self):
+        graph = make_graph()
+        cost = CostModel()
+        VertexITSCache.build(graph, cost)
+        assert cost.prefix_sum_steps > 0
+
+
+class TestIncrementalUpdate:
+    def _mutate(self, graph):
+        delta = DeltaGraph(graph)
+        delta.add_edge(0, 5, 2.5)
+        delta.add_edge(0, 7, 0.5)
+        delta.add_edge(3, 1, 1.0)
+        if delta.degree(1) > 0:
+            delta.remove_edge(1, int(delta.neighbors(1)[0]))
+        delta.retire_vertex(9)
+        return delta
+
+    def test_updated_cache_is_bit_identical_to_full_rebuild(self):
+        graph = make_graph()
+        its = VertexITSCache.build(graph)
+        alias = VertexAliasCache.build(graph)
+        delta = self._mutate(graph)
+        touched = delta.compact()
+        new_graph = delta.base
+        rebuilt = its.update(new_graph, touched)
+        alias.update(new_graph, touched)
+        assert rebuilt <= touched.size
+        assert its.last_update_size == touched.size
+        assert_its_matches_fresh(its, new_graph)
+        assert_alias_matches_fresh(alias, new_graph)
+
+    def test_update_only_rebuilds_touched(self):
+        graph = make_graph()
+        cache = VertexITSCache.build(graph)
+        before = cache.built_total
+        untouched = [
+            v for v in range(graph.num_vertices)
+            if v not in (0,) and cache.has(v)
+        ]
+        keep = {v: cache.ctps(v) for v in untouched}
+        delta = DeltaGraph(graph)
+        delta.add_edge(0, 1, 1.0)
+        touched = delta.compact()
+        cache.update(delta.base, touched)
+        assert cache.built_total - before <= touched.size
+        for v, old in keep.items():
+            assert cache.ctps(v) is old  # untouched structures are reused
+
+    def test_update_rejects_out_of_range_touched(self):
+        graph = make_graph()
+        cache = VertexITSCache.build(graph)
+        with pytest.raises(IndexError):
+            cache.update(graph, np.array([graph.num_vertices]))
+
+    def test_bind_patches_on_auto_compaction(self):
+        graph = make_graph()
+        its = VertexITSCache.build(graph)
+        alias = VertexAliasCache.build(graph)
+        delta = DeltaGraph(graph, compaction_budget=3)
+        bind_caches(delta, its, alias)
+        for i in range(6):
+            delta.add_edge(i % 5, (i + 2) % 5, 1.0 + i)
+        assert delta.version >= 1
+        delta.compact()
+        assert_its_matches_fresh(its, delta.base)
+        assert_alias_matches_fresh(alias, delta.base)
+
+    def test_vertex_losing_all_edges_drops_structure(self):
+        graph = from_edge_list([(0, 1), (1, 0)], num_vertices=2,
+                               weights=[1.0, 2.0])
+        cache = VertexITSCache.build(graph)
+        delta = DeltaGraph(graph)
+        delta.remove_edge(0, 1)
+        touched = delta.compact()
+        cache.update(delta.base, touched)
+        assert not cache.has(0)
+        assert cache.has(1)
+
+
+class TestKnightKingDynamic:
+    def test_update_graph_matches_fresh_engine(self):
+        graph = make_graph(num_vertices=25, seed=3)
+        engine = KnightKingEngine(graph, biased=True, seed=11)
+        delta = DeltaGraph(graph)
+        delta.add_edge(2, 3, 4.0)
+        delta.add_edge(4, 2, 0.25)
+        touched = delta.compact()
+        engine.update_graph(delta.base, touched)
+
+        fresh = KnightKingEngine(delta.base, biased=True, seed=11)
+        walks_a = engine.run_walks([0, 1, 2, 3], walk_length=8)
+        walks_b = fresh.run_walks([0, 1, 2, 3], walk_length=8)
+        for a, b in zip(walks_a.walks, walks_b.walks):
+            assert np.array_equal(a, b)
+
+    def test_update_graph_requires_weights_when_biased(self):
+        graph = make_graph(num_vertices=10, seed=5)
+        engine = KnightKingEngine(graph, biased=True)
+        unweighted = from_edge_list([(0, 1), (1, 0)], num_vertices=10)
+        with pytest.raises(ValueError):
+            engine.update_graph(unweighted)

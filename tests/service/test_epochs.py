@@ -1,0 +1,259 @@
+"""Graph versioning: store epochs, pinned requests, drain-and-release."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import ALGORITHM_REGISTRY
+from repro.api.requests import SampleRequest
+from repro.api.sampler import GraphSampler
+from repro.graph import from_edge_list, ring_graph
+from repro.graph.delta import DeltaGraph
+from repro.service import (
+    SamplingClient,
+    SamplingService,
+    SharedGraphStore,
+    attach,
+    leaked_segments,
+)
+
+
+@pytest.fixture
+def graph_v0():
+    return ring_graph(24)
+
+
+def mutated(graph):
+    delta = DeltaGraph(graph)
+    delta.add_edge(0, 12)
+    delta.add_edge(12, 0)
+    delta.remove_edge(1, 2)
+    return delta.to_csr()
+
+
+class TestStoreEpochs:
+    def test_put_then_publish_creates_epochs(self, graph_v0):
+        with SharedGraphStore(prefix="ep0test") as store:
+            h0 = store.put("g", graph_v0)
+            assert h0.epoch == 0
+            h1 = store.publish("g", mutated(graph_v0))
+            assert h1.epoch == 1
+            assert store.epochs("g") == [0, 1]
+            assert store.latest_epoch("g") == 1
+            # Default accessors resolve the latest epoch.
+            assert store.handle("g").epoch == 1
+            assert store.graph("g").num_edges == h1.num_edges
+            # The old epoch is still mapped and attachable.
+            assert store.graph("g", 0).num_edges == graph_v0.num_edges
+            mapped = attach(store.handle("g", 0))
+            assert np.array_equal(mapped.graph.col_idx, graph_v0.col_idx)
+            mapped.close()
+        assert leaked_segments("ep0test") == []
+
+    def test_publish_requires_existing_name(self, graph_v0):
+        with SharedGraphStore(prefix="ep1test") as store:
+            with pytest.raises(KeyError):
+                store.publish("nope", graph_v0)
+
+    def test_release_single_epoch(self, graph_v0):
+        with SharedGraphStore(prefix="ep2test") as store:
+            store.put("g", graph_v0)
+            store.publish("g", mutated(graph_v0))
+            store.release("g", 0)
+            assert store.epochs("g") == [1]
+            with pytest.raises(KeyError):
+                store.handle("g", 0)
+            # Epoch numbers are never reused.
+            assert store.publish("g", graph_v0).epoch == 2
+        assert leaked_segments("ep2test") == []
+
+    def test_release_all_epochs_forgets_name(self, graph_v0):
+        with SharedGraphStore(prefix="ep3test") as store:
+            store.put("g", graph_v0)
+            store.publish("g", mutated(graph_v0))
+            store.release("g")
+            assert "g" not in store.names()
+        assert leaked_segments("ep3test") == []
+
+
+class TestServiceEpochs:
+    def _service(self, **kwargs):
+        kwargs.setdefault("num_workers", 1)
+        kwargs.setdefault("mode", "thread")
+        kwargs.setdefault("batch_window_s", 0.0)
+        kwargs.setdefault("max_batch_requests", 1)
+        return SamplingService(**kwargs)
+
+    def test_update_graph_serves_new_epoch(self, graph_v0):
+        svc = self._service()
+        try:
+            svc.load_graph("g", graph_v0)
+            assert svc.graph_epoch("g") == 0
+            epoch = svc.update_graph("g", add_edges=[(0, 12), (12, 0)],
+                                     remove_edges=[(1, 2)])
+            assert epoch == 1
+            assert svc.graph_epoch("g") == 1
+            client = SamplingClient(svc)
+            response = client.sample("g", "deepwalk", [0], depth=4, seed=3,
+                                     timeout=30)
+            assert response.epoch == 1
+            info = ALGORITHM_REGISTRY["deepwalk"]
+            ref = GraphSampler(
+                mutated(graph_v0), info.program_factory(),
+                info.config_factory(depth=4, seed=3),
+            ).run([0])
+            assert np.array_equal(response.samples[0].edges, ref.samples[0].edges)
+        finally:
+            svc.shutdown()
+
+    def test_update_graph_accepts_delta_object(self, graph_v0):
+        svc = self._service()
+        try:
+            svc.load_graph("g", graph_v0)
+            delta = DeltaGraph(graph_v0)
+            delta.add_edge(3, 9)
+            assert svc.update_graph("g", delta) == 1
+            assert svc.store.graph("g").num_edges == graph_v0.num_edges + 1
+        finally:
+            svc.shutdown()
+
+    def test_update_graph_argument_validation(self, graph_v0):
+        svc = self._service()
+        try:
+            svc.load_graph("g", graph_v0)
+            with pytest.raises(ValueError):
+                svc.update_graph("g")
+            with pytest.raises(ValueError):
+                svc.update_graph("g", graph_v0, add_edges=[(0, 1)])
+        finally:
+            svc.shutdown()
+
+    def test_pinned_epoch_requests(self, graph_v0):
+        svc = self._service()
+        try:
+            svc.load_graph("g", graph_v0)
+            client = SamplingClient(svc)
+            pinned = client.sample("g", "deepwalk", [1], depth=3, seed=5,
+                                   epoch=0, timeout=30)
+            assert pinned.epoch == 0
+            with pytest.raises(KeyError):
+                svc.submit(SampleRequest(graph="g", algorithm="deepwalk",
+                                         seeds=(1,), epoch=7))
+        finally:
+            svc.shutdown()
+
+    def test_pinning_a_retiring_epoch_is_rejected(self, graph_v0):
+        svc = self._service()
+        try:
+            svc.load_graph("g", graph_v0)
+            svc.update_graph("g", add_edges=[(0, 5)])
+            # Epoch 0 drained instantly (no in-flight work): it is released.
+            deadline = time.time() + 5
+            while svc.store.epochs("g") != [1] and time.time() < deadline:
+                time.sleep(0.01)
+            assert svc.store.epochs("g") == [1]
+            with pytest.raises(KeyError):
+                svc.submit(SampleRequest(graph="g", algorithm="deepwalk",
+                                         seeds=(1,), epoch=0))
+        finally:
+            svc.shutdown()
+
+    def test_inflight_requests_finish_on_their_epoch(self, graph_v0):
+        prefix = "ep4test"
+        store = SharedGraphStore(prefix=prefix)
+        svc = self._service(num_workers=2, store=store)
+        try:
+            svc.load_graph("g", graph_v0)
+            # A chunky request bound to epoch 0...
+            future = svc.submit(SampleRequest(
+                graph="g", algorithm="deepwalk", seeds=tuple(range(24)),
+                num_instances=600, config_overrides={"depth": 40, "seed": 2},
+            ))
+            # ... then the graph moves on to epoch 1 while it may be running.
+            svc.update_graph("g", add_edges=[(0, 12)])
+            response = future.result(timeout=60)
+            assert response.epoch == 0
+            info = ALGORITHM_REGISTRY["deepwalk"]
+            ref = GraphSampler(
+                graph_v0, info.program_factory(),
+                info.config_factory(depth=40, seed=2),
+            ).run(list(range(24)), num_instances=600)
+            assert np.array_equal(response.samples[17].edges,
+                                  ref.samples[17].edges)
+            # Once the epoch-0 request drained, epoch 0 must release.
+            deadline = time.time() + 10
+            while svc.store.epochs("g") != [1] and time.time() < deadline:
+                time.sleep(0.01)
+            assert svc.store.epochs("g") == [1]
+        finally:
+            svc.shutdown()
+            store.close()
+        assert leaked_segments(prefix) == []
+
+    def test_requests_across_epochs_never_fuse(self, graph_v0):
+        # A wide batching window would fuse these if epochs were ignored;
+        # the epoch in the grouping key keeps them apart.
+        svc = self._service(batch_window_s=0.05, max_batch_requests=16,
+                            num_workers=1)
+        try:
+            svc.load_graph("g", graph_v0)
+            f0 = svc.submit(SampleRequest(
+                graph="g", algorithm="deepwalk", seeds=(0, 1),
+                config_overrides={"depth": 4, "seed": 9},
+            ))
+            svc.update_graph("g", add_edges=[(1, 7)])
+            f1 = svc.submit(SampleRequest(
+                graph="g", algorithm="deepwalk", seeds=(0, 1),
+                config_overrides={"depth": 4, "seed": 9},
+            ))
+            r0, r1 = f0.result(timeout=30), f1.result(timeout=30)
+            assert (r0.epoch, r1.epoch) == (0, 1)
+            info = ALGORITHM_REGISTRY["deepwalk"]
+            config = info.config_factory(depth=4, seed=9)
+            for response, base in ((r0, graph_v0),
+                                   (r1, svc.store.graph("g", 1))):
+                ref = GraphSampler(base, info.program_factory(), config).run([0, 1])
+                for a, b in zip(ref.samples, response.samples):
+                    assert np.array_equal(a.edges, b.edges)
+        finally:
+            svc.shutdown()
+
+    def test_route_reevaluated_per_epoch(self, graph_v0):
+        big = ring_graph(4000)
+        svc = self._service(memory_budget_bytes=graph_v0.nbytes + 64)
+        try:
+            svc.load_graph("g", graph_v0)
+            assert svc.route_of("g") == "in_memory"
+            svc.update_graph("g", big)
+            assert svc.route_of("g") == "out_of_memory"
+            client = SamplingClient(svc)
+            response = client.sample("g", "deepwalk", [5], depth=3, seed=1,
+                                     timeout=60)
+            assert response.route == "out_of_memory"
+            assert response.epoch == 1
+        finally:
+            svc.shutdown()
+
+    def test_process_workers_follow_epochs(self, graph_v0):
+        prefix = "ep5test"
+        store = SharedGraphStore(prefix=prefix)
+        svc = SamplingService(num_workers=2, mode="process",
+                              batch_window_s=0.0, max_batch_requests=1,
+                              store=store)
+        try:
+            svc.load_graph("g", graph_v0)
+            client = SamplingClient(svc)
+            r0 = client.sample("g", "deepwalk", [2], depth=3, seed=4, timeout=60)
+            svc.update_graph("g", add_edges=[(2, 13), (13, 2)])
+            r1 = client.sample("g", "deepwalk", [2], depth=3, seed=4, timeout=60)
+            assert (r0.epoch, r1.epoch) == (0, 1)
+            info = ALGORITHM_REGISTRY["deepwalk"]
+            config = info.config_factory(depth=3, seed=4)
+            ref = GraphSampler(svc.store.graph("g", 1), info.program_factory(),
+                               config).run([2])
+            assert np.array_equal(r1.samples[0].edges, ref.samples[0].edges)
+        finally:
+            svc.shutdown()
+            store.close()
+        assert leaked_segments(prefix) == []
