@@ -1,0 +1,97 @@
+"""Sharded-cluster throughput: 4 shards vs 1 on a 100k-vertex walk workload.
+
+The sharded tier's scaling claim: shards sample their partitions side by
+side, so with enough walkers to fill every shard's device the cluster's
+simulated makespan (the slowest shard's kernel time -- the same model the
+paper's multi-GPU scaling figure uses) drops near-linearly with the shard
+count, while migrations keep every walker's result bit-identical.
+
+The workload is a DeepWalk-style random walk over a uniform-degree
+Erdos-Renyi graph: uniform degrees spread walker traffic evenly across the
+vertex ranges, isolating the scaling property being measured (on power-law
+graphs the hubs concentrate gather traffic on one shard -- that skew is a
+property of the workload, not of the tier).
+
+Acceptance (asserted): 4 in-process shards reach >= 2x the single-shard
+simulated throughput; results stay bit-identical across the two runs.
+
+Run standalone (simulated time is deterministic; wall clock is informative):
+
+    PYTHONPATH=src python benchmarks/bench_sharded_throughput.py            # full
+    PYTHONPATH=src python benchmarks/bench_sharded_throughput.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.distributed import ShardedSamplingCluster
+from repro.graph.generators import erdos_renyi_graph
+
+ALGORITHM = "deepwalk"
+
+
+def run_once(graph, num_shards: int, walkers: int):
+    seeds = list(range(walkers))
+    cluster = ShardedSamplingCluster(graph, ALGORITHM, num_shards=num_shards)
+    start = time.perf_counter()
+    result = cluster.run(seeds)
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller graph / fewer walkers (CI smoke)")
+    args = parser.parse_args()
+
+    if args.quick:
+        num_vertices, avg_degree, walkers = 20_000, 10.0, 4096
+    else:
+        num_vertices, avg_degree, walkers = 100_000, 10.0, 8192
+
+    print(f"graph: Erdos-Renyi |V|={num_vertices} avg_degree={avg_degree}, "
+          f"{walkers} {ALGORITHM} walkers")
+    graph = erdos_renyi_graph(num_vertices, avg_degree, seed=3)
+
+    print(f"{'shards':>6} {'makespan_s':>12} {'seps':>12} {'migrations':>10} "
+          f"{'epochs':>6} {'wall_s':>7}")
+    results = {}
+    for num_shards in (1, 4):
+        result, wall = run_once(graph, num_shards, walkers)
+        results[num_shards] = result
+        summary = result.summary()
+        print(f"{num_shards:6d} {summary['makespan_s']:12.3e} "
+              f"{summary['seps']:12.3e} {summary['migrations']:10d} "
+              f"{summary['epochs']:6d} {wall:7.2f}")
+
+    single, sharded = results[1], results[4]
+    speedup = single.makespan() / sharded.makespan()
+    print(f"4-shard simulated speedup: {speedup:.2f}x")
+
+    failures = []
+    if speedup < 2.0:
+        failures.append(f"4-shard speedup {speedup:.2f}x below the 2x bar")
+    if sharded.migrations == 0:
+        failures.append("4-shard run performed no migrations (not sharded?)")
+    identical = all(
+        np.array_equal(a.edges, b.edges)
+        for a, b in zip(single.result.samples, sharded.result.samples)
+    )
+    if not identical:
+        failures.append("4-shard samples diverged from the single-shard run")
+
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure)
+        return 1
+    print("OK: >= 2x simulated throughput at 4 shards, results bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

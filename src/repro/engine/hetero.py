@@ -56,9 +56,28 @@ from repro.gpusim.prng import CounterRNG
 __all__ = [
     "InstanceGroup",
     "GroupedIterationSink",
+    "member_map",
     "run_coalesced",
     "run_heterogeneous",
 ]
+
+
+def member_map(
+    members: Sequence[Sequence[InstanceState]],
+) -> Tuple[Dict[int, int], List[InstanceState]]:
+    """Identity map ``id(instance) -> member rank`` plus the flat instance list.
+
+    Shared by :func:`run_coalesced` and the sharded cluster's per-walker warp
+    grouping (:mod:`repro.distributed.shard`), which both key the engine's
+    warp-group cursors by instance identity.
+    """
+    member_of: Dict[int, int] = {}
+    flat: List[InstanceState] = []
+    for rank, insts in enumerate(members):
+        for inst in insts:
+            member_of[id(inst)] = rank
+            flat.append(inst)
+    return member_of, flat
 
 
 @dataclass
@@ -103,12 +122,7 @@ def run_coalesced(
 
     graph = as_csr(graph)  # DeltaGraphs sample their canonical snapshot
     members = [list(m) for m in members]
-    member_of: Dict[int, int] = {}
-    all_instances: List[InstanceState] = []
-    for rank, insts in enumerate(members):
-        for inst in insts:
-            member_of[id(inst)] = rank
-            all_instances.append(inst)
+    member_of, all_instances = member_map(members)
     validate_seed_instances(all_instances, graph.num_vertices)
 
     rng = CounterRNG(config.seed)

@@ -122,11 +122,36 @@ class BatchedStepEngine:
     # Warp-id allocation (engine-global by default, per-group when coalescing)
     # ================================================================== #
     def set_warp_groups(
-        self, group_of: Mapping[int, int], num_groups: int
+        self,
+        group_of: Mapping[int, int],
+        num_groups: int,
+        initial_cursors: Optional[np.ndarray] = None,
     ) -> None:
-        """Switch to per-group warp numbering (see ``_warp_group_of``)."""
+        """Switch to per-group warp numbering (see ``_warp_group_of``).
+
+        ``initial_cursors`` seeds each group's next warp id (default 0 for
+        every group).  The sharded cluster uses it to resume an instance's
+        private warp stream after the instance migrated to another shard:
+        the cursor travels with the walker, so warp ids -- and hence the RNG
+        streams that mix them -- are independent of where each step ran.
+        """
         self._warp_group_of = group_of
-        self._group_warp_cursors = np.zeros(num_groups, dtype=np.int64)
+        if initial_cursors is None:
+            self._group_warp_cursors = np.zeros(num_groups, dtype=np.int64)
+        else:
+            cursors = np.asarray(initial_cursors, dtype=np.int64).copy()
+            if cursors.shape != (num_groups,):
+                raise ValueError(
+                    f"initial_cursors must have shape ({num_groups},), "
+                    f"got {cursors.shape}"
+                )
+            self._group_warp_cursors = cursors
+
+    def group_cursors(self) -> np.ndarray:
+        """Current per-group warp cursors (copy; export for migration)."""
+        if self._group_warp_cursors is None:
+            raise RuntimeError("warp groups are not set")
+        return self._group_warp_cursors.copy()
 
     def _alloc_warp(self, inst: InstanceState) -> int:
         """Allocate one warp id on behalf of ``inst``."""

@@ -20,13 +20,57 @@ make partition sizes wildly unequal.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 
-__all__ = ["VertexRangePartition", "PartitionSet", "partition_graph"]
+__all__ = [
+    "VertexRangePartition",
+    "PartitionSet",
+    "partition_bounds",
+    "partition_graph",
+    "range_owners",
+    "uniform_stride",
+]
+
+
+def uniform_stride(bounds: np.ndarray) -> Optional[int]:
+    """The common range width when every partition is equally wide, else None.
+
+    Equal-vertex partitioning of ``P | num_vertices`` graphs produces uniform
+    bounds, for which the owner lookup is a single integer division -- the
+    paper's O(1) vertex-to-partition mapping.  The division is only valid
+    for zero-based bounds, so offset partitionings never get a stride.
+    """
+    bounds = np.asarray(bounds, dtype=np.int64)
+    if bounds.size < 2 or bounds[0] != 0:
+        return None
+    widths = np.diff(bounds)
+    if np.all(widths == widths[0]):
+        return int(widths[0])
+    return None
+
+
+def range_owners(
+    bounds: np.ndarray,
+    vertices: Union[int, np.ndarray],
+    *,
+    stride: Optional[int] = None,
+) -> np.ndarray:
+    """Partition index owning each vertex, given range ``bounds`` alone.
+
+    With ``stride`` (see :func:`uniform_stride`) the lookup is one integer
+    division; otherwise a single ``searchsorted`` over the bounds.  No bounds
+    checking is performed -- callers validate vertex ids where needed.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if stride:
+        return vertices // stride
+    return np.searchsorted(
+        np.asarray(bounds, dtype=np.int64), vertices, side="right"
+    ) - 1
 
 
 @dataclass(frozen=True)
@@ -82,6 +126,7 @@ class PartitionSet:
             raise ValueError("boundaries must be strictly increasing")
         self._graph = graph
         self._bounds = bounds
+        self._stride = uniform_stride(bounds)
         self._partitions: List[VertexRangePartition] = [
             VertexRangePartition(
                 index=i,
@@ -118,18 +163,27 @@ class PartitionSet:
         return iter(self._partitions)
 
     # ------------------------------------------------------------------ #
+    def owner(self, vertices: Union[int, np.ndarray]) -> np.ndarray:
+        """Vectorised O(1) owner lookup for a scalar or array of vertex ids.
+
+        Uniformly wide partitions (the equal-vertex default on divisible
+        sizes) resolve with one integer division; otherwise a single
+        ``searchsorted`` over the range bounds.  Out-of-range ids raise.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size and (
+            vertices.min() < 0 or vertices.max() >= self._graph.num_vertices
+        ):
+            raise IndexError("vertex id out of range")
+        return range_owners(self._bounds, vertices, stride=self._stride)
+
     def partition_of(self, vertex: int) -> int:
-        """Partition index owning ``vertex`` (O(log P); P is tiny in practice)."""
-        if not (0 <= vertex < self._graph.num_vertices):
-            raise IndexError(f"vertex {vertex} out of range")
-        return int(np.searchsorted(self._bounds, vertex, side="right") - 1)
+        """Partition index owning ``vertex`` (scalar :meth:`owner`)."""
+        return int(self.owner(int(vertex)))
 
     def partition_of_many(self, vertices: np.ndarray) -> np.ndarray:
-        """Vectorised :meth:`partition_of` for an array of vertex ids."""
-        vertices = np.asarray(vertices, dtype=np.int64)
-        if vertices.size and (vertices.min() < 0 or vertices.max() >= self._graph.num_vertices):
-            raise IndexError("vertex id out of range")
-        return np.searchsorted(self._bounds, vertices, side="right") - 1
+        """Vectorised :meth:`partition_of` (alias of :meth:`owner`)."""
+        return self.owner(vertices)
 
     def sizes_bytes(self) -> np.ndarray:
         """Memory footprint of each partition in bytes."""
@@ -140,24 +194,17 @@ class PartitionSet:
         return np.array([p.num_edges for p in self._partitions], dtype=np.int64)
 
 
-def partition_graph(
+def partition_bounds(
     graph: CSRGraph,
     num_partitions: int,
     *,
     balance: str = "vertices",
-) -> PartitionSet:
-    """Split ``graph`` into ``num_partitions`` contiguous vertex ranges.
+) -> np.ndarray:
+    """Range boundaries of a contiguous partitioning, without slicing CSRs.
 
-    Parameters
-    ----------
-    graph:
-        Graph to partition.
-    num_partitions:
-        Desired partition count; must not exceed the vertex count.
-    balance:
-        ``"vertices"`` (paper default) gives equal vertex ranges;
-        ``"edges"`` picks range boundaries so each partition holds roughly the
-        same number of edges.
+    The sharded cluster ships these bounds to every shard for its owner
+    lookups; :func:`partition_graph` materialises the per-partition CSR
+    slices on top of them.
     """
     if num_partitions < 1:
         raise ValueError("num_partitions must be >= 1")
@@ -189,4 +236,26 @@ def partition_graph(
             bounds = np.insert(bounds, 0, 0)
         if bounds[-1] != graph.num_vertices:
             bounds = np.append(bounds, graph.num_vertices)
-    return PartitionSet(graph, bounds)
+    return bounds
+
+
+def partition_graph(
+    graph: CSRGraph,
+    num_partitions: int,
+    *,
+    balance: str = "vertices",
+) -> PartitionSet:
+    """Split ``graph`` into ``num_partitions`` contiguous vertex ranges.
+
+    Parameters
+    ----------
+    graph:
+        Graph to partition.
+    num_partitions:
+        Desired partition count; must not exceed the vertex count.
+    balance:
+        ``"vertices"`` (paper default) gives equal vertex ranges;
+        ``"edges"`` picks range boundaries so each partition holds roughly the
+        same number of edges.
+    """
+    return PartitionSet(graph, partition_bounds(graph, num_partitions, balance=balance))

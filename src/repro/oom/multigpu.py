@@ -27,15 +27,32 @@ __all__ = ["MultiGPUResult", "run_multi_gpu_sampling", "run_multi_gpu_walks"]
 
 @dataclass
 class MultiGPUResult:
-    """Per-GPU results plus aggregate throughput."""
+    """Per-GPU results plus aggregate throughput.
+
+    With fewer instances than GPUs the surplus devices receive no work and
+    are skipped entirely: ``per_gpu`` / ``devices`` hold only the devices
+    that ran (their ``device_id`` keeps the original GPU index, so
+    heterogeneous ``device_specs`` stay aligned), and ``requested_gpus``
+    records how many were asked for.
+    """
 
     per_gpu: List[SampleResult]
     devices: List[Device]
+    #: GPUs the job requested (>= ``num_gpus`` when groups were empty).
+    requested_gpus: int = 0
+
+    def __post_init__(self) -> None:
+        if self.requested_gpus < len(self.per_gpu):
+            self.requested_gpus = len(self.per_gpu)
 
     @property
     def num_gpus(self) -> int:
-        """Number of simulated GPUs used."""
+        """Number of simulated GPUs that actually ran instances."""
         return len(self.per_gpu)
+
+    def instances_per_gpu(self) -> List[int]:
+        """Instance count of each GPU that ran, aligned with ``devices``."""
+        return [r.num_instances for r in self.per_gpu]
 
     @property
     def total_sampled_edges(self) -> int:
@@ -60,13 +77,17 @@ class MultiGPUResult:
 
 
 def _split_seeds(seeds: np.ndarray, num_instances: int, num_gpus: int) -> List[np.ndarray]:
-    """Round-robin expand seeds to ``num_instances`` then split into GPU groups."""
+    """Round-robin expand seeds to ``num_instances`` then split into GPU groups.
+
+    Returns exactly ``num_gpus`` groups; with ``num_instances < num_gpus``
+    the trailing groups are empty and the callers skip those devices.
+    """
     seeds = np.asarray(seeds, dtype=np.int64).reshape(-1)
     if seeds.size == 0:
         raise ValueError("at least one seed is required")
     reps = int(np.ceil(num_instances / seeds.size))
     expanded = np.tile(seeds, reps)[:num_instances]
-    return [group for group in np.array_split(expanded, num_gpus) if group.size]
+    return list(np.array_split(expanded, num_gpus))
 
 
 def run_multi_gpu_sampling(
@@ -84,16 +105,20 @@ def run_multi_gpu_sampling(
         raise ValueError("num_gpus must be >= 1")
     if num_instances < 1:
         raise ValueError("num_instances must be >= 1")
+    if device_specs is not None and len(device_specs) < num_gpus:
+        raise ValueError("device_specs must cover every requested GPU")
     groups = _split_seeds(np.asarray(seeds), num_instances, num_gpus)
     results: List[SampleResult] = []
     devices: List[Device] = []
     for gpu_index, group in enumerate(groups):
+        if group.size == 0:  # more GPUs than instances: skip the idle device
+            continue
         spec = device_specs[gpu_index] if device_specs else None
         device = Device(spec, device_id=gpu_index) if spec else make_device("gpu", device_id=gpu_index)
         sampler = GraphSampler(graph, program, config.replace(seed=config.seed + gpu_index), device)
         results.append(sampler.run(group.tolist()))
         devices.append(device)
-    return MultiGPUResult(per_gpu=results, devices=devices)
+    return MultiGPUResult(per_gpu=results, devices=devices, requested_gpus=num_gpus)
 
 
 def run_multi_gpu_walks(
@@ -113,6 +138,8 @@ def run_multi_gpu_walks(
     results: List[SampleResult] = []
     devices: List[Device] = []
     for gpu_index, group in enumerate(groups):
+        if group.size == 0:  # more GPUs than walkers: skip the idle device
+            continue
         device = make_device("gpu", device_id=gpu_index)
         results.append(
             run_random_walks(
@@ -125,4 +152,4 @@ def run_multi_gpu_walks(
             )
         )
         devices.append(device)
-    return MultiGPUResult(per_gpu=results, devices=devices)
+    return MultiGPUResult(per_gpu=results, devices=devices, requested_gpus=num_gpus)

@@ -197,9 +197,9 @@ class OutOfMemorySampler:
             p: FrontierQueue() for p in range(len(self.partitions))
         }
         for inst in instances:
-            for seed in inst.frontier_pool:
-                owner = self.partitions.partition_of(int(seed))
-                queues[owner].push(int(seed), inst.instance_id, 0)
+            owners = self.partitions.owner(inst.frontier_pool)
+            for seed, owner in zip(inst.frontier_pool, owners):
+                queues[int(owner)].push(int(seed), inst.instance_id, 0)
 
         transfer_engine = TransferEngine(self.device.spec.pcie_bandwidth_bytes)
         residency = PartitionResidency(
@@ -303,7 +303,7 @@ class OutOfMemorySampler:
                         iteration_counts,
                     )
                     if succ_v.size:
-                        owners = self.partitions.partition_of_many(succ_v)
+                        owners = self.partitions.owner(succ_v)
                         for owner in np.unique(owners):
                             mask = owners == owner
                             queues[int(owner)].push_batch(
@@ -387,6 +387,6 @@ class OutOfMemorySampler:
         next_depth = depth + 1
         if next_depth >= cfg.depth:
             return
-        for new_vertex in new_vertices:
-            owner = self.partitions.partition_of(int(new_vertex))
-            queues[owner].push(int(new_vertex), instance.instance_id, next_depth)
+        owners = self.partitions.owner(new_vertices) if new_vertices.size else ()
+        for new_vertex, owner in zip(new_vertices, owners):
+            queues[int(owner)].push(int(new_vertex), instance.instance_id, next_depth)

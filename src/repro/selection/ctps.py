@@ -68,7 +68,13 @@ class CTPS:
         if total <= 0.0:
             raise ValueError("at least one bias must be positive")
         boundaries = prefix / total
-        boundaries[-1] = 1.0  # guard against round-off
+        # Guard against round-off: the tree-order prefix sums can land a
+        # boundary a few ulps above the (differently-associated) total, e.g.
+        # with trailing zero biases, and regions must satisfy l < h <= 1.
+        # Values above 1 compare identically to 1.0 against any r in [0, 1),
+        # so clamping never changes a search result.
+        np.minimum(boundaries, 1.0, out=boundaries)
+        boundaries[-1] = 1.0
         if cost is not None:
             # Normalisation: one division per element.  The CTPS itself stays
             # in the warp's shared/register storage for typical pool sizes, so

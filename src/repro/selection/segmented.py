@@ -300,7 +300,8 @@ class SegmentedCTPS:
             1.0,
             self.prefix[np.minimum(base + idx, self.prefix.size - 1)] / totals,
         )
-        return lo, hi
+        # Same round-off clamp as CTPS.from_biases (regions need l < h <= 1).
+        return np.minimum(lo, 1.0), np.minimum(hi, 1.0)
 
     def segment_boundaries(self, seg: int) -> np.ndarray:
         """One segment's boundary array, bitwise equal to the scalar CTPS."""
@@ -309,6 +310,8 @@ class SegmentedCTPS:
         boundaries = np.empty(n + 1, dtype=np.float64)
         boundaries[0] = 0.0
         boundaries[1:] = self.prefix[lo:hi] / float(self.totals[seg])
+        # Same round-off clamp as CTPS.from_biases (bitwise-equal contract).
+        np.minimum(boundaries, 1.0, out=boundaries)
         boundaries[-1] = 1.0
         return boundaries
 

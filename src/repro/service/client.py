@@ -6,6 +6,18 @@ resolve the future -- blocking for :class:`SamplingClient`, awaitable for
 :class:`AsyncSamplingClient` (the service's ``concurrent.futures.Future`` is
 bridged onto the running event loop, so thousands of in-flight requests cost
 one coroutine each, not one thread each).
+
+Both clients accept ``timeout=`` (seconds to wait for the response) and
+``retries=`` (how many times to *resubmit* a request that failed because its
+worker crashed or its unit went unanswered -- losses the service marks
+``transient`` on the raised :class:`~repro.service.server.ServiceError`).
+Each retry is a fresh request with a fresh id; deterministic sampling makes
+the retried response identical to what the lost one would have been, with
+one caveat: an *unpinned* request (``epoch=None``) re-resolves the graph's
+latest epoch on every attempt, so a retry that straddles a concurrent
+``update_graph`` runs on the new epoch (pin ``epoch=`` to rule that out).
+Failures caused by the request itself (bad seeds, unknown algorithm,
+program errors) are never retried.
 """
 
 from __future__ import annotations
@@ -14,9 +26,14 @@ import asyncio
 from typing import Optional, Sequence
 
 from repro.api.requests import SampleRequest, SampleResponse
-from repro.service.server import SamplingService
+from repro.service.server import SamplingService, ServiceError
 
 __all__ = ["SamplingClient", "AsyncSamplingClient"]
+
+
+def _should_retry(error: ServiceError, attempt: int, attempts: int) -> bool:
+    """Shared retry gate: resubmit only service-marked transient failures."""
+    return attempt + 1 < attempts and bool(getattr(error, "transient", False))
 
 
 def _build_request(
@@ -54,17 +71,28 @@ class SamplingClient:
         num_instances: Optional[int] = None,
         program_kwargs: Optional[dict] = None,
         timeout: Optional[float] = None,
+        retries: int = 0,
         epoch: Optional[int] = None,
         **config_overrides,
     ) -> SampleResponse:
         """Sample and wait.  ``config_overrides`` go to the algorithm's
         default config (``depth=...``, ``neighbor_size=...``, ``seed=...``);
-        ``epoch`` pins a published graph version (default: latest)."""
-        request = _build_request(
-            graph, algorithm, seeds, num_instances, program_kwargs,
-            config_overrides, epoch,
-        )
-        return self.service.submit(request).result(timeout=timeout)
+        ``epoch`` pins a published graph version (default: latest);
+        ``retries`` resubmits on transient worker-crash failures."""
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        attempts = retries + 1
+        for attempt in range(attempts):
+            request = _build_request(
+                graph, algorithm, seeds, num_instances, program_kwargs,
+                config_overrides, epoch,
+            )
+            try:
+                return self.service.submit(request).result(timeout=timeout)
+            except ServiceError as exc:
+                if not _should_retry(exc, attempt, attempts):
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def submit(self, request: SampleRequest):
         """Escape hatch: submit a prebuilt request, get the raw future."""
@@ -85,13 +113,27 @@ class AsyncSamplingClient:
         *,
         num_instances: Optional[int] = None,
         program_kwargs: Optional[dict] = None,
+        timeout: Optional[float] = None,
+        retries: int = 0,
         epoch: Optional[int] = None,
         **config_overrides,
     ) -> SampleResponse:
-        """Awaitable variant of :meth:`SamplingClient.sample`."""
-        request = _build_request(
-            graph, algorithm, seeds, num_instances, program_kwargs,
-            config_overrides, epoch,
-        )
-        future = self.service.submit(request)
-        return await asyncio.wrap_future(future)
+        """Awaitable variant of :meth:`SamplingClient.sample` (same
+        ``timeout`` / ``retries`` semantics)."""
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        attempts = retries + 1
+        for attempt in range(attempts):
+            request = _build_request(
+                graph, algorithm, seeds, num_instances, program_kwargs,
+                config_overrides, epoch,
+            )
+            future = self.service.submit(request)
+            try:
+                return await asyncio.wait_for(
+                    asyncio.wrap_future(future), timeout=timeout
+                )
+            except ServiceError as exc:
+                if not _should_retry(exc, attempt, attempts):
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -10,10 +10,13 @@ window*, groups compatible requests -- equal
 demultiplexes worker results back onto the per-request futures.
 
 Admission / routing: graphs whose CSR footprint exceeds
-``memory_budget_bytes`` are marked ``out_of_memory`` at load time; their
-requests bypass coalescing and run on the partition-scheduled
-:class:`~repro.oom.scheduler.OutOfMemorySampler`, with the partition count
-sized so each partition fits the budget.
+``memory_budget_bytes`` are marked oversized at load time and their requests
+bypass coalescing.  With ``cluster_shards`` set they take the ``"sharded"``
+route -- a partition-aware :class:`~repro.distributed.ShardedSamplingCluster`
+whose shards sample side by side, with the shard count sized so each
+partition fits the budget; otherwise they fall back to the serial
+partition-scheduled :class:`~repro.oom.scheduler.OutOfMemorySampler`
+(``"out_of_memory"``), with the partition count sized the same way.
 
 Determinism contract: a request's samples are bit-identical to a standalone
 sampler run with the same seeds and config, no matter what it was coalesced
@@ -27,7 +30,7 @@ import itertools
 import queue
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -42,7 +45,18 @@ __all__ = ["ServiceError", "ServiceStats", "SamplingService"]
 
 
 class ServiceError(RuntimeError):
-    """A request failed inside the service (the worker traceback is attached)."""
+    """A request failed inside the service (the worker traceback is attached).
+
+    ``transient`` marks failures the request itself is blameless for -- its
+    worker crashed or its unit went unanswered -- where resubmitting the
+    same request is safe and (by determinism) yields the answer the lost
+    run would have produced.  The clients' ``retries=`` machinery keys off
+    this flag.
+    """
+
+    def __init__(self, message: str, *, transient: bool = False):
+        super().__init__(message)
+        self.transient = transient
 
 
 @dataclass
@@ -55,6 +69,7 @@ class ServiceStats:
     units_dispatched: int = 0
     coalesced_requests: int = 0  # requests that shared a unit with others
     oom_requests: int = 0
+    sharded_requests: int = 0
     #: Most recent request latencies (bounded: a long-running service must
     #: not accumulate one float per request forever).
     latencies_s: Deque[float] = field(
@@ -70,6 +85,7 @@ class ServiceStats:
             "units_dispatched": self.units_dispatched,
             "coalesced_requests": self.coalesced_requests,
             "oom_requests": self.oom_requests,
+            "sharded_requests": self.sharded_requests,
         }
         if self.units_dispatched:
             out["mean_unit_size"] = (
@@ -99,12 +115,19 @@ class SamplingService:
         max_batch_requests: int = 64,
         memory_budget_bytes: Optional[int] = 256 * 1024 * 1024,
         oom_config: Optional[OutOfMemoryConfig] = None,
+        cluster_shards: int = 0,
         store: Optional[SharedGraphStore] = None,
         unit_timeout_s: Optional[float] = 600.0,
     ):
         """``batch_window_s=0`` with ``max_batch_requests=1`` disables
         coalescing entirely (every request runs alone) -- the benchmark's
         baseline configuration.
+
+        ``cluster_shards > 0`` serves over-budget graphs from a sharded
+        sampling cluster instead of the serial out-of-memory path; the
+        actual shard count per graph is at least ``ceil(nbytes / budget)``
+        so every shard's partition fits the budget.  ``0`` (default) keeps
+        the out-of-memory route.
 
         ``unit_timeout_s`` bounds how long a dispatched unit may stay
         unanswered before its requests fail.  It is the backstop for losses
@@ -113,15 +136,20 @@ class SamplingService:
         """
         if max_batch_requests < 1:
             raise ValueError("max_batch_requests must be >= 1")
+        if cluster_shards < 0:
+            raise ValueError("cluster_shards must be >= 0 (0 disables sharding)")
         self.store = store if store is not None else SharedGraphStore()
         self._owns_store = store is None
         self.batch_window_s = float(batch_window_s)
         self.max_batch_requests = int(max_batch_requests)
         self.memory_budget_bytes = memory_budget_bytes
         self._oom_config = oom_config
+        self.cluster_shards = int(cluster_shards)
         #: Admission decision per (graph name, epoch).
         self._routes: Dict[Tuple[str, int], str] = {}
         self._graph_oom_configs: Dict[Tuple[str, int], OutOfMemoryConfig] = {}
+        #: Frozen shard count per (graph name, epoch) on the sharded route.
+        self._graph_cluster_shards: Dict[Tuple[str, int], int] = {}
         #: Unresolved requests per (graph name, epoch); a retiring epoch is
         #: released once its count drains to zero.
         self._epoch_active: Dict[Tuple[str, int], int] = {}
@@ -170,7 +198,7 @@ class SamplingService:
                    *, path=None) -> str:
         """Publish a graph (object or NPZ path) and decide its route.
 
-        Returns ``"in_memory"`` or ``"out_of_memory"``.
+        Returns ``"in_memory"``, ``"sharded"`` or ``"out_of_memory"``.
         """
         if (graph is None) == (path is None):
             raise ValueError("pass exactly one of graph= or path=")
@@ -236,13 +264,27 @@ class SamplingService:
             self.memory_budget_bytes is not None
             and handle.nbytes > self.memory_budget_bytes
         ):
-            route = "out_of_memory"
-            # Freeze the partitioning under the budget in force *now*:
-            # later budget changes must not resize an admitted graph's
+            # Freeze the sizing under the budget in force *now*: later
+            # budget changes must not resize an admitted graph's shards or
             # partitions out from under its documented sizing.
-            self._graph_oom_configs[key] = self._make_oom_config(handle)
+            if self.cluster_shards:
+                route = "sharded"
+                self._graph_cluster_shards[key] = self._make_cluster_shards(handle)
+            else:
+                route = "out_of_memory"
+                self._graph_oom_configs[key] = self._make_oom_config(handle)
         self._routes[key] = route
         return route
+
+    def _make_cluster_shards(self, handle) -> int:
+        """Shard count: the configured floor, or more so partitions fit."""
+        budget = (
+            self.memory_budget_bytes
+            if self.memory_budget_bytes is not None
+            else handle.nbytes
+        )
+        needed = -(-handle.nbytes // max(budget, 1))
+        return int(max(self.cluster_shards, needed))
 
     def route_of(self, name: str, epoch: Optional[int] = None) -> str:
         """The admission decision for a loaded graph (latest epoch default)."""
@@ -429,6 +471,11 @@ class SamplingService:
                 if route == "out_of_memory"
                 else None
             ),
+            cluster_shards=(
+                self._graph_cluster_shards.get((head.graph, epoch))
+                if route == "sharded"
+                else None
+            ),
         )
         with self._lock:
             self._inflight[unit.unit_id] = [
@@ -438,6 +485,8 @@ class SamplingService:
             self.stats.units_dispatched += 1
             if route == "out_of_memory":
                 self.stats.oom_requests += len(members)
+            if route == "sharded":
+                self.stats.sharded_requests += len(members)
             if len(members) > 1:
                 self.stats.coalesced_requests += len(members)
         self._pool.submit(unit)
@@ -507,7 +556,7 @@ class SamplingService:
                 )
         for unit_id in stuck:
             self._finish_unit(UnitResult(
-                unit_id=unit_id, error="worker process died"
+                unit_id=unit_id, error="worker process died", transient=True
             ))
 
     def _expire_stale_units(self) -> None:
@@ -524,6 +573,7 @@ class SamplingService:
             self._finish_unit(UnitResult(
                 unit_id=unit_id,
                 error=f"unit unanswered after {self.unit_timeout_s}s",
+                transient=True,
             ))
 
     def _finish_unit(self, result: UnitResult) -> None:
@@ -533,7 +583,8 @@ class SamplingService:
             self._dispatched_at.pop(result.unit_id, None)
         if result.error is not None:
             for request_id in request_ids:
-                self._fail(request_id, result.error)
+                self._fail(request_id, result.error,
+                           transient=getattr(result, "transient", False))
             return
         answered = set()
         for payload in result.payloads:
@@ -546,7 +597,9 @@ class SamplingService:
             if payload.error is not None:
                 with self._lock:
                     self.stats.requests_failed += 1
-                pending.future.set_exception(ServiceError(payload.error))
+                self._set_future(
+                    pending.future, exception=ServiceError(payload.error)
+                )
                 self._note_resolved(pending)
                 continue
             response = SampleResponse(
@@ -566,20 +619,39 @@ class SamplingService:
             with self._lock:
                 self.stats.requests_completed += 1
                 self.stats.latencies_s.append(latency)
-            pending.future.set_result(response)
+            self._set_future(pending.future, result=response)
             self._note_resolved(pending)
         for request_id in request_ids:
             if request_id not in answered:  # pragma: no cover - defensive
                 self._fail(request_id, "worker returned no payload")
 
-    def _fail(self, request_id: int, message: str) -> None:
+    def _fail(self, request_id: int, message: str, *, transient: bool = False) -> None:
         with self._lock:
             pending = self._pending.pop(request_id, None)
             if pending is not None:
                 self.stats.requests_failed += 1
         if pending is not None:
-            pending.future.set_exception(ServiceError(message))
+            self._set_future(
+                pending.future,
+                exception=ServiceError(message, transient=transient),
+            )
             self._note_resolved(pending)
+
+    @staticmethod
+    def _set_future(future: Future, *, result=None, exception=None) -> None:
+        """Resolve a request future, tolerating caller-side cancellation.
+
+        An asyncio caller that times out (``asyncio.wait_for``) cancels the
+        bridged future; the worker's answer then has nowhere to land, which
+        must not crash the collector thread.
+        """
+        try:
+            if exception is not None:
+                future.set_exception(exception)
+            else:
+                future.set_result(result)
+        except InvalidStateError:  # future cancelled by the caller
+            pass
 
     # ------------------------------------------------------------------ #
     # Epoch lifecycle: retiring epochs release once their requests drain
@@ -606,6 +678,7 @@ class SamplingService:
             self._retiring.discard(key)
             self._routes.pop(key, None)
             self._graph_oom_configs.pop(key, None)
+            self._graph_cluster_shards.pop(key, None)
             # Release under the lock: a concurrent submit must observe
             # either a pinnable epoch or a KeyError, never the gap between
             # un-retiring and unlinking.

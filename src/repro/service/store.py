@@ -1,10 +1,12 @@
 """Shared-memory graph store: one CSR copy mapped by every worker.
 
 The sampling service keeps each loaded graph's CSR arrays in
-:mod:`multiprocessing.shared_memory` segments.  Workers receive a
+:mod:`multiprocessing.shared_memory` segments.  Consumers -- service
+workers, and the sharded cluster's per-shard processes
+(:mod:`repro.distributed.transport`) -- receive a
 :class:`SharedGraphHandle` (names, dtypes and lengths of the segments) and
-:func:`attach` zero-copy NumPy views over them, so N worker processes share
-one physical copy of the graph instead of N pickled replicas.
+:func:`attach` zero-copy NumPy views over them, so N processes share one
+physical copy of the graph instead of N pickled replicas.
 
 Lifecycle contract
 ------------------

@@ -69,9 +69,13 @@ class WorkUnit:
     config: SamplingConfig
     program_kwargs: Tuple[Tuple[str, object], ...]
     requests: Tuple[RequestSpec, ...]
-    #: ``"in_memory"`` or ``"out_of_memory"`` (the admission policy's call).
+    #: ``"in_memory"``, ``"out_of_memory"`` or ``"sharded"`` (the admission
+    #: policy's call).
     route: str = "in_memory"
     oom_config: Optional[OutOfMemoryConfig] = None
+    #: Shard count for the ``"sharded"`` route (in-process shards inside the
+    #: executing worker, sized so each partition fits the memory budget).
+    cluster_shards: Optional[int] = None
 
 
 @dataclass
@@ -95,6 +99,10 @@ class UnitResult:
     unit_id: int
     payloads: List[RequestPayload] = field(default_factory=list)
     error: Optional[str] = None
+    #: Unit-level failures synthesised by the front-end's crash/timeout
+    #: backstops are transient: the requests were not at fault and a
+    #: resubmit is safe (clients retry exactly these).
+    transient: bool = False
 
 
 # --------------------------------------------------------------------------- #
@@ -122,6 +130,47 @@ def execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
     info = get_algorithm(unit.algorithm)
     kwargs = dict(unit.program_kwargs)
     payloads: List[RequestPayload] = []
+
+    if unit.route == "sharded":
+        # Oversized graphs served by the sharded tier: one in-process
+        # cluster run per request (bit-identical for any shard count, so
+        # the sizing decision never changes results -- see
+        # docs/distributed.md).
+        from repro.distributed import ShardedSamplingCluster
+
+        if not unit.cluster_shards:
+            # The front-end froze the shard count at admission; a missing
+            # value must not silently run partitions over the budget.
+            return UnitResult(
+                unit_id=unit.unit_id,
+                error="sharded unit carries no cluster_shards",
+            )
+        for spec in unit.requests:
+            try:
+                cluster = ShardedSamplingCluster(
+                    graph,
+                    unit.algorithm,
+                    unit.config,
+                    num_shards=int(unit.cluster_shards),
+                    program_kwargs=kwargs,
+                    transport="in_process",
+                )
+                cluster_result = cluster.run(
+                    list(spec.seeds), num_instances=spec.num_instances
+                )
+                payload = _payload_from_result(
+                    spec, cluster_result.result, "sharded", 1
+                )
+                payload.stats["makespan"] = float(cluster_result.makespan())
+                payload.stats["num_shards"] = float(cluster_result.num_shards)
+                payload.stats["migrations"] = float(cluster_result.migrations)
+                payloads.append(payload)
+            except Exception:
+                payloads.append(RequestPayload(
+                    request_id=spec.request_id, route="sharded",
+                    error=traceback.format_exc(limit=8),
+                ))
+        return UnitResult(unit_id=unit.unit_id, payloads=payloads)
 
     if unit.route == "out_of_memory":
         # Oversized graphs run the partition-scheduled sampler, one request

@@ -3,8 +3,15 @@
 import numpy as np
 import pytest
 
+from repro.graph.builder import from_edge_list
 from repro.graph.generators import powerlaw_graph, ring_graph
-from repro.graph.partition import PartitionSet, partition_graph
+from repro.graph.partition import (
+    PartitionSet,
+    partition_bounds,
+    partition_graph,
+    range_owners,
+    uniform_stride,
+)
 from repro.graph.properties import degree_histogram, gini_coefficient, graph_stats
 
 
@@ -72,6 +79,96 @@ class TestPartition:
         sizes = parts.sizes_bytes()
         assert sizes.shape == (4,)
         assert np.all(sizes > 0)
+
+
+class TestOwnerLookup:
+    def test_owner_matches_partition_of(self, small_powerlaw_graph):
+        parts = partition_graph(small_powerlaw_graph, 4)
+        vertices = np.arange(small_powerlaw_graph.num_vertices)
+        owners = parts.owner(vertices)
+        scalar = np.array([parts.partition_of(int(v)) for v in vertices])
+        assert np.array_equal(owners, scalar)
+
+    def test_owner_scalar(self, ring10):
+        parts = partition_graph(ring10, 2)
+        assert int(parts.owner(0)) == 0
+        assert int(parts.owner(9)) == 1
+        with pytest.raises(IndexError):
+            parts.owner(10)
+        with pytest.raises(IndexError):
+            parts.owner(np.array([-1, 3]))
+
+    def test_uniform_stride_fast_path(self):
+        # 100 vertices into 4 equal ranges: the O(1) division path.
+        g = powerlaw_graph(100, 6.0, seed=1)
+        bounds = partition_bounds(g, 4)
+        assert uniform_stride(bounds) == 25
+        vertices = np.arange(100)
+        assert np.array_equal(
+            range_owners(bounds, vertices, stride=25),
+            range_owners(bounds, vertices),
+        )
+
+    def test_non_uniform_falls_back_to_searchsorted(self):
+        bounds = np.array([0, 3, 50, 100], dtype=np.int64)
+        assert uniform_stride(bounds) is None
+        owners = range_owners(bounds, np.array([0, 2, 3, 49, 50, 99]))
+        assert owners.tolist() == [0, 0, 1, 1, 2, 2]
+
+
+class TestEdgeBalancedOnSkew:
+    """The equal-edge policy under heavy (power-law) degree skew."""
+
+    @pytest.fixture(scope="class")
+    def skewed_graph(self):
+        # exponent close to 2 gives a very heavy head: the first vertices
+        # concentrate a large share of all edges.
+        return powerlaw_graph(5000, 12.0, exponent=1.9, seed=13)
+
+    @pytest.mark.parametrize("num_partitions", [2, 4, 8])
+    def test_ranges_cover_all_vertices(self, skewed_graph, num_partitions):
+        parts = partition_graph(skewed_graph, num_partitions, balance="edges")
+        bounds = parts.boundaries
+        assert bounds[0] == 0
+        assert bounds[-1] == skewed_graph.num_vertices
+        assert np.all(np.diff(bounds) > 0)
+        assert sum(p.num_vertices for p in parts) == skewed_graph.num_vertices
+        assert sum(p.num_edges for p in parts) == skewed_graph.num_edges
+
+    @pytest.mark.parametrize("num_partitions", [2, 4])
+    def test_edge_counts_within_tolerance(self, skewed_graph, num_partitions):
+        parts = partition_graph(skewed_graph, num_partitions, balance="edges")
+        counts = parts.edge_counts()
+        target = skewed_graph.num_edges / num_partitions
+        # A contiguous split cannot beat the heaviest single vertex, so the
+        # tolerance is the max degree plus the ideal per-partition share.
+        slack = int(skewed_graph.degrees.max()) + 1
+        assert np.all(np.abs(counts - target) <= target + slack)
+        # And it must be far better balanced than the equal-vertex split.
+        by_vertex = partition_graph(skewed_graph, num_partitions, balance="vertices")
+        assert counts.std() <= by_vertex.edge_counts().std()
+
+    def test_empty_graph_rejected(self):
+        empty = from_edge_list(np.empty((0, 2), dtype=np.int64), num_vertices=0)
+        with pytest.raises(ValueError, match="empty graph"):
+            partition_bounds(empty, 2, balance="edges")
+
+    def test_single_vertex_graph(self):
+        lonely = from_edge_list(np.empty((0, 2), dtype=np.int64), num_vertices=1)
+        parts = partition_graph(lonely, 1, balance="edges")
+        assert parts.num_partitions == 1
+        assert parts[0].num_vertices == 1
+        assert parts[0].num_edges == 0
+        with pytest.raises(ValueError, match="more partitions than vertices"):
+            partition_bounds(lonely, 2, balance="edges")
+
+    def test_edgeless_graph_with_vertices(self):
+        hermits = from_edge_list(np.empty((0, 2), dtype=np.int64), num_vertices=7)
+        parts = partition_graph(hermits, 3, balance="edges")
+        bounds = parts.boundaries
+        assert bounds[0] == 0 and bounds[-1] == 7
+        assert np.all(np.diff(bounds) > 0)
+        assert sum(p.num_vertices for p in parts) == 7
 
 
 class TestProperties:

@@ -1,0 +1,152 @@
+"""Shard-count invariance: the sharded cluster's headline contract.
+
+For every registry algorithm, a cluster run must produce **bit-identical**
+results -- samples, per-selection iteration counts and cost totals -- across
+1, 2 and 4 shards, in both the in-process and multiprocess transports.
+Per-instance counter-based RNG streams (instance id + private warp cursor)
+make every selection independent of where its step executed, so splitting
+the work differently must not change a single bit.
+
+The anchor test additionally pins the cluster's stream semantics: each
+walker's sample equals a standalone single-instance ``GraphSampler`` run
+built with the same global instance id.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import ALGORITHM_REGISTRY, get_algorithm
+from repro.api.instance import InstanceState
+from repro.api.sampler import GraphSampler
+from repro.distributed import ShardedSamplingCluster, walker_program_seed
+from repro.gpusim.costmodel import CostModel
+from repro.graph.generators import powerlaw_graph
+
+ALL_ALGORITHMS = sorted(ALGORITHM_REGISTRY)
+SHARD_COUNTS = (1, 2, 4)
+NUM_SEEDS = 12
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(80, 6.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def seeds(graph):
+    return [int(s) for s in range(0, graph.num_vertices, graph.num_vertices // NUM_SEEDS)][:NUM_SEEDS]
+
+
+def fingerprint(cluster_result):
+    """Everything the invariance contract covers, as a comparable value."""
+    result = cluster_result.result
+    return (
+        tuple(
+            (s.instance_id, tuple(map(int, s.seeds)), tuple(map(tuple, s.edges)))
+            for s in result.samples
+        ),
+        tuple(result.iteration_counts),
+        tuple(sorted(result.cost.as_dict().items())),
+    )
+
+
+def run_cluster(graph, algorithm, seeds, num_shards, transport):
+    cluster = ShardedSamplingCluster(
+        graph,
+        algorithm,
+        num_shards=num_shards,
+        transport=transport,
+        mp_context="fork",  # test-only: spawn costs a full interpreter per shard
+    )
+    return cluster.run(seeds)
+
+
+class TestInProcessInvariance:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_bit_identical_across_shard_counts(self, graph, seeds, algorithm):
+        results = [
+            run_cluster(graph, algorithm, seeds, n, "in_process")
+            for n in SHARD_COUNTS
+        ]
+        reference = fingerprint(results[0])
+        for result in results[1:]:
+            assert fingerprint(result) == reference
+        # The multi-shard runs actually exercised migration.
+        assert results[-1].migrations > 0
+        assert results[0].result.total_sampled_edges > 0
+
+
+class TestMultiprocessInvariance:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_bit_identical_across_shard_counts_and_transports(
+        self, graph, seeds, algorithm
+    ):
+        reference = fingerprint(
+            run_cluster(graph, algorithm, seeds, 1, "in_process")
+        )
+        for num_shards in SHARD_COUNTS:
+            result = run_cluster(graph, algorithm, seeds, num_shards, "multiprocess")
+            assert fingerprint(result) == reference
+
+
+class TestStreamSemantics:
+    """The contract behind the invariance: per-walker standalone streams."""
+
+    @pytest.mark.parametrize(
+        "algorithm", ["deepwalk", "biased_neighbor_sampling", "forest_fire_sampling"]
+    )
+    def test_walker_equals_standalone_single_instance_run(
+        self, graph, seeds, algorithm
+    ):
+        info = get_algorithm(algorithm)
+        config = info.config_factory()
+        coalescable = info.program_factory().supports_coalescing
+        sharded = run_cluster(graph, algorithm, seeds, 4, "in_process")
+        for rank, seed in enumerate(seeds):
+            inst = InstanceState(
+                instance_id=rank, frontier_pool=np.array([seed], dtype=np.int64)
+            )
+            if coalescable:
+                program = info.program_factory()
+            else:
+                # Stateful programs: the cluster seeds one replica per
+                # walker so their private hook streams are independent.
+                program = info.program_factory(
+                    seed=walker_program_seed(0, rank)
+                )
+            sampler = GraphSampler(graph, program, config)
+            iteration_counts = []
+            for depth in range(config.depth):
+                stepped = sampler.engine.step_instances(
+                    [inst], depth, CostModel(), iteration_counts
+                )
+                if stepped is None:
+                    break
+            assert np.array_equal(
+                inst.sampled_edges(), sharded.result.samples[rank].edges
+            )
+
+    def test_stateful_walkers_have_independent_hook_streams(self, graph):
+        """Per-walker program replicas must not replay one shared stream.
+
+        With a common replica seed, every jump walker would teleport to the
+        same vertex at the same step ordinal; jump_probability=1 makes the
+        walk *be* the teleport sequence, so correlated streams show up as
+        identical walks from a shared start vertex.
+        """
+        result = ShardedSamplingCluster(
+            graph,
+            "random_walk_with_jump",
+            num_shards=2,
+            program_kwargs={"jump_probability": 1.0},
+        ).run([1] * 6)
+        walks = [tuple(s.edges[:, 1]) for s in result.result.samples]
+        assert len(set(walks)) > 1
+
+    def test_cost_totals_are_sums_of_shard_costs(self, graph, seeds):
+        result = run_cluster(graph, "deepwalk", seeds, 4, "in_process")
+        summed = CostModel()
+        for shard_cost in result.shard_costs:
+            summed.merge(shard_cost)
+        summed.kernel_launches = result.epochs
+        assert summed.as_dict() == result.result.cost.as_dict()

@@ -217,3 +217,32 @@ class TestMultiGPU:
         with pytest.raises(ValueError):
             run_multi_gpu_walks(small_powerlaw_graph, [], num_walkers=10,
                                 walk_length=5, num_gpus=2)
+
+    def test_fewer_instances_than_gpus_skips_idle_devices(self, small_powerlaw_graph):
+        """Surplus GPUs get no (degenerate) empty runs and counts stay honest."""
+        program = BiasedNeighborSampling()
+        config = program.default_config(depth=2, neighbor_size=2, seed=0)
+        result = run_multi_gpu_sampling(small_powerlaw_graph, program, config,
+                                        [0, 1], num_instances=2, num_gpus=4)
+        assert result.num_gpus == 2
+        assert result.requested_gpus == 4
+        assert result.instances_per_gpu() == [1, 1]
+        assert [d.device_id for d in result.devices] == [0, 1]
+        assert all(r.num_instances == 1 for r in result.per_gpu)
+        assert result.seps() >= 0
+
+    def test_fewer_walkers_than_gpus(self, small_powerlaw_graph):
+        result = run_multi_gpu_walks(small_powerlaw_graph, [3], num_walkers=2,
+                                     walk_length=4, num_gpus=5, seed=1)
+        assert result.num_gpus == 2
+        assert result.requested_gpus == 5
+        assert result.instances_per_gpu() == [1, 1]
+        assert result.total_sampled_edges > 0
+
+    def test_device_specs_must_cover_requested_gpus(self, small_powerlaw_graph):
+        program = BiasedNeighborSampling()
+        config = program.default_config()
+        with pytest.raises(ValueError, match="device_specs"):
+            run_multi_gpu_sampling(small_powerlaw_graph, program, config, [0, 1],
+                                   num_instances=8, num_gpus=4,
+                                   device_specs=[V100_SPEC])

@@ -1,0 +1,221 @@
+"""Service admission to the sharded cluster route + client retry semantics."""
+
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.api.requests import SampleRequest
+from repro.distributed import ShardedSamplingCluster
+from repro.graph.generators import powerlaw_graph
+from repro.service.client import AsyncSamplingClient, SamplingClient
+from repro.service.server import SamplingService, ServiceError
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    """Big relative to the tests' tiny memory budget, not actually big."""
+    return powerlaw_graph(3000, 8.0, seed=5)
+
+
+def make_service(big_graph, *, cluster_shards=3, **kwargs):
+    return SamplingService(
+        num_workers=2,
+        mode="thread",
+        memory_budget_bytes=big_graph.nbytes // 3,
+        cluster_shards=cluster_shards,
+        **kwargs,
+    )
+
+
+class TestShardedRoute:
+    def test_over_budget_graph_routes_sharded(self, big_graph):
+        with make_service(big_graph) as svc:
+            assert svc.load_graph("g", big_graph) == "sharded"
+            assert svc.route_of("g") == "sharded"
+
+    def test_under_budget_graph_stays_in_memory(self, big_graph):
+        small = powerlaw_graph(50, 4.0, seed=1)
+        with make_service(big_graph) as svc:
+            assert svc.load_graph("s", small) == "in_memory"
+
+    def test_disabled_cluster_falls_back_to_oom(self, big_graph):
+        with make_service(big_graph, cluster_shards=0) as svc:
+            assert svc.load_graph("g", big_graph) == "out_of_memory"
+
+    def test_sharded_response_matches_direct_cluster_run(self, big_graph):
+        seeds = list(range(10))
+        with make_service(big_graph) as svc:
+            svc.load_graph("g", big_graph)
+            client = SamplingClient(svc)
+            response = client.sample("g", "deepwalk", seeds, timeout=120)
+            assert response.route == "sharded"
+            assert response.stats["num_shards"] >= 3
+        shards = int(response.stats["num_shards"])
+        direct = ShardedSamplingCluster(
+            big_graph, "deepwalk", num_shards=shards
+        ).run(seeds)
+        assert len(response.samples) == len(direct.result.samples)
+        for got, want in zip(response.samples, direct.result.samples):
+            assert np.array_equal(got.edges, want.edges)
+        assert response.iteration_counts == list(direct.result.iteration_counts)
+
+    def test_sharded_requests_counted(self, big_graph):
+        with make_service(big_graph) as svc:
+            svc.load_graph("g", big_graph)
+            client = SamplingClient(svc)
+            client.sample("g", "simple_random_walk", [1, 2, 3], timeout=120)
+            assert svc.stats.snapshot()["sharded_requests"] == 1
+
+    def test_sharded_never_coalesces(self, big_graph):
+        with make_service(big_graph, batch_window_s=0.05,
+                          max_batch_requests=8) as svc:
+            svc.load_graph("g", big_graph)
+            futures = [
+                svc.submit(SampleRequest(
+                    graph="g", algorithm="deepwalk", seeds=(i,),
+                    config_overrides={"seed": 0},
+                ))
+                for i in range(4)
+            ]
+            for future in futures:
+                response = future.result(timeout=120)
+                assert response.route == "sharded"
+                assert response.coalesced_with == 1
+            assert svc.stats.coalesced_requests == 0
+
+
+class TestClientRetries:
+    def test_transient_failure_is_retried(self, big_graph):
+        small = powerlaw_graph(50, 4.0, seed=1)
+        with make_service(big_graph) as svc:
+            svc.load_graph("s", small)
+            client = SamplingClient(svc)
+            attempts = []
+            original = svc.submit
+
+            def flaky(request):
+                attempts.append(request.request_id)
+                if len(attempts) == 1:
+                    future = Future()
+                    future.set_exception(ServiceError("worker process died", transient=True))
+                    return future
+                return original(request)
+
+            svc.submit = flaky
+            response = client.sample("s", "deepwalk", [1, 2], retries=2, timeout=60)
+            assert response.ok
+            assert len(attempts) == 2
+            # Each retry is a fresh request id.
+            assert attempts[0] != attempts[1]
+
+    def test_non_transient_failure_not_retried(self, big_graph):
+        small = powerlaw_graph(50, 4.0, seed=1)
+        with make_service(big_graph) as svc:
+            svc.load_graph("s", small)
+            client = SamplingClient(svc)
+            calls = []
+            original = svc.submit
+
+            def failing(request):
+                calls.append(request.request_id)
+                future = Future()
+                future.set_exception(ServiceError("program exploded"))
+                return future
+
+            svc.submit = failing
+            with pytest.raises(ServiceError, match="program exploded"):
+                client.sample("s", "deepwalk", [1], retries=3, timeout=60)
+            assert len(calls) == 1
+            svc.submit = original
+
+    def test_retries_exhausted_raises_last_error(self, big_graph):
+        small = powerlaw_graph(50, 4.0, seed=1)
+        with make_service(big_graph) as svc:
+            svc.load_graph("s", small)
+            client = SamplingClient(svc)
+            calls = []
+
+            def always_dying(request):
+                calls.append(request.request_id)
+                future = Future()
+                future.set_exception(ServiceError("unit unanswered after 1s", transient=True))
+                return future
+
+            svc.submit = always_dying
+            with pytest.raises(ServiceError, match="unanswered"):
+                client.sample("s", "deepwalk", [1], retries=2, timeout=60)
+            assert len(calls) == 3
+
+    def test_negative_retries_rejected(self, big_graph):
+        with make_service(big_graph) as svc:
+            client = SamplingClient(svc)
+            with pytest.raises(ValueError, match="retries"):
+                client.sample("g", "deepwalk", [1], retries=-1)
+
+    def test_async_client_retries(self, big_graph):
+        import asyncio
+
+        small = powerlaw_graph(50, 4.0, seed=1)
+        with make_service(big_graph) as svc:
+            svc.load_graph("s", small)
+            client = AsyncSamplingClient(svc)
+            attempts = []
+            original = svc.submit
+
+            def flaky(request):
+                attempts.append(request.request_id)
+                if len(attempts) == 1:
+                    future = Future()
+                    future.set_exception(ServiceError("worker process died", transient=True))
+                    return future
+                return original(request)
+
+            svc.submit = flaky
+
+            async def go():
+                return await client.sample(
+                    "s", "deepwalk", [1, 2], retries=1, timeout=60
+                )
+
+            response = asyncio.run(go())
+            assert response.ok
+            assert len(attempts) == 2
+
+    def test_async_timeout(self, big_graph):
+        import asyncio
+
+        small = powerlaw_graph(50, 4.0, seed=1)
+        with make_service(big_graph) as svc:
+            svc.load_graph("s", small)
+            client = AsyncSamplingClient(svc)
+
+            async def go():
+                return await client.sample("s", "deepwalk", [1], timeout=0.0)
+
+            with pytest.raises((asyncio.TimeoutError, TimeoutError)):
+                asyncio.run(go())
+
+    def test_retried_response_bit_identical(self, big_graph):
+        """Deterministic sampling: the retry answers exactly what was lost."""
+        small = powerlaw_graph(50, 4.0, seed=1)
+        with make_service(big_graph) as svc:
+            svc.load_graph("s", small)
+            client = SamplingClient(svc)
+            baseline = client.sample("s", "deepwalk", [1, 2], timeout=60)
+            original = svc.submit
+            state = {"failed": False}
+
+            def flaky(request):
+                if not state["failed"]:
+                    state["failed"] = True
+                    future = Future()
+                    future.set_exception(ServiceError("worker process died", transient=True))
+                    return future
+                return original(request)
+
+            svc.submit = flaky
+            retried = client.sample("s", "deepwalk", [1, 2], retries=1, timeout=60)
+            for got, want in zip(retried.samples, baseline.samples):
+                assert np.array_equal(got.edges, want.edges)
