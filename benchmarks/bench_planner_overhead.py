@@ -1,0 +1,131 @@
+"""Planner overhead and predicted-vs-actual cost trajectory.
+
+Acceptance benchmark for the unified execution planner: constructing an
+:class:`~repro.planner.plan.ExecutionPlan` (seed validation, routing,
+layout sizing, cost prediction) must cost **less than 5%** of actually
+executing a 1,000-instance run -- planning is a constant-time decision, not
+a second pass over the workload.
+
+The run also records one machine-readable row per route (in-memory,
+out-of-memory, sharded) into ``benchmarks/results/BENCH_planner.json`` via
+the conftest plumbing: route, wall time, plan-construction time and the
+cost model's predicted simulated time against the executed cost's actual
+simulated time, so the estimate's drift is tracked across PRs.
+
+Run it explicitly (wall-clock benchmarks are not part of the default
+pytest collection)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_planner_overhead.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.api.sampler import GraphSampler
+from repro.distributed import ShardedSamplingCluster
+from repro.gpusim.device import V100_SPEC
+from repro.graph.generators import powerlaw_graph
+from repro.oom.scheduler import OutOfMemoryConfig, OutOfMemorySampler
+
+OVERHEAD_CEILING = 0.05
+NUM_VERTICES = 20_000
+NUM_INSTANCES = 1_000
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(NUM_VERTICES, avg_degree=8, seed=1)
+
+
+@pytest.fixture(scope="module")
+def seeds(graph):
+    return list(range(0, NUM_VERTICES, NUM_VERTICES // NUM_INSTANCES))[:NUM_INSTANCES]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def test_plan_construction_under_5_percent(graph, seeds, report, planner_record):
+    info = get_algorithm("deepwalk")
+    config = info.config_factory(seed=1, depth=8)
+    sampler = GraphSampler(graph, info.program_factory(), config)
+
+    result, run_wall = _timed(lambda: sampler.run(seeds))
+    assert result.total_sampled_edges > 0
+
+    # Best-of-5 plan construction (includes instance building, plan-time
+    # seed validation, routing and the closed-form cost prediction).
+    plan_wall = min(_timed(lambda: sampler.plan(seeds))[1] for _ in range(5))
+    execution_plan = sampler.plan(seeds)
+    ratio = plan_wall / run_wall
+
+    rows = [{
+        "route": execution_plan.route,
+        "instances": NUM_INSTANCES,
+        "run_wall_s": run_wall,
+        "plan_wall_s": plan_wall,
+        "overhead_fraction": ratio,
+        "predicted_time_s": execution_plan.predicted_time_s,
+        "actual_time_s": result.cost.simulated_time(V100_SPEC),
+    }]
+    report("planner_overhead", rows)
+    planner_record(
+        "planner_overhead",
+        route=execution_plan.route,
+        num_instances=NUM_INSTANCES,
+        wall_time_s=run_wall,
+        plan_time_s=plan_wall,
+        overhead_fraction=ratio,
+        predicted_time_s=execution_plan.predicted_time_s,
+        actual_time_s=result.cost.simulated_time(V100_SPEC),
+        predicted_sampled_edges=execution_plan.predicted_cost.sampled_edges,
+        actual_sampled_edges=result.total_sampled_edges,
+    )
+    assert ratio < OVERHEAD_CEILING, (
+        f"plan construction took {ratio:.1%} of a {NUM_INSTANCES}-instance "
+        f"run (ceiling {OVERHEAD_CEILING:.0%})"
+    )
+
+
+def test_route_trajectory_records(graph, planner_record):
+    """One predicted-vs-actual record per routed tier (small workloads)."""
+    seeds = list(range(0, NUM_VERTICES, NUM_VERTICES // 50))[:50]
+    info = get_algorithm("deepwalk")
+    config = info.config_factory(seed=3, depth=6)
+
+    def record(route, plan, wall, cost, sampled_edges):
+        planner_record(
+            "planner_routes",
+            route=route,
+            num_instances=len(seeds),
+            wall_time_s=wall,
+            predicted_time_s=plan.predicted_time_s,
+            actual_time_s=cost.simulated_time(V100_SPEC),
+            predicted_sampled_edges=plan.predicted_cost.sampled_edges,
+            actual_sampled_edges=sampled_edges,
+        )
+
+    sampler = GraphSampler(graph, info.program_factory(), config)
+    result, wall = _timed(lambda: sampler.run(seeds))
+    record("in_memory", sampler.plan(seeds), wall, result.cost,
+           result.total_sampled_edges)
+
+    oom = OutOfMemorySampler(
+        graph, info.program_factory(), config,
+        OutOfMemoryConfig.fully_optimized(num_partitions=4),
+    )
+    oom_result, wall = _timed(lambda: oom.run(seeds))
+    record("out_of_memory", oom.plan(seeds), wall, oom_result.cost,
+           oom_result.sample.total_sampled_edges)
+
+    cluster = ShardedSamplingCluster(graph, "deepwalk", config, num_shards=4)
+    cluster_result, wall = _timed(lambda: cluster.run(seeds))
+    record("sharded", cluster.plan(seeds), wall, cluster_result.result.cost,
+           cluster_result.result.total_sampled_edges)

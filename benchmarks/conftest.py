@@ -4,11 +4,20 @@ Every benchmark regenerates one table or figure of the paper through
 :mod:`repro.bench.figures`, prints the resulting rows (run pytest with ``-s``
 to see them inline) and writes them as CSV under ``benchmarks/results/`` so
 EXPERIMENTS.md can reference the numbers.
+
+Planner trajectory: benchmarks that exercise the execution planner record
+machine-readable rows through the :func:`planner_record` fixture (route,
+wall time, plan-construction time, predicted vs actual cost); at session
+end they are merged into ``benchmarks/results/BENCH_planner.json`` keyed by
+``(bench, route)``, so the planner's routing decisions and cost-model drift
+stay comparable across PRs.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Dict, List
 
 import pytest
 
@@ -16,6 +25,29 @@ from repro.bench.harness import ExperimentTable
 from repro.bench.workloads import DEFAULT_SCALE
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+PLANNER_JSON = "BENCH_planner.json"
+
+_planner_records: List[Dict] = []
+
+
+def write_planner_records(results_dir: Path, records: List[Dict]) -> Path:
+    """Merge planner-trajectory records into ``BENCH_planner.json``.
+
+    Existing records with the same ``(bench, route)`` key are replaced;
+    everything else is preserved, so partial benchmark runs never erase the
+    rest of the trajectory file.
+    """
+    path = results_dir / PLANNER_JSON
+    merged: Dict = {}
+    if path.exists():
+        for row in json.loads(path.read_text()):
+            merged[(row.get("bench"), row.get("route"))] = row
+    for row in records:
+        merged[(row.get("bench"), row.get("route"))] = row
+    ordered = [merged[key] for key in sorted(merged, key=str)]
+    path.write_text(json.dumps(ordered, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")
@@ -29,6 +61,27 @@ def results_dir() -> Path:
     """Directory the per-figure CSV outputs are written to."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture()
+def planner_record(results_dir):
+    """Queue one machine-readable planner-trajectory record.
+
+    ``planner_record(bench, route=..., wall_time_s=..., predicted_time_s=...,
+    actual_time_s=..., ...)`` -- everything JSON-serialisable.  Records are
+    flushed to ``BENCH_planner.json`` when the session finishes.
+    """
+
+    def _record(bench: str, **row) -> None:
+        _planner_records.append({"bench": bench, **row})
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):  # noqa: ARG001 - pytest hook
+    if _planner_records:
+        write_planner_records(RESULTS_DIR, list(_planner_records))
+        _planner_records.clear()
 
 
 @pytest.fixture()

@@ -1,0 +1,49 @@
+"""Dry-run an over-budget graph through the execution planner.
+
+Builds a graph that exceeds a (deliberately tiny) memory budget, asks the
+planner how each entry point would execute it, and prints the plans'
+``explain()`` output -- no sampling runs.  Shows the three admission
+outcomes side by side: in-memory (budget fits), serial out-of-memory
+partition scheduling (over budget, no shards) and the sharded cluster tier
+(over budget, shards available).
+
+    PYTHONPATH=src python examples/plan_explain.py
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import default_config
+from repro.api.instance import make_instances
+from repro.graph.generators import powerlaw_graph
+from repro.planner.planner import PlanRequest, plan
+
+
+def main() -> None:
+    graph = powerlaw_graph(50_000, avg_degree=8, seed=1)
+    budget = graph.nbytes // 4  # force the over-budget tiers
+    instances = make_instances(list(range(0, 50_000, 50)))
+    config = default_config("deepwalk", depth=8, seed=1)
+    print(f"graph footprint: {graph.nbytes / 2**20:.1f} MiB, "
+          f"budget: {budget / 2**20:.1f} MiB\n")
+
+    scenarios = [
+        ("within budget", dict(memory_budget_bytes=graph.nbytes + 1)),
+        ("over budget, no shards", dict(memory_budget_bytes=budget)),
+        ("over budget, sharded tier", dict(memory_budget_bytes=budget,
+                                           cluster_shards=2)),
+    ]
+    for label, kwargs in scenarios:
+        execution_plan = plan(PlanRequest(
+            graph=graph,
+            algorithm="deepwalk",
+            config=config,
+            instances=instances,
+            **kwargs,
+        ))
+        print(f"--- {label} ---")
+        print(execution_plan.explain())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -19,18 +19,43 @@ import numpy as np
 __all__ = ["InstanceState", "make_instances", "validate_seed_instances"]
 
 
-def validate_seed_instances(instances, num_vertices: int) -> None:
-    """Reject instances with no seeds or seeds outside ``[0, num_vertices)``.
+def validate_seed_instances(
+    instances, num_vertices: int, *, reject_duplicates: bool = False
+) -> None:
+    """Reject bad seed sets: the planner's uniform plan-time validation.
 
-    Shared by the standalone samplers and the coalesced runner so both
-    paths fail identically.
+    An empty instance list, an instance with no seeds or a seed outside
+    ``[0, num_vertices)`` raise the same
+    :class:`~repro.planner.errors.SeedValidationError` (a ``ValueError``
+    subclass), no matter which entry point the run came through.
+
+    ``reject_duplicates`` additionally rejects duplicate seed vertices
+    inside one instance's initial pool.  The planner sets it for
+    without-replacement (traversal-sampling) configs, where a duplicate
+    seed is a user error; with-replacement walks legitimately start several
+    walkers on one vertex.
     """
+    from repro.planner.errors import SeedValidationError
+
+    instances = list(instances)
+    if not instances:
+        raise SeedValidationError("at least one seed is required")
     for inst in instances:
         if inst.frontier_pool.size == 0:
-            raise ValueError(f"instance {inst.instance_id} has no seed vertices")
+            raise SeedValidationError(
+                f"instance {inst.instance_id} has no seed vertices"
+            )
         if inst.frontier_pool.min() < 0 or inst.frontier_pool.max() >= num_vertices:
-            raise ValueError(
+            raise SeedValidationError(
                 f"instance {inst.instance_id} has seed vertices outside the graph"
+            )
+        if (
+            reject_duplicates
+            and np.unique(inst.frontier_pool).size != inst.frontier_pool.size
+        ):
+            raise SeedValidationError(
+                f"instance {inst.instance_id} has duplicate seed vertices "
+                "(sampling without replacement)"
             )
 
 
@@ -141,11 +166,13 @@ def make_instances(
     walk).  When ``num_instances`` is given and a single flat seed list is
     provided, seeds are reused round-robin to reach the requested count.
     """
+    from repro.planner.errors import SeedValidationError
+
     if isinstance(seeds, np.ndarray) and seeds.ndim == 1:
         seeds = seeds.tolist()
     seeds = list(seeds)
     if not seeds:
-        raise ValueError("at least one seed is required")
+        raise SeedValidationError("at least one seed is required")
     nested = isinstance(seeds[0], (list, tuple, np.ndarray))
     if num_instances is not None:
         if nested:

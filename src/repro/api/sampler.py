@@ -23,6 +23,12 @@ gather / SELECT / UPDATE as flat array programs; ``use_engine=False`` keeps
 the original instance-by-instance scalar loop.  Both paths produce
 bit-identical results for a fixed seed (the engine equivalence tests assert
 this for every registered algorithm).
+
+Since the unified-planner refactor :class:`GraphSampler` is a thin facade:
+:meth:`run` builds an in-memory :class:`~repro.planner.plan.ExecutionPlan`
+(which also performs the uniform plan-time seed validation) and executes it
+on the shared :class:`~repro.planner.executor.Executor`; the scalar step
+body (:meth:`_step_instance`) stays here as the executor's legacy callable.
 """
 
 from __future__ import annotations
@@ -33,13 +39,12 @@ import numpy as np
 
 from repro.api.bias import FrontierPoolView, SamplingProgram
 from repro.api.config import PoolPolicy, SamplingConfig, SelectionScope
-from repro.api.instance import InstanceState, make_instances, validate_seed_instances
+from repro.api.instance import InstanceState, make_instances
 from repro.api.results import SampleResult
 from repro.api.select import gather_neighbors, warp_select
 from repro.engine.step import BatchedStepEngine, validate_biases
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.device import Device, make_device
-from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.prng import CounterRNG
 from repro.gpusim.warp import WarpExecutor
 from repro.graph.csr import CSRGraph
@@ -74,6 +79,31 @@ class GraphSampler:
         self._warp_counter = 0
 
     # ------------------------------------------------------------------ #
+    def _plan(self, instances: List[InstanceState]):
+        """Plan-time validation + the declarative plan for these instances."""
+        from repro.planner.planner import PlanRequest, plan
+
+        return plan(PlanRequest(
+            graph=self.graph,
+            program=self.program,
+            config=self.config,
+            instances=instances,
+            force_route="in_memory",
+        ))
+
+    def plan(
+        self,
+        seeds: Union[Sequence[int], Sequence[Sequence[int]], np.ndarray],
+        *,
+        num_instances: Optional[int] = None,
+    ):
+        """The :class:`ExecutionPlan` a :meth:`run` with these seeds executes.
+
+        Also validates the seeds (plan-time validation), so an invalid seed
+        set fails here exactly as it would fail inside :meth:`run`.
+        """
+        return self._plan(make_instances(seeds, num_instances=num_instances))
+
     def run(
         self,
         seeds: Union[Sequence[int], Sequence[Sequence[int]], np.ndarray],
@@ -81,54 +111,19 @@ class GraphSampler:
         num_instances: Optional[int] = None,
     ) -> SampleResult:
         """Run the MAIN loop for the given seeds and return the samples."""
+        from repro.planner.executor import Executor
+
         instances = make_instances(seeds, num_instances=num_instances)
-        self._validate_seeds(instances)
-        kernels: List[KernelLaunch] = []
-        iteration_counts: List[int] = []
-
-        for depth in range(self.config.depth):
-            step_cost = CostModel()
-            if self.use_engine:
-                engine_tasks = self.engine.step_instances(
-                    instances, depth, step_cost, iteration_counts
-                )
-                if engine_tasks is None:
-                    break
-                num_tasks = engine_tasks
-            else:
-                num_tasks = 0
-                any_active = False
-                for inst in instances:
-                    if inst.finished or inst.pool_size == 0:
-                        inst.finished = True
-                        continue
-                    any_active = True
-                    tasks = self._step_instance(inst, depth, step_cost, iteration_counts)
-                    num_tasks += tasks
-                if not any_active:
-                    break
-            step_cost.kernel_launches += 1
-            kernels.append(
-                KernelLaunch(
-                    name=f"kernel:depth{depth}",
-                    cost=step_cost,
-                    num_warp_tasks=max(num_tasks, 1),
-                )
-            )
-            self.device.cost.merge(step_cost)
-
-        return SampleResult.from_instances(
-            instances,
-            self.device.cost.copy(),
-            kernels=kernels,
-            iteration_counts=iteration_counts,
-            metadata={
-                "program": self.program.name,
-                "depth": self.config.depth,
-                "neighbor_size": self.config.neighbor_size,
-                "frontier_size": self.config.frontier_size,
-            },
+        executor = Executor(
+            self._plan(instances),
+            self.graph,
+            program=self.program,
+            engine=self.engine,
+            device=self.device,
+            use_engine=self.use_engine,
+            scalar_step=self._step_instance,
         )
+        return executor.execute(instances)
 
     # ------------------------------------------------------------------ #
     def _step_instance(
@@ -355,9 +350,6 @@ class GraphSampler:
 
     def _validated_bias(self, biases, expected: int, label: str) -> np.ndarray:
         return validate_biases(biases, expected, label)
-
-    def _validate_seeds(self, instances: List[InstanceState]) -> None:
-        validate_seed_instances(instances, self.graph.num_vertices)
 
 
 def sample_graph(

@@ -33,10 +33,8 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.api.config import SamplingConfig
-from repro.api.instance import make_instances, validate_seed_instances
+from repro.api.instance import make_instances
 from repro.api.results import SampleResult
-from repro.distributed.router import MigrationRouter, WalkerEnvelope, bucket_by_shard
-from repro.distributed.shard import ShardReport
 from repro.distributed.transport import InProcessTransport, MultiprocessTransport
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.device import DeviceSpec, V100_SPEC
@@ -172,6 +170,30 @@ class ShardedSamplingCluster:
             self.graph, self.bounds, self.algorithm, self.program_kwargs, self.config
         )
 
+    def plan(
+        self,
+        seeds: Union[Sequence[int], Sequence[Sequence[int]], np.ndarray],
+        *,
+        num_instances: Optional[int] = None,
+    ):
+        """The :class:`ExecutionPlan` a :meth:`run` with these seeds executes.
+
+        Also performs the uniform plan-time seed validation.
+        """
+        return self._plan(make_instances(seeds, num_instances=num_instances))
+
+    def _plan(self, instances):
+        from repro.planner.planner import PlanRequest, plan
+
+        return plan(PlanRequest(
+            graph=self.graph,
+            algorithm=self.algorithm,
+            config=self.config,
+            instances=instances,
+            boundaries=self.bounds,
+            force_route="sharded",
+        ))
+
     def run(
         self,
         seeds: Union[Sequence[int], Sequence[Sequence[int]], np.ndarray],
@@ -179,80 +201,14 @@ class ShardedSamplingCluster:
         num_instances: Optional[int] = None,
     ) -> ClusterResult:
         """Sample all instances across the shards and reassemble the result."""
+        from repro.planner.executor import Executor
+
         instances = make_instances(seeds, num_instances=num_instances)
-        validate_seed_instances(instances, self.graph.num_vertices)
-        envelopes = [WalkerEnvelope(instance=inst) for inst in instances]
-        placement = bucket_by_shard(envelopes, self.bounds, stride=self._stride)
-
-        router = MigrationRouter(self.num_shards)
-        epochs = 0
-        transport = self._make_transport()
-        try:
-            transport.admit(placement)
-            active = len(instances)
-            for depth in range(self.config.depth):
-                if active == 0:
-                    break
-                epochs += 1
-                outboxes, actives = transport.step_all(depth)
-                inboxes = router.exchange(outboxes)
-                transport.admit(inboxes)
-                active = sum(actives) + sum(len(v) for v in inboxes.values())
-            reports = transport.collect()
-        finally:
-            transport.close()
-        return self._reassemble(reports, len(instances), epochs, router.migrations)
-
-    # ------------------------------------------------------------------ #
-    def _reassemble(
-        self,
-        reports: List[ShardReport],
-        num_instances: int,
-        epochs: int,
-        migrations: int,
-    ) -> ClusterResult:
-        collected: Dict[int, WalkerEnvelope] = {}
-        for report in reports:
-            for env in report.envelopes:
-                if env.instance_id in collected:
-                    raise RuntimeError(
-                        f"walker {env.instance_id} reported by two shards"
-                    )
-                collected[env.instance_id] = env
-        if len(collected) != num_instances:
-            missing = set(range(num_instances)) - set(collected)
-            raise RuntimeError(f"walkers lost during the run: {sorted(missing)}")
-
-        total_cost = CostModel()
-        for report in reports:  # shard order; integer counters commute
-            total_cost.merge(report.cost)
-        # One fused launch per epoch, like the single-device MAIN loop --
-        # and unlike per-shard counting, invariant across shard counts.
-        total_cost.kernel_launches = epochs
-
-        ordered = [collected[instance_id] for instance_id in sorted(collected)]
-        iteration_counts: List[int] = []
-        for env in ordered:
-            iteration_counts.extend(env.iterations)
-        result = SampleResult.from_instances(
-            [env.instance for env in ordered],
-            total_cost,
-            iteration_counts=iteration_counts,
-            metadata={
-                "program": self.algorithm,
-                "depth": self.config.depth,
-                "neighbor_size": self.config.neighbor_size,
-                "frontier_size": self.config.frontier_size,
-                "sharded": True,
-            },
+        executor = Executor(
+            self._plan(instances),
+            self.graph,
+            transport_factory=self._make_transport,
+            stride=self._stride,
+            transport_name=self.transport,
         )
-        return ClusterResult(
-            result=result,
-            num_shards=self.num_shards,
-            transport=self.transport,
-            epochs=epochs,
-            migrations=migrations,
-            shard_costs=[r.cost for r in reports],
-            shard_kernels=[r.kernels for r in reports],
-            shard_admitted=[r.admitted for r in reports],
-        )
+        return executor.execute(instances)

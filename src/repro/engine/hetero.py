@@ -46,11 +46,9 @@ import numpy as np
 
 from repro.api.bias import SamplingProgram
 from repro.api.config import SamplingConfig
-from repro.api.instance import InstanceState, validate_seed_instances
+from repro.api.instance import InstanceState
 from repro.api.results import SampleResult
 from repro.engine.step import BatchedStepEngine
-from repro.gpusim.costmodel import CostModel
-from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.prng import CounterRNG
 
 __all__ = [
@@ -119,58 +117,22 @@ def run_coalesced(
     of that member alone (cost/kernel records are the shared batch's).
     """
     from repro.graph.delta import as_csr
+    from repro.planner.executor import Executor
+    from repro.planner.planner import PlanRequest, plan
 
     graph = as_csr(graph)  # DeltaGraphs sample their canonical snapshot
     members = [list(m) for m in members]
-    member_of, all_instances = member_map(members)
-    validate_seed_instances(all_instances, graph.num_vertices)
-
+    execution_plan = plan(PlanRequest(
+        graph=graph,
+        program=program,
+        config=config,
+        members=members,
+        force_route="coalesced",
+    ))
     rng = CounterRNG(config.seed)
     engine = BatchedStepEngine(graph, program, config, rng)
-    engine.set_warp_groups(member_of, len(members))
-    sink = GroupedIterationSink(member_of, len(members))
-
-    total_cost = CostModel()
-    kernels: List[KernelLaunch] = []
-    for depth in range(config.depth):
-        step_cost = CostModel()
-        tasks = engine.step_instances(all_instances, depth, step_cost, sink)
-        if tasks is None:
-            break
-        step_cost.kernel_launches += 1
-        kernels.append(
-            KernelLaunch(
-                name=f"kernel:depth{depth}",
-                cost=step_cost,
-                num_warp_tasks=max(tasks, 1),
-            )
-        )
-        total_cost.merge(step_cost)
-
-    combined = SampleResult.from_instances(
-        all_instances,
-        total_cost,
-        kernels=kernels,
-        metadata={
-            "program": program.name,
-            "depth": config.depth,
-            "neighbor_size": config.neighbor_size,
-            "frontier_size": config.frontier_size,
-            "coalesced_members": len(members),
-        },
-    )
-    results: List[SampleResult] = []
-    offset = 0
-    for rank, insts in enumerate(members):
-        results.append(
-            combined.slice_instances(
-                offset,
-                offset + len(insts),
-                iteration_counts=sink.lists[rank],
-            )
-        )
-        offset += len(insts)
-    return results
+    executor = Executor(execution_plan, graph, program=program, engine=engine)
+    return executor.execute(members=members)
 
 
 def run_heterogeneous(

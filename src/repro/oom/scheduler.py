@@ -40,15 +40,10 @@ from repro.api.select import gather_neighbors, warp_select
 from repro.engine.step import BatchedStepEngine
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.device import Device, make_device
-from repro.gpusim.kernel import KernelLaunch, StreamTimeline
-from repro.gpusim.memory import TransferEngine
 from repro.gpusim.prng import CounterRNG
 from repro.gpusim.warp import WarpExecutor
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import PartitionSet, partition_graph
-from repro.oom.balancing import block_fractions
-from repro.oom.batching import group_entries_by_instance, single_batch
-from repro.oom.transfer import PartitionResidency
 
 __all__ = ["OutOfMemoryConfig", "OutOfMemoryResult", "OutOfMemorySampler"]
 
@@ -180,6 +175,32 @@ class OutOfMemorySampler:
         self._warp_counter = 0
 
     # ------------------------------------------------------------------ #
+    def plan(
+        self,
+        seeds: Union[Sequence[int], np.ndarray],
+        *,
+        num_instances: Optional[int] = None,
+    ):
+        """The :class:`ExecutionPlan` a :meth:`run` with these seeds executes.
+
+        Also performs the uniform plan-time seed validation.
+        """
+        return self._plan(make_instances(
+            list(np.asarray(seeds).reshape(-1)), num_instances=num_instances
+        ))
+
+    def _plan(self, instances):
+        from repro.planner.planner import PlanRequest, plan
+
+        return plan(PlanRequest(
+            graph=self.graph,
+            program=self.program,
+            config=self.config,
+            instances=instances,
+            oom_config=self.oom,
+            force_route="out_of_memory",
+        ))
+
     def run(
         self,
         seeds: Union[Sequence[int], np.ndarray],
@@ -187,151 +208,21 @@ class OutOfMemorySampler:
         num_instances: Optional[int] = None,
     ) -> OutOfMemoryResult:
         """Sample all instances, scheduling partitions through device memory."""
+        from repro.planner.executor import Executor
+
         instances = make_instances(list(np.asarray(seeds).reshape(-1)),
                                    num_instances=num_instances)
-        for inst in instances:
-            if inst.frontier_pool.min() < 0 or inst.frontier_pool.max() >= self.graph.num_vertices:
-                raise ValueError(f"instance {inst.instance_id} has seeds outside the graph")
-
-        queues: Dict[int, FrontierQueue] = {
-            p: FrontierQueue() for p in range(len(self.partitions))
-        }
-        for inst in instances:
-            owners = self.partitions.owner(inst.frontier_pool)
-            for seed, owner in zip(inst.frontier_pool, owners):
-                queues[int(owner)].push(int(seed), inst.instance_id, 0)
-
-        transfer_engine = TransferEngine(self.device.spec.pcie_bandwidth_bytes)
-        residency = PartitionResidency(
-            self.partitions, self.oom.max_resident_partitions, transfer_engine
+        executor = Executor(
+            self._plan(instances),
+            self.graph,
+            program=self.program,
+            engine=self.engine,
+            device=self.device,
+            use_engine=self.use_engine,
+            partitions=self.partitions,
+            scalar_expand=self._expand_entry,
         )
-        timeline = StreamTimeline(self.oom.num_kernels)
-        total_cost = CostModel()
-        kernel_times: List[float] = []
-        transfer_times: List[float] = []
-        iteration_counts: List[int] = []
-        instance_map = {inst.instance_id: inst for inst in instances}
-        rounds = 0
-
-        while any(len(q) for q in queues.values()):
-            rounds += 1
-            active = {p: len(q) for p, q in queues.items() if len(q) > 0}
-            chosen = self._choose_partitions(active)
-            fractions = block_fractions(
-                [active[p] for p in chosen], balanced=self.oom.balanced_blocks
-            )
-            protect = set(chosen)
-            for stream_index, (partition_index, fraction) in enumerate(zip(chosen, fractions)):
-                stream = timeline[stream_index % len(timeline.streams)]
-                transfer_duration = residency.ensure_resident(
-                    partition_index, total_cost, protect=protect
-                )
-                if transfer_duration > 0:
-                    stream.enqueue(f"transfer:p{partition_index}", transfer_duration)
-                    transfer_times.append(transfer_duration)
-                self._drain_partition(
-                    partition_index,
-                    queues,
-                    instance_map,
-                    fraction,
-                    stream,
-                    total_cost,
-                    kernel_times,
-                    iteration_counts,
-                )
-                # Paper: the actively sampled partition is released only once
-                # its frontier queue is empty, which _drain_partition ensures.
-                residency.release(partition_index)
-
-        sample = SampleResult.from_instances(
-            instances,
-            total_cost.copy(),
-            iteration_counts=iteration_counts,
-            metadata={"program": self.program.name, "oom": True},
-        )
-        self.device.cost.merge(total_cost)
-        return OutOfMemoryResult(
-            sample=sample,
-            makespan=timeline.makespan,
-            kernel_times=kernel_times,
-            transfer_times=transfer_times,
-            partition_transfers=residency.transfer_count,
-            rounds=rounds,
-            cost=total_cost,
-            config=self.oom,
-            stream_busy_times=[s.busy_time() for s in timeline.streams],
-        )
-
-    # ------------------------------------------------------------------ #
-    def _choose_partitions(self, active: Dict[int, int]) -> List[int]:
-        """Pick up to ``num_kernels`` partitions to sample this round."""
-        limit = min(self.oom.num_kernels, self.oom.max_resident_partitions, len(active))
-        if self.oom.workload_aware:
-            ordered = sorted(active, key=lambda p: (-active[p], p))
-        else:
-            ordered = sorted(active)
-        return ordered[:limit]
-
-    def _drain_partition(
-        self,
-        partition_index: int,
-        queues: Dict[int, FrontierQueue],
-        instance_map: Dict[int, InstanceState],
-        fraction: float,
-        stream,
-        total_cost: CostModel,
-        kernel_times: List[float],
-        iteration_counts: List[int],
-    ) -> None:
-        """Sample a resident partition until its frontier queue is empty."""
-        queue = queues[partition_index]
-        while len(queue):
-            vertices, instance_ids, depths = queue.pop_all()
-            if self.oom.batched:
-                groups = single_batch(vertices, instance_ids, depths)
-            else:
-                groups = group_entries_by_instance(vertices, instance_ids, depths)
-            for group_vertices, group_instances, group_depths in groups:
-                kernel_cost = CostModel()
-                if self.use_engine:
-                    succ_v, succ_i, succ_d = self.engine.expand_entries(
-                        group_vertices,
-                        group_instances,
-                        group_depths,
-                        instance_map,
-                        kernel_cost,
-                        iteration_counts,
-                    )
-                    if succ_v.size:
-                        owners = self.partitions.owner(succ_v)
-                        for owner in np.unique(owners):
-                            mask = owners == owner
-                            queues[int(owner)].push_batch(
-                                succ_v[mask], succ_i[mask], succ_d[mask]
-                            )
-                else:
-                    for vertex, instance_id, depth in zip(
-                        group_vertices, group_instances, group_depths
-                    ):
-                        self._expand_entry(
-                            int(vertex),
-                            instance_map[int(instance_id)],
-                            int(depth),
-                            queues,
-                            kernel_cost,
-                            iteration_counts,
-                        )
-                kernel_cost.kernel_launches += 1
-                launch = KernelLaunch(
-                    name=f"kernel:p{partition_index}",
-                    cost=kernel_cost,
-                    block_fraction=float(fraction),
-                    num_warp_tasks=max(int(group_vertices.size), 1),
-                )
-                duration = launch.duration(self.device.spec)
-                stream.enqueue(launch.name, duration)
-                kernel_times.append(duration)
-                total_cost.merge(kernel_cost)
+        return executor.execute(instances)
 
     def _expand_entry(
         self,

@@ -1,0 +1,117 @@
+"""Analytic cost prediction for execution planning.
+
+The planner needs a *ranking* signal -- which route will finish first, how
+much work a request represents, whether plan construction is worth caching --
+before anything runs.  :func:`predict_cost` builds a
+:class:`~repro.gpusim.costmodel.CostModel` from the same closed-form
+quantities the paper reasons with (instances x depth x NeighborSize
+selections, average-degree gather traffic, log-degree binary searches) so
+the prediction converts to simulated seconds through the exact machinery
+the executed run is measured with.
+
+The estimate is deliberately coarse: it assumes every instance stays active
+for the full configured depth and every frontier vertex has the average
+degree.  That over-predicts runs that die out early and under-predicts
+hub-heavy biased walks, but it ranks routes and workload sizes correctly,
+which is all admission needs.  ``BENCH_planner.json`` tracks predicted vs
+actual cost per benchmark run so the drift stays visible across PRs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.api.config import SamplingConfig, SelectionScope
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import DeviceSpec, V100_SPEC
+from repro.graph.csr import CSRGraph
+
+__all__ = ["predict_cost", "predict_time_s"]
+
+_EDGE_BYTES = 8  # one int64 neighbor id per gathered edge
+
+
+def predict_cost(
+    graph: CSRGraph,
+    config: SamplingConfig,
+    num_instances: int,
+    *,
+    route: str = "in_memory",
+    num_partitions: int = 1,
+    max_resident_partitions: int = 1,
+) -> CostModel:
+    """Predicted operation counts for one run of ``num_instances`` instances.
+
+    ``route`` adds route-specific charges: the out-of-memory route pays PCIe
+    partition transfers (``num_partitions`` / ``max_resident_partitions``
+    describe its layout); the sharded and coalesced routes charge the same
+    kernel work as in-memory (their win is parallelism / amortisation, which
+    shows up in the time conversion, not the counters).
+    """
+    avg_degree = max(graph.average_degree, 1.0)
+    depth = config.depth
+    frontier = config.frontier_size if config.frontier_size > 0 else 1
+    if config.scope is SelectionScope.PER_LAYER:
+        selections_per_step = 1
+        pool_per_selection = avg_degree * frontier
+    else:
+        selections_per_step = frontier
+        pool_per_selection = avg_degree
+    selections = num_instances * depth * selections_per_step
+    per_selection = min(config.neighbor_size, pool_per_selection) \
+        if not config.with_replacement else config.neighbor_size
+    draws = selections * config.neighbor_size
+    log_pool = math.log2(pool_per_selection + 1.0)
+
+    cost = CostModel()
+    cost.rng_draws = int(draws)
+    cost.selection_attempts = int(draws)
+    cost.sampled_edges = int(selections * per_selection)
+    cost.global_bytes = int(selections * pool_per_selection * _EDGE_BYTES)
+    cost.prefix_sum_steps = int(selections * log_pool)
+    cost.binary_search_steps = int(draws * log_pool)
+    cost.warp_steps = int(selections * (pool_per_selection / 32.0 + 1.0))
+    cost.kernel_launches = depth
+
+    if route == "out_of_memory" and num_partitions > 1:
+        # First touch loads every partition; each later depth round re-loads
+        # the partitions evicted since (residency keeps ``max_resident``).
+        evictions_per_round = max(num_partitions - max_resident_partitions, 0)
+        transfers = num_partitions + (depth - 1) * evictions_per_round
+        cost.partition_transfers = int(transfers)
+        cost.h2d_bytes = int(transfers * graph.nbytes / num_partitions)
+        cost.kernel_launches = depth * num_partitions
+    return cost
+
+
+def predict_time_s(
+    graph: CSRGraph,
+    config: SamplingConfig,
+    num_instances: int,
+    *,
+    route: str = "in_memory",
+    num_partitions: int = 1,
+    max_resident_partitions: int = 1,
+    num_shards: int = 1,
+    spec: Optional[DeviceSpec] = None,
+) -> float:
+    """Predicted simulated seconds under ``spec`` (default V100).
+
+    The sharded route divides the overlappable (compute/memory) portion by
+    the shard count -- shards sample their partitions concurrently and the
+    straggler sets the clock -- while launch overhead stays serial per depth
+    epoch.
+    """
+    spec = spec if spec is not None else V100_SPEC
+    cost = predict_cost(
+        graph, config, num_instances,
+        route=route,
+        num_partitions=num_partitions,
+        max_resident_partitions=max_resident_partitions,
+    )
+    breakdown = cost.breakdown(spec)
+    if route == "sharded" and num_shards > 1:
+        overlapped = max(breakdown.compute_time, breakdown.memory_time)
+        return overlapped / num_shards + breakdown.transfer_time + breakdown.launch_time
+    return breakdown.total

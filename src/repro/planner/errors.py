@@ -1,0 +1,28 @@
+"""Planner error types.
+
+These live in a leaf module (no intra-package imports) so that low layers
+such as :mod:`repro.api.instance` can raise them without pulling the whole
+planner in; :mod:`repro.planner` re-exports them lazily.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PlanError", "SeedValidationError"]
+
+
+class PlanError(ValueError):
+    """A request could not be turned into a valid :class:`ExecutionPlan`."""
+
+
+class SeedValidationError(PlanError):
+    """Seed vertices rejected at plan time.
+
+    One error type for every entry point: an empty seed list, an instance
+    with no seeds, a seed outside ``[0, num_vertices)``, or duplicate seed
+    vertices inside one instance's initial frontier pool all raise this --
+    whether the run enters through :class:`~repro.api.sampler.GraphSampler`,
+    :class:`~repro.oom.scheduler.OutOfMemorySampler`,
+    :func:`~repro.engine.hetero.run_coalesced`, the sharded cluster or the
+    sampling service.  Subclasses :class:`ValueError` so pre-planner callers
+    keep working.
+    """

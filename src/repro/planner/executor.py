@@ -1,0 +1,444 @@
+"""One executor for every :class:`~repro.planner.plan.ExecutionPlan`.
+
+The four sampling entry points used to carry four private copies of the
+run loop -- the in-memory MAIN loop, the coalesced multi-member loop, the
+out-of-memory partition scheduler and the sharded cluster's epoch loop.
+:class:`Executor` is that logic in one place: a facade builds a plan
+(:func:`repro.planner.planner.plan`), binds its runtime objects (graph,
+program, engine, device, transport) to an executor and calls
+:meth:`Executor.execute`.
+
+Bit-compatibility is the headline invariant: each route's loop here is the
+pre-refactor loop moved verbatim -- same warp-id allocation order, same RNG
+coordinates, same per-step cost accounting -- so every registry algorithm
+produces identical samples, iteration counts and cost totals through the
+planner as through the old per-facade paths (asserted by
+``tests/integration/test_cross_route_matrix.py``).
+
+The legacy scalar paths (``use_engine=False``) stay available for the
+equivalence tests: facades pass their scalar step/expand callables and the
+executor drives them through the same scheduling skeleton as the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.api.frontier import FrontierQueue
+from repro.api.instance import InstanceState
+from repro.api.results import SampleResult
+from repro.engine.hetero import GroupedIterationSink, member_map
+from repro.engine.step import BatchedStepEngine
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import Device
+from repro.gpusim.kernel import KernelLaunch, StreamTimeline
+from repro.gpusim.memory import TransferEngine
+from repro.graph.csr import CSRGraph
+from repro.oom.balancing import block_fractions
+from repro.oom.batching import group_entries_by_instance, single_batch
+from repro.oom.transfer import PartitionResidency
+from repro.planner.plan import ExecutionPlan
+
+__all__ = ["Executor"]
+
+
+class Executor:
+    """Runs any :class:`ExecutionPlan` on the :class:`BatchedStepEngine`.
+
+    The constructor takes the runtime bindings the plan's route needs;
+    unused ones may stay ``None`` (an in-memory plan never touches
+    ``partitions`` or ``transport_factory``).
+    """
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        graph: CSRGraph,
+        *,
+        program=None,
+        engine: Optional[BatchedStepEngine] = None,
+        device: Optional[Device] = None,
+        use_engine: bool = True,
+        partitions=None,
+        scalar_step: Optional[Callable] = None,
+        scalar_expand: Optional[Callable] = None,
+        transport_factory: Optional[Callable] = None,
+        stride: Optional[int] = None,
+        transport_name: str = "in_process",
+    ):
+        self.plan = plan
+        self.graph = graph
+        self.program = program
+        self.engine = engine
+        self.device = device
+        self.use_engine = use_engine
+        self.partitions = partitions
+        self.scalar_step = scalar_step
+        self.scalar_expand = scalar_expand
+        self.transport_factory = transport_factory
+        self.stride = stride
+        self.transport_name = transport_name
+
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        instances: Optional[Sequence[InstanceState]] = None,
+        members: Optional[Sequence[Sequence[InstanceState]]] = None,
+    ):
+        """Run the plan; the return type is the route's native result."""
+        route = self.plan.route
+        if route == "coalesced":
+            if members is None:
+                raise ValueError("a coalesced plan needs member instance lists")
+            return self._run_coalesced(members)
+        if instances is None:
+            raise ValueError(f"a {route} plan needs instances")
+        if route == "in_memory":
+            return self._run_in_memory(list(instances))
+        if route == "out_of_memory":
+            return self._run_out_of_memory(list(instances))
+        if route == "sharded":
+            return self._run_sharded(list(instances))
+        raise ValueError(f"unknown route {route!r}")  # pragma: no cover
+
+    # ================================================================== #
+    # In-memory MAIN loop (Fig. 2(b)) -- the GraphSampler route
+    # ================================================================== #
+    def _scalar_pass(
+        self,
+        instances: Sequence[InstanceState],
+        depth: int,
+        step_cost: CostModel,
+        iteration_counts,
+    ) -> Optional[int]:
+        """One depth step of the legacy instance-by-instance loop."""
+        num_tasks = 0
+        any_active = False
+        for inst in instances:
+            if inst.finished or inst.pool_size == 0:
+                inst.finished = True
+                continue
+            any_active = True
+            num_tasks += self.scalar_step(inst, depth, step_cost, iteration_counts)
+        return num_tasks if any_active else None
+
+    def _depth_loop(self, instances, sink) -> tuple:
+        """The shared MAIN loop: one simulated kernel per depth step."""
+        kernels: List[KernelLaunch] = []
+        total = CostModel()
+        for depth in range(self.plan.config.depth):
+            step_cost = CostModel()
+            if self.use_engine:
+                tasks = self.engine.step_instances(instances, depth, step_cost, sink)
+            else:
+                tasks = self._scalar_pass(instances, depth, step_cost, sink)
+            if tasks is None:
+                break
+            step_cost.kernel_launches += 1
+            kernels.append(
+                KernelLaunch(
+                    name=f"kernel:depth{depth}",
+                    cost=step_cost,
+                    num_warp_tasks=max(tasks, 1),
+                )
+            )
+            total.merge(step_cost)
+        return kernels, total
+
+    def _main_metadata(self) -> Dict[str, object]:
+        cfg = self.plan.config
+        return {
+            "program": self.program.name,
+            "depth": cfg.depth,
+            "neighbor_size": cfg.neighbor_size,
+            "frontier_size": cfg.frontier_size,
+        }
+
+    def _run_in_memory(self, instances: List[InstanceState]) -> SampleResult:
+        iteration_counts: List[int] = []
+        kernels, total = self._depth_loop(instances, iteration_counts)
+        self.device.cost.merge(total)
+        return SampleResult.from_instances(
+            instances,
+            self.device.cost.copy(),
+            kernels=kernels,
+            iteration_counts=iteration_counts,
+            metadata=self._main_metadata(),
+        )
+
+    # ================================================================== #
+    # Coalesced multi-member batch -- the run_coalesced route
+    # ================================================================== #
+    def _run_coalesced(
+        self, members: Sequence[Sequence[InstanceState]]
+    ) -> List[SampleResult]:
+        members = [list(m) for m in members]
+        member_of, all_instances = member_map(members)
+        self.engine.set_warp_groups(member_of, len(members))
+        sink = GroupedIterationSink(member_of, len(members))
+        kernels, total = self._depth_loop(all_instances, sink)
+        metadata = self._main_metadata()
+        metadata["coalesced_members"] = len(members)
+        combined = SampleResult.from_instances(
+            all_instances,
+            total,
+            kernels=kernels,
+            metadata=metadata,
+        )
+        results: List[SampleResult] = []
+        offset = 0
+        for rank, insts in enumerate(members):
+            results.append(
+                combined.slice_instances(
+                    offset,
+                    offset + len(insts),
+                    iteration_counts=sink.lists[rank],
+                )
+            )
+            offset += len(insts)
+        return results
+
+    # ================================================================== #
+    # Out-of-memory partition scheduling (Section V) -- the OOM route
+    # ================================================================== #
+    def _run_out_of_memory(self, instances: List[InstanceState]):
+        from repro.oom.scheduler import OutOfMemoryResult
+
+        oom = self.plan.layout.oom
+        partitions = self.partitions
+        queues: Dict[int, FrontierQueue] = {
+            p: FrontierQueue() for p in range(len(partitions))
+        }
+        for inst in instances:
+            owners = partitions.owner(inst.frontier_pool)
+            for seed, owner in zip(inst.frontier_pool, owners):
+                queues[int(owner)].push(int(seed), inst.instance_id, 0)
+
+        transfer_engine = TransferEngine(self.device.spec.pcie_bandwidth_bytes)
+        residency = PartitionResidency(
+            partitions, oom.max_resident_partitions, transfer_engine
+        )
+        timeline = StreamTimeline(oom.num_kernels)
+        total_cost = CostModel()
+        kernel_times: List[float] = []
+        transfer_times: List[float] = []
+        iteration_counts: List[int] = []
+        instance_map = {inst.instance_id: inst for inst in instances}
+        rounds = 0
+
+        while any(len(q) for q in queues.values()):
+            rounds += 1
+            active = {p: len(q) for p, q in queues.items() if len(q) > 0}
+            chosen = self._choose_partitions(active, oom)
+            fractions = block_fractions(
+                [active[p] for p in chosen], balanced=oom.balanced_blocks
+            )
+            protect = set(chosen)
+            for stream_index, (partition_index, fraction) in enumerate(
+                zip(chosen, fractions)
+            ):
+                stream = timeline[stream_index % len(timeline.streams)]
+                transfer_duration = residency.ensure_resident(
+                    partition_index, total_cost, protect=protect
+                )
+                if transfer_duration > 0:
+                    stream.enqueue(f"transfer:p{partition_index}", transfer_duration)
+                    transfer_times.append(transfer_duration)
+                self._drain_partition(
+                    partition_index,
+                    queues,
+                    instance_map,
+                    fraction,
+                    stream,
+                    total_cost,
+                    kernel_times,
+                    iteration_counts,
+                    oom,
+                )
+                # Paper: the actively sampled partition is released only once
+                # its frontier queue is empty, which _drain_partition ensures.
+                residency.release(partition_index)
+
+        sample = SampleResult.from_instances(
+            instances,
+            total_cost.copy(),
+            iteration_counts=iteration_counts,
+            metadata={"program": self.program.name, "oom": True},
+        )
+        self.device.cost.merge(total_cost)
+        return OutOfMemoryResult(
+            sample=sample,
+            makespan=timeline.makespan,
+            kernel_times=kernel_times,
+            transfer_times=transfer_times,
+            partition_transfers=residency.transfer_count,
+            rounds=rounds,
+            cost=total_cost,
+            config=oom,
+            stream_busy_times=[s.busy_time() for s in timeline.streams],
+        )
+
+    def _choose_partitions(self, active: Dict[int, int], oom) -> List[int]:
+        """Pick up to ``num_kernels`` partitions to sample this round."""
+        limit = min(oom.num_kernels, oom.max_resident_partitions, len(active))
+        if oom.workload_aware:
+            ordered = sorted(active, key=lambda p: (-active[p], p))
+        else:
+            ordered = sorted(active)
+        return ordered[:limit]
+
+    def _drain_partition(
+        self,
+        partition_index: int,
+        queues: Dict[int, FrontierQueue],
+        instance_map: Dict[int, InstanceState],
+        fraction: float,
+        stream,
+        total_cost: CostModel,
+        kernel_times: List[float],
+        iteration_counts: List[int],
+        oom,
+    ) -> None:
+        """Sample a resident partition until its frontier queue is empty."""
+        queue = queues[partition_index]
+        while len(queue):
+            vertices, instance_ids, depths = queue.pop_all()
+            if oom.batched:
+                groups = single_batch(vertices, instance_ids, depths)
+            else:
+                groups = group_entries_by_instance(vertices, instance_ids, depths)
+            for group_vertices, group_instances, group_depths in groups:
+                kernel_cost = CostModel()
+                if self.use_engine:
+                    succ_v, succ_i, succ_d = self.engine.expand_entries(
+                        group_vertices,
+                        group_instances,
+                        group_depths,
+                        instance_map,
+                        kernel_cost,
+                        iteration_counts,
+                    )
+                    if succ_v.size:
+                        owners = self.partitions.owner(succ_v)
+                        for owner in np.unique(owners):
+                            mask = owners == owner
+                            queues[int(owner)].push_batch(
+                                succ_v[mask], succ_i[mask], succ_d[mask]
+                            )
+                else:
+                    for vertex, instance_id, depth in zip(
+                        group_vertices, group_instances, group_depths
+                    ):
+                        self.scalar_expand(
+                            int(vertex),
+                            instance_map[int(instance_id)],
+                            int(depth),
+                            queues,
+                            kernel_cost,
+                            iteration_counts,
+                        )
+                kernel_cost.kernel_launches += 1
+                launch = KernelLaunch(
+                    name=f"kernel:p{partition_index}",
+                    cost=kernel_cost,
+                    block_fraction=float(fraction),
+                    num_warp_tasks=max(int(group_vertices.size), 1),
+                )
+                duration = launch.duration(self.device.spec)
+                stream.enqueue(launch.name, duration)
+                kernel_times.append(duration)
+                total_cost.merge(kernel_cost)
+
+    # ================================================================== #
+    # Sharded cluster epochs + reassembly -- the cluster route
+    # ================================================================== #
+    def _run_sharded(self, instances: List[InstanceState]):
+        # Deferred: repro.distributed's __init__ pulls the coordinator,
+        # which itself plans+executes through this module.
+        from repro.distributed.router import MigrationRouter, WalkerEnvelope, bucket_by_shard
+
+        bounds = np.asarray(self.plan.layout.boundaries, dtype=np.int64)
+        num_shards = self.plan.layout.num_partitions
+        envelopes = [WalkerEnvelope(instance=inst) for inst in instances]
+        placement = bucket_by_shard(envelopes, bounds, stride=self.stride)
+
+        router = MigrationRouter(num_shards)
+        epochs = 0
+        transport = self.transport_factory()
+        try:
+            transport.admit(placement)
+            active = len(instances)
+            for depth in range(self.plan.config.depth):
+                if active == 0:
+                    break
+                epochs += 1
+                outboxes, actives = transport.step_all(depth)
+                inboxes = router.exchange(outboxes)
+                transport.admit(inboxes)
+                active = sum(actives) + sum(len(v) for v in inboxes.values())
+            reports = transport.collect()
+        finally:
+            transport.close()
+        return self._reassemble_shards(
+            reports, len(instances), epochs, router.migrations, num_shards
+        )
+
+    def _reassemble_shards(
+        self,
+        reports,
+        num_instances: int,
+        epochs: int,
+        migrations: int,
+        num_shards: int,
+    ):
+        from repro.distributed.coordinator import ClusterResult
+        from repro.distributed.router import WalkerEnvelope
+
+        collected: Dict[int, WalkerEnvelope] = {}
+        for report in reports:
+            for env in report.envelopes:
+                if env.instance_id in collected:
+                    raise RuntimeError(
+                        f"walker {env.instance_id} reported by two shards"
+                    )
+                collected[env.instance_id] = env
+        if len(collected) != num_instances:
+            missing = set(range(num_instances)) - set(collected)
+            raise RuntimeError(f"walkers lost during the run: {sorted(missing)}")
+
+        total_cost = CostModel()
+        for report in reports:  # shard order; integer counters commute
+            total_cost.merge(report.cost)
+        # One fused launch per epoch, like the single-device MAIN loop --
+        # and unlike per-shard counting, invariant across shard counts.
+        total_cost.kernel_launches = epochs
+
+        ordered = [collected[instance_id] for instance_id in sorted(collected)]
+        iteration_counts: List[int] = []
+        for env in ordered:
+            iteration_counts.extend(env.iterations)
+        cfg = self.plan.config
+        result = SampleResult.from_instances(
+            [env.instance for env in ordered],
+            total_cost,
+            iteration_counts=iteration_counts,
+            metadata={
+                "program": self.plan.algorithm,
+                "depth": cfg.depth,
+                "neighbor_size": cfg.neighbor_size,
+                "frontier_size": cfg.frontier_size,
+                "sharded": True,
+            },
+        )
+        return ClusterResult(
+            result=result,
+            num_shards=num_shards,
+            transport=self.transport_name,
+            epochs=epochs,
+            migrations=migrations,
+            shard_costs=[r.cost for r in reports],
+            shard_kernels=[r.kernels for r in reports],
+            shard_admitted=[r.admitted for r in reports],
+        )

@@ -9,14 +9,18 @@ window*, groups compatible requests -- equal
 :class:`~repro.service.workers.WorkUnit`s, and a collector thread
 demultiplexes worker results back onto the per-request futures.
 
-Admission / routing: graphs whose CSR footprint exceeds
-``memory_budget_bytes`` are marked oversized at load time and their requests
-bypass coalescing.  With ``cluster_shards`` set they take the ``"sharded"``
-route -- a partition-aware :class:`~repro.distributed.ShardedSamplingCluster`
-whose shards sample side by side, with the shard count sized so each
-partition fits the budget; otherwise they fall back to the serial
-partition-scheduled :class:`~repro.oom.scheduler.OutOfMemorySampler`
-(``"out_of_memory"``), with the partition count sized the same way.
+Admission / routing is delegated to the unified planner
+(:mod:`repro.planner`): :func:`~repro.planner.planner.plan_admission` decides
+each published graph epoch's route and partition layout at load time (the
+route table *is* a table of plans), and full
+:class:`~repro.planner.plan.ExecutionPlan`\\ s are built lazily and cached
+per ``(graph, epoch, algorithm, config)``, then specialised per dispatched
+unit (fusion grouping, predicted cost).  The winning plan's metadata rides
+on every answer as ``SampleResponse.plan`` (including the
+:meth:`~repro.planner.plan.ExecutionPlan.explain` dry-run text).  Changing
+``memory_budget_bytes`` (or ``cluster_shards``) never resizes an admitted
+graph out from under its frozen sizing -- call :meth:`SamplingService.replan`
+to drain a graph's requests and re-admit it under the settings in force.
 
 Determinism contract: a request's samples are bit-identical to a standalone
 sampler run with the same seeds and config, no matter what it was coalesced
@@ -38,6 +42,15 @@ from repro.api.requests import SampleRequest, SampleResponse
 from repro.api.results import InstanceSample
 from repro.graph.csr import CSRGraph
 from repro.oom.scheduler import OutOfMemoryConfig
+from repro.planner.errors import SeedValidationError
+from repro.planner.plan import ExecutionPlan, PartitionLayout
+from repro.planner.planner import (
+    PlanRequest,
+    plan,
+    plan_admission,
+    scale_plan,
+    validate_seed_tuples,
+)
 from repro.service.store import SharedGraphStore
 from repro.service.workers import RequestSpec, UnitResult, WorkUnit, WorkerPool
 
@@ -101,6 +114,8 @@ class _Pending:
     enqueued_at: float
     #: Graph epoch the request is bound to (resolved at submission).
     epoch: int = 0
+    #: Plan summary of the dispatched unit (attached to the response).
+    plan: Optional[Dict[str, object]] = None
 
 
 class SamplingService:
@@ -145,11 +160,12 @@ class SamplingService:
         self.memory_budget_bytes = memory_budget_bytes
         self._oom_config = oom_config
         self.cluster_shards = int(cluster_shards)
-        #: Admission decision per (graph name, epoch).
-        self._routes: Dict[Tuple[str, int], str] = {}
-        self._graph_oom_configs: Dict[Tuple[str, int], OutOfMemoryConfig] = {}
-        #: Frozen shard count per (graph name, epoch) on the sharded route.
-        self._graph_cluster_shards: Dict[Tuple[str, int], int] = {}
+        #: Admission plan per (graph name, epoch): ``(route, layout)``,
+        #: frozen under the budget in force at admission time.
+        self._admission: Dict[Tuple[str, int], Tuple[str, "PartitionLayout"]] = {}
+        #: Class-level :class:`ExecutionPlan` cache, keyed by
+        #: ``(graph, epoch, algorithm, config, program kwargs)``.
+        self._plans: Dict[Tuple, "ExecutionPlan"] = {}
         #: Unresolved requests per (graph name, epoch); a retiring epoch is
         #: released once its count drains to zero.
         self._epoch_active: Dict[Tuple[str, int], int] = {}
@@ -257,68 +273,118 @@ class SamplingService:
         return handle.epoch
 
     def _admit(self, handle) -> str:
-        """Decide and record the route of one published graph epoch."""
-        key = (handle.name, handle.epoch)
-        route = "in_memory"
-        if (
-            self.memory_budget_bytes is not None
-            and handle.nbytes > self.memory_budget_bytes
-        ):
-            # Freeze the sizing under the budget in force *now*: later
-            # budget changes must not resize an admitted graph's shards or
-            # partitions out from under its documented sizing.
-            if self.cluster_shards:
-                route = "sharded"
-                self._graph_cluster_shards[key] = self._make_cluster_shards(handle)
-            else:
-                route = "out_of_memory"
-                self._graph_oom_configs[key] = self._make_oom_config(handle)
-        self._routes[key] = route
-        return route
+        """Plan and record the admission of one published graph epoch.
 
-    def _make_cluster_shards(self, handle) -> int:
-        """Shard count: the configured floor, or more so partitions fit."""
-        budget = (
-            self.memory_budget_bytes
-            if self.memory_budget_bytes is not None
-            else handle.nbytes
+        The route table is a table of admission plans: ``(route, layout)``
+        frozen under the budget in force *now*, so later budget changes
+        never resize an admitted graph's shards or partitions out from
+        under its documented sizing (use :meth:`replan` to re-admit).
+        """
+        key = (handle.name, handle.epoch)
+        route, layout = plan_admission(
+            num_vertices=handle.num_vertices,
+            num_edges=handle.num_edges,
+            nbytes=handle.nbytes,
+            memory_budget_bytes=self.memory_budget_bytes,
+            cluster_shards=self.cluster_shards,
+            oom_config=self._oom_config,
         )
-        needed = -(-handle.nbytes // max(budget, 1))
-        return int(max(self.cluster_shards, needed))
+        with self._lock:
+            self._admission[key] = (route, layout)
+            # Drop class plans planned under a previous admission of this
+            # (graph, epoch) -- replan() re-admits in place.
+            self._plans = {
+                k: v for k, v in self._plans.items() if k[:2] != key
+            }
+        return route
 
     def route_of(self, name: str, epoch: Optional[int] = None) -> str:
         """The admission decision for a loaded graph (latest epoch default)."""
         if epoch is None:
             epoch = self.store.latest_epoch(name)
-        return self._routes[(name, epoch)]
+        return self._admission[(name, epoch)][0]
 
     def graph_epoch(self, name: str) -> int:
         """The latest published epoch of a loaded graph."""
         return self.store.latest_epoch(name)
 
-    def _make_oom_config(self, handle) -> OutOfMemoryConfig:
-        if self._oom_config is not None:
-            return self._oom_config
-        budget = (
-            self.memory_budget_bytes
-            if self.memory_budget_bytes is not None
-            else handle.nbytes
-        )
-        num_partitions = max(2, -(-handle.nbytes // max(budget, 1)))
-        return OutOfMemoryConfig.fully_optimized(
-            num_partitions=int(num_partitions),
-            max_resident_partitions=2,
-            num_kernels=2,
-        )
+    def replan(self, name: str, *, timeout: float = 30.0) -> str:
+        """Drain a graph's outstanding requests and re-admit it.
 
-    def _oom_config_for(self, name: str, epoch: Optional[int] = None) -> OutOfMemoryConfig:
+        Changing :attr:`memory_budget_bytes` (or :attr:`cluster_shards`)
+        after admission deliberately leaves already-admitted graphs on
+        their frozen plans; ``replan`` applies the settings in force now:
+        it waits for every in-flight request on ``name`` to resolve, then
+        re-runs admission for the latest epoch and invalidates the cached
+        class plans.  Returns the new route.
+
+        Raises :class:`TimeoutError` if the graph's requests do not drain
+        within ``timeout`` seconds (the admission is left unchanged).
+        """
+        if name not in self.store.names():
+            raise KeyError(f"graph {name!r} is not loaded")
+        with self._update_lock:
+            deadline = time.perf_counter() + timeout
+            while True:
+                with self._lock:
+                    busy = any(
+                        p.request.graph == name for p in self._pending.values()
+                    )
+                if not busy:
+                    break
+                if time.perf_counter() > deadline:
+                    raise TimeoutError(
+                        f"replan({name!r}): requests still in flight "
+                        f"after {timeout}s"
+                    )
+                time.sleep(0.002)
+            handle = self.store.handle(name, self.store.latest_epoch(name))
+            return self._admit(handle)
+
+    def _oom_config_for(
+        self, name: str, epoch: Optional[int] = None
+    ) -> OutOfMemoryConfig:
+        """The frozen out-of-memory layout of an admitted graph epoch."""
         if epoch is None:
             epoch = self.store.latest_epoch(name)
-        cached = self._graph_oom_configs.get((name, epoch))
-        if cached is None:  # pragma: no cover - oom graphs cache at admission
-            cached = self._make_oom_config(self.store.handle(name, epoch))
-            self._graph_oom_configs[(name, epoch)] = cached
-        return cached
+        layout = self._admission[(name, epoch)][1]
+        if layout.oom is None:
+            raise KeyError(
+                f"graph {name!r} epoch {epoch} is not on the out_of_memory route"
+            )
+        return layout.oom
+
+    # ------------------------------------------------------------------ #
+    # Plan cache: one class-level plan per (graph, epoch, algorithm, config)
+    # ------------------------------------------------------------------ #
+    def _class_plan(self, request: SampleRequest, epoch: int) -> ExecutionPlan:
+        """The cached :class:`ExecutionPlan` of one request class."""
+        key = (request.graph, epoch) + request.class_key()[2:]
+        with self._lock:
+            cached = self._plans.get(key)
+        if cached is not None:
+            return cached
+        handle = self.store.handle(request.graph, epoch)
+        route, layout = self._admission[(request.graph, epoch)]
+        from dataclasses import replace
+
+        base = plan(PlanRequest(
+            config=request.resolve_config(),
+            algorithm=request.algorithm,
+            num_instances=1,
+            memory_budget_bytes=self.memory_budget_bytes,
+            oom_config=layout.oom,
+            force_route=route,
+            coalescable=self._class_coalescable(request),
+            graph_num_vertices=handle.num_vertices,
+            graph_num_edges=handle.num_edges,
+            graph_nbytes=handle.nbytes,
+        ))
+        # The admission-time layout is authoritative (frozen sizing).
+        base = replace(base, layout=layout)
+        with self._lock:
+            self._plans[key] = base
+        return base
 
     # ------------------------------------------------------------------ #
     # Request intake
@@ -350,11 +416,19 @@ class SamplingService:
             self._epoch_active[key] = self._epoch_active.get(key, 0) + 1
         pending = _Pending(request, Future(), time.perf_counter(), epoch=epoch)
         try:
-            if request.min_seed_vertex() < 0 or request.max_seed_vertex() >= handle.num_vertices:
-                raise ValueError(
-                    f"request {request.request_id}: seeds outside "
-                    f"[0, {handle.num_vertices})"
+            # Plan-time seed validation, uniform across entry points: the
+            # same SeedValidationError a standalone sampler would raise.
+            try:
+                validate_seed_tuples(
+                    request.seeds,
+                    handle.num_vertices,
+                    num_instances=request.num_instances,
+                    reject_duplicates=not request.resolve_config().with_replacement,
                 )
+            except SeedValidationError as exc:
+                raise SeedValidationError(
+                    f"request {request.request_id}: {exc}"
+                ) from None
             # Fail fast, synchronously: bad config overrides raise inside
             # resolve_config, unhashable program kwargs inside the key's hash.
             hash(request.class_key())
@@ -432,10 +506,8 @@ class SamplingService:
         for key in order:
             group = classes[key]
             head_request = group[0].request
-            fusible = (
-                self._routes[(head_request.graph, group[0].epoch)] == "in_memory"
-                and self._class_coalescable(head_request)
-            )
+            class_plan = self._class_plan(head_request, group[0].epoch)
+            fusible = class_plan.route == "in_memory" and class_plan.coalescable
             if len(group) > 1 and not fusible:
                 # Non-coalescable programs and the out-of-memory path never
                 # fuse; one unit per request keeps them spread across
@@ -445,12 +517,20 @@ class SamplingService:
             else:
                 units = [group]
             for members in units:
-                self._dispatch_unit(members)
+                self._dispatch_unit(members, class_plan)
 
-    def _dispatch_unit(self, members: List[_Pending]) -> None:
+    def _dispatch_unit(
+        self, members: List[_Pending], class_plan: ExecutionPlan
+    ) -> None:
         head = members[0].request
         epoch = members[0].epoch
-        route = self._routes[(head.graph, epoch)]
+        # Specialise the cached class plan to this unit: fusion grouping
+        # (member sizes) and predicted cost for the unit's instance count.
+        unit_plan = scale_plan(
+            class_plan,
+            [p.request.instance_count() for p in members],
+        )
+        route = class_plan.route  # the worker-facing tier name
         unit = WorkUnit(
             unit_id=next(self._unit_ids),
             handle=self.store.handle(head.graph, epoch),
@@ -466,17 +546,15 @@ class SamplingService:
                 for p in members
             ),
             route=route,
-            oom_config=(
-                self._oom_config_for(head.graph, epoch)
-                if route == "out_of_memory"
-                else None
-            ),
+            oom_config=unit_plan.layout.oom,
             cluster_shards=(
-                self._graph_cluster_shards.get((head.graph, epoch))
-                if route == "sharded"
-                else None
+                unit_plan.layout.num_partitions if route == "sharded" else None
             ),
+            plan=unit_plan,
         )
+        plan_summary = unit_plan.summary()
+        for p in members:
+            p.plan = plan_summary
         with self._lock:
             self._inflight[unit.unit_id] = [
                 p.request.request_id for p in members
@@ -615,6 +693,7 @@ class SamplingService:
                 epoch=pending.epoch,
                 coalesced_with=payload.coalesced_with,
                 stats={**payload.stats, "latency_s": latency},
+                plan=pending.plan,
             )
             with self._lock:
                 self.stats.requests_completed += 1
@@ -676,9 +755,10 @@ class SamplingService:
             if key not in self._retiring or self._epoch_active.get(key, 0) > 0:
                 return
             self._retiring.discard(key)
-            self._routes.pop(key, None)
-            self._graph_oom_configs.pop(key, None)
-            self._graph_cluster_shards.pop(key, None)
+            self._admission.pop(key, None)
+            self._plans = {
+                k: v for k, v in self._plans.items() if k[:2] != key
+            }
             # Release under the lock: a concurrent submit must observe
             # either a pinnable epoch or a KeyError, never the gap between
             # un-retiring and unlinking.

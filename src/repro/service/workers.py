@@ -70,12 +70,17 @@ class WorkUnit:
     program_kwargs: Tuple[Tuple[str, object], ...]
     requests: Tuple[RequestSpec, ...]
     #: ``"in_memory"``, ``"out_of_memory"`` or ``"sharded"`` (the admission
-    #: policy's call).
+    #: plan's call).
     route: str = "in_memory"
     oom_config: Optional[OutOfMemoryConfig] = None
     #: Shard count for the ``"sharded"`` route (in-process shards inside the
     #: executing worker, sized so each partition fits the memory budget).
     cluster_shards: Optional[int] = None
+    #: The service's :class:`~repro.planner.plan.ExecutionPlan` for this
+    #: unit.  ``route`` / ``oom_config`` / ``cluster_shards`` above are its
+    #: worker-facing projection; directly constructed units (tests) may
+    #: omit it.
+    plan: Optional[object] = None
 
 
 @dataclass
@@ -124,21 +129,41 @@ def _payload_from_result(spec: RequestSpec, result, route: str,
 
 
 def execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
-    """Run one work unit against an already-attached graph."""
+    """Run one work unit against an already-attached graph.
+
+    The unit's :class:`ExecutionPlan` (when the front-end attached one) is
+    authoritative for the route and partition layout; the flat
+    ``route`` / ``oom_config`` / ``cluster_shards`` fields are its
+    projection and the fallback for directly constructed units.  Each
+    branch below delegates to a facade that itself plans + executes on the
+    shared executor, so the worker never re-implements a run loop.
+    """
     from repro.algorithms.registry import get_algorithm
 
     info = get_algorithm(unit.algorithm)
     kwargs = dict(unit.program_kwargs)
     payloads: List[RequestPayload] = []
+    route = unit.route
+    oom_config = unit.oom_config
+    cluster_shards = unit.cluster_shards
+    if unit.plan is not None:
+        route = unit.plan.route
+        if route == "coalesced":
+            route = "in_memory"
+        layout = unit.plan.layout
+        if layout.oom is not None:
+            oom_config = layout.oom
+        if route == "sharded":
+            cluster_shards = layout.num_partitions
 
-    if unit.route == "sharded":
+    if route == "sharded":
         # Oversized graphs served by the sharded tier: one in-process
         # cluster run per request (bit-identical for any shard count, so
         # the sizing decision never changes results -- see
         # docs/distributed.md).
         from repro.distributed import ShardedSamplingCluster
 
-        if not unit.cluster_shards:
+        if not cluster_shards:
             # The front-end froze the shard count at admission; a missing
             # value must not silently run partitions over the budget.
             return UnitResult(
@@ -151,7 +176,7 @@ def execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
                     graph,
                     unit.algorithm,
                     unit.config,
-                    num_shards=int(unit.cluster_shards),
+                    num_shards=int(cluster_shards),
                     program_kwargs=kwargs,
                     transport="in_process",
                 )
@@ -172,7 +197,7 @@ def execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
                 ))
         return UnitResult(unit_id=unit.unit_id, payloads=payloads)
 
-    if unit.route == "out_of_memory":
+    if route == "out_of_memory":
         # Oversized graphs run the partition-scheduled sampler, one request
         # per run (bit-identical to a standalone OutOfMemorySampler by
         # construction); a fresh program per request keeps stateful hooks
@@ -181,7 +206,7 @@ def execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
             try:
                 sampler = OutOfMemorySampler(
                     graph, info.program_factory(**kwargs), unit.config,
-                    unit.oom_config,
+                    oom_config,
                 )
                 oom_result = sampler.run(
                     list(spec.seeds), num_instances=spec.num_instances

@@ -1,0 +1,50 @@
+"""Shared bit-compatibility scaffolding for the equivalence suites.
+
+One comparison vocabulary for every bit-compat suite (engine vs scalar,
+sharded invariance, dynamic-graph compaction, and the planner's cross-route
+matrix): a :class:`~repro.api.results.SampleResult` is *bit-identical* to
+another when the samples (ids, seeds, edges -- in order), the per-selection
+iteration counts and the cost-model totals all match exactly.
+"""
+
+import numpy as np
+
+__all__ = ["assert_equivalent", "assert_same_samples", "fingerprint"]
+
+
+def assert_same_samples(a, b):
+    """Per-instance samples match bitwise (ids, seeds, edges, in order)."""
+    assert len(a.samples) == len(b.samples)
+    for sa, sb in zip(a.samples, b.samples):
+        assert sa.instance_id == sb.instance_id
+        assert np.array_equal(sa.seeds, sb.seeds)
+        assert np.array_equal(sa.edges, sb.edges)
+
+
+def assert_equivalent(a, b, *, kernels=False):
+    """Bitwise comparison of two SampleResults.
+
+    Covers samples, iteration counts and cost totals; ``kernels=True``
+    additionally compares the per-kernel records (the in-memory engine
+    contract -- routes that reattribute kernels, like coalescing, skip it).
+    """
+    assert_same_samples(a, b)
+    assert a.cost.as_dict() == b.cost.as_dict()
+    assert a.iteration_counts == b.iteration_counts
+    if kernels:
+        assert len(a.kernels) == len(b.kernels)
+        for ka, kb in zip(a.kernels, b.kernels):
+            assert ka.cost.as_dict() == kb.cost.as_dict()
+            assert ka.num_warp_tasks == kb.num_warp_tasks
+
+
+def fingerprint(result):
+    """Everything the bit-compat contract covers, as a comparable value."""
+    return (
+        tuple(
+            (s.instance_id, tuple(map(int, s.seeds)), tuple(map(tuple, s.edges)))
+            for s in result.samples
+        ),
+        tuple(result.iteration_counts),
+        tuple(sorted(result.cost.as_dict().items())),
+    )

@@ -1,0 +1,133 @@
+"""Cross-route equivalence matrix: the planner refactor's acceptance bar.
+
+Every registry algorithm, through every planner route, must be bit-identical
+to its reference execution:
+
+* ``in_memory``  -- the planner-driven engine run vs the legacy scalar loop
+  (samples, iteration counts, cost totals *and* per-kernel records);
+* ``coalesced``  -- every member of a fused batch vs a standalone run of
+  just that member (samples + iteration counts; cost is the batch's);
+* ``out_of_memory`` -- the planner-driven engine scheduler vs the scalar
+  per-entry expansion, fully optimised (BA + WS + BAL);
+* ``sharded``    -- shard-count invariance (1 vs 3 shards, in-process).
+
+The suite is parametrized as one (algorithm x route) matrix over the shared
+scaffolding in ``bitcompat.py`` -- the single successor of the three
+bespoke bit-compat suites' private comparison helpers.  It also pins the
+plan metadata: each facade must *construct* an ExecutionPlan whose route
+matches the tier it is.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import ALGORITHM_REGISTRY
+from repro.api.sampler import GraphSampler
+from repro.distributed import ShardedSamplingCluster
+from repro.engine.hetero import run_coalesced
+from repro.graph.generators import powerlaw_graph
+from repro.oom.scheduler import OutOfMemoryConfig, OutOfMemorySampler
+
+from bitcompat import assert_equivalent, assert_same_samples, fingerprint
+
+ALL_ALGORITHMS = sorted(ALGORITHM_REGISTRY)
+ROUTES = ("in_memory", "coalesced", "out_of_memory", "sharded")
+
+NUM_SEEDS = 10
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(150, 6.0, exponent=2.2, seed=5)
+
+
+@pytest.fixture(scope="module")
+def seeds(graph):
+    step = graph.num_vertices // NUM_SEEDS
+    return [int(s) for s in range(0, graph.num_vertices, step)][:NUM_SEEDS]
+
+
+def _check_in_memory(graph, info, seeds):
+    config = info.config_factory(seed=11)
+    scalar = GraphSampler(
+        graph, info.program_factory(), config, use_engine=False
+    ).run(seeds)
+    engine_sampler = GraphSampler(graph, info.program_factory(), config)
+    assert engine_sampler.plan(seeds).route == "in_memory"
+    engine = engine_sampler.run(seeds)
+    assert_equivalent(scalar, engine, kernels=True)
+
+
+def _check_coalesced(graph, info, seeds):
+    from repro.api.instance import make_instances
+
+    config = info.config_factory(seed=11)
+    if not info.program_factory().supports_coalescing:
+        # Stateful programs never fuse; the planner must refuse the batch.
+        from repro.planner.errors import PlanError
+        from repro.planner.planner import PlanRequest, plan
+
+        with pytest.raises(PlanError, match="stateful"):
+            plan(PlanRequest(
+                graph=graph,
+                program=info.program_factory(),
+                config=config,
+                members=[make_instances(seeds[:5]), make_instances(seeds[5:])],
+                force_route="coalesced",
+            ))
+        return
+    halves = [seeds[:5], seeds[5:]]
+    batch = run_coalesced(
+        graph, info.program_factory(), config,
+        [make_instances(h) for h in halves],
+    )
+    for half, member_result in zip(halves, batch):
+        solo = GraphSampler(graph, info.program_factory(), config).run(half)
+        assert_same_samples(solo, member_result)
+        assert solo.iteration_counts == member_result.iteration_counts
+
+
+def _check_out_of_memory(graph, info, seeds):
+    config = info.config_factory(seed=9)
+    oom = OutOfMemoryConfig.fully_optimized(num_partitions=3)
+    runs = {}
+    for use_engine in (False, True):
+        sampler = OutOfMemorySampler(
+            graph, info.program_factory(), config, oom, use_engine=use_engine
+        )
+        plan = sampler.plan(seeds)
+        assert plan.route == "out_of_memory"
+        assert plan.layout.oom is oom
+        runs[use_engine] = sampler.run(seeds)
+    assert_equivalent(runs[False].sample, runs[True].sample)
+    assert runs[False].rounds == runs[True].rounds
+    assert runs[False].makespan == pytest.approx(runs[True].makespan)
+
+
+def _check_sharded(graph, info, seeds):
+    results = []
+    for num_shards in (1, 3):
+        cluster = ShardedSamplingCluster(
+            graph, info.name, num_shards=num_shards
+        )
+        plan = cluster.plan(seeds)
+        assert plan.route == "sharded"
+        assert plan.layout.num_partitions == cluster.num_shards
+        results.append(cluster.run(seeds))
+    assert fingerprint(results[0].result) == fingerprint(results[1].result)
+    assert results[0].result.total_sampled_edges > 0
+
+
+_CHECKS = {
+    "in_memory": _check_in_memory,
+    "coalesced": _check_coalesced,
+    "out_of_memory": _check_out_of_memory,
+    "sharded": _check_sharded,
+}
+
+
+class TestCrossRouteMatrix:
+    @pytest.mark.parametrize("route", ROUTES)
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_route_is_bit_identical(self, graph, seeds, algorithm, route):
+        _CHECKS[route](graph, ALGORITHM_REGISTRY[algorithm], seeds)

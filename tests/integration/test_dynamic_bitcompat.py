@@ -20,6 +20,8 @@ from repro.graph.delta import DeltaGraph
 from repro.graph.generators import powerlaw_graph
 from repro.oom.scheduler import OutOfMemoryConfig, OutOfMemorySampler
 
+from bitcompat import assert_equivalent
+
 SEEDS = [0, 3, 17, 42, 77, 101]
 
 
@@ -59,16 +61,6 @@ def mutated_pair():
             weights.append(float(w))
     fresh = from_edge_list(edges, num_vertices=nv, weights=weights)
     return delta, fresh
-
-
-def assert_equivalent(a, b):
-    assert len(a.samples) == len(b.samples)
-    for sa, sb in zip(a.samples, b.samples):
-        assert sa.instance_id == sb.instance_id
-        assert np.array_equal(sa.seeds, sb.seeds)
-        assert np.array_equal(sa.edges, sb.edges)
-    assert a.iteration_counts == b.iteration_counts
-    assert a.cost.as_dict() == b.cost.as_dict()
 
 
 class TestCompactionBitCompat:

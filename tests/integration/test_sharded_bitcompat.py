@@ -22,6 +22,8 @@ from repro.distributed import ShardedSamplingCluster, walker_program_seed
 from repro.gpusim.costmodel import CostModel
 from repro.graph.generators import powerlaw_graph
 
+from bitcompat import fingerprint as _fingerprint
+
 ALL_ALGORITHMS = sorted(ALGORITHM_REGISTRY)
 SHARD_COUNTS = (1, 2, 4)
 NUM_SEEDS = 12
@@ -38,16 +40,8 @@ def seeds(graph):
 
 
 def fingerprint(cluster_result):
-    """Everything the invariance contract covers, as a comparable value."""
-    result = cluster_result.result
-    return (
-        tuple(
-            (s.instance_id, tuple(map(int, s.seeds)), tuple(map(tuple, s.edges)))
-            for s in result.samples
-        ),
-        tuple(result.iteration_counts),
-        tuple(sorted(result.cost.as_dict().items())),
-    )
+    """Everything the invariance contract covers (shared scaffolding)."""
+    return _fingerprint(cluster_result.result)
 
 
 def run_cluster(graph, algorithm, seeds, num_shards, transport):

@@ -1,0 +1,379 @@
+"""Unit tests of the execution planner: routing, layout, explain, scaling."""
+
+import pickle
+
+import pytest
+
+from repro.algorithms.registry import default_config, get_algorithm
+from repro.api.instance import make_instances
+from repro.graph.generators import powerlaw_graph
+from repro.oom.scheduler import OutOfMemoryConfig
+from repro.planner.errors import PlanError, SeedValidationError
+from repro.planner.plan import ExecutionPlan, PartitionLayout
+from repro.planner.planner import (
+    GraphStats,
+    PlanRequest,
+    plan,
+    plan_admission,
+    plan_route,
+    scale_plan,
+    validate_seed_tuples,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(200, 6.0, seed=3)
+
+
+def make_plan(graph, algorithm="deepwalk", **overrides):
+    info = get_algorithm(algorithm)
+    defaults = dict(
+        graph=graph,
+        program=info.program_factory(),
+        config=info.config_factory(),
+        instances=make_instances([0, 1, 2]),
+    )
+    defaults.update(overrides)
+    return plan(PlanRequest(**defaults))
+
+
+class TestRouting:
+    def test_within_budget_routes_in_memory(self, graph):
+        assert plan_route(
+            graph.nbytes,
+            memory_budget_bytes=graph.nbytes + 1,
+            cluster_shards=4,
+        ) == "in_memory"
+
+    def test_no_budget_routes_in_memory(self, graph):
+        assert plan_route(
+            graph.nbytes, memory_budget_bytes=None, cluster_shards=0
+        ) == "in_memory"
+
+    def test_over_budget_without_shards_routes_oom(self, graph):
+        assert plan_route(
+            graph.nbytes, memory_budget_bytes=1024, cluster_shards=0
+        ) == "out_of_memory"
+
+    def test_over_budget_with_shards_routes_sharded(self, graph):
+        assert plan_route(
+            graph.nbytes, memory_budget_bytes=1024, cluster_shards=2
+        ) == "sharded"
+
+    def test_cost_model_prefers_parallel_shards(self, graph):
+        """With both over-budget tiers available the estimate picks sharded:
+        the overlappable work divides across shards while the serial
+        scheduler additionally pays PCIe partition transfers."""
+        route = plan_route(
+            graph.nbytes,
+            memory_budget_bytes=1024,
+            cluster_shards=4,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            config=default_config("deepwalk"),
+            num_instances=100,
+        )
+        assert route == "sharded"
+
+    def test_admission_freezes_oom_layout(self, graph):
+        route, layout = plan_admission(
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            nbytes=graph.nbytes,
+            memory_budget_bytes=graph.nbytes // 3,
+            cluster_shards=0,
+        )
+        assert route == "out_of_memory"
+        assert layout.kind == "oom_partitions"
+        assert layout.oom.num_partitions >= 3
+        assert layout.oom.batched and layout.oom.workload_aware
+
+    def test_admission_sizes_shards_to_budget(self, graph):
+        route, layout = plan_admission(
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            nbytes=graph.nbytes,
+            memory_budget_bytes=graph.nbytes // 5,
+            cluster_shards=2,
+        )
+        assert route == "sharded"
+        # Floor of 2, but the budget needs at least 5 shards.
+        assert layout.num_partitions >= 5
+
+    def test_explicit_oom_config_wins(self, graph):
+        oom = OutOfMemoryConfig.baseline(num_partitions=7)
+        _, layout = plan_admission(
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            nbytes=graph.nbytes,
+            memory_budget_bytes=1024,
+            cluster_shards=0,
+            oom_config=oom,
+        )
+        assert layout.oom is oom
+        assert layout.num_partitions == 7
+
+
+class TestPlanConstruction:
+    def test_in_memory_plan_shape(self, graph):
+        p = make_plan(graph, force_route="in_memory")
+        assert p.route == "in_memory"
+        assert p.num_instances == 3
+        assert p.member_sizes == (3,)
+        assert p.warp_cursors == "global"
+        assert p.layout.kind == "none"
+        assert p.predicted_time_s > 0
+        assert p.predicted_cost.rng_draws > 0
+
+    def test_coalesced_plan_members(self, graph):
+        info = get_algorithm("deepwalk")
+        p = plan(PlanRequest(
+            graph=graph,
+            program=info.program_factory(),
+            config=info.config_factory(),
+            members=[make_instances([0, 1]), make_instances([2, 3, 4])],
+            force_route="coalesced",
+        ))
+        assert p.member_sizes == (2, 3)
+        assert p.num_instances == 5
+        assert p.warp_cursors == "per_member"
+
+    def test_stateful_program_cannot_coalesce(self, graph):
+        info = get_algorithm("forest_fire_sampling")
+        with pytest.raises(PlanError, match="stateful"):
+            plan(PlanRequest(
+                graph=graph,
+                program=info.program_factory(),
+                config=info.config_factory(),
+                members=[make_instances([0]), make_instances([1])],
+                force_route="coalesced",
+            ))
+
+    def test_sharded_plan_uses_boundaries(self, graph):
+        import numpy as np
+
+        p = make_plan(
+            graph,
+            force_route="sharded",
+            boundaries=np.array([0, 100, 200]),
+        )
+        assert p.layout.kind == "shard_ranges"
+        assert p.layout.num_partitions == 2
+        assert p.warp_cursors == "per_walker"
+
+    def test_empty_graph_rejected(self):
+        from repro.graph.csr import CSRGraph
+        import numpy as np
+
+        empty = CSRGraph(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64))
+        with pytest.raises(PlanError, match="empty graph"):
+            make_plan(empty, instances=make_instances([0]))
+
+    def test_plan_is_picklable(self, graph):
+        p = make_plan(graph)
+        clone = pickle.loads(pickle.dumps(p))
+        assert clone.route == p.route
+        assert clone.predicted_cost.as_dict() == p.predicted_cost.as_dict()
+
+    def test_unknown_route_rejected(self, graph):
+        with pytest.raises(ValueError, match="unknown route"):
+            ExecutionPlan(route="warp_drive", config=default_config("deepwalk"))
+
+
+class TestExplain:
+    def test_explain_mentions_route_layout_and_cost(self, graph):
+        p = make_plan(
+            graph,
+            force_route="out_of_memory",
+            oom_config=OutOfMemoryConfig.fully_optimized(num_partitions=4),
+            memory_budget_bytes=graph.nbytes // 4,
+        )
+        text = p.explain()
+        assert "route=out_of_memory" in text
+        assert "over budget" in text
+        assert "4 scheduled partitions" in text
+        assert "BA+WS+BAL" in text
+        assert "predicted:" in text
+
+    def test_summary_is_flat_and_picklable(self, graph):
+        summary = make_plan(graph).summary()
+        assert summary["route"] == "in_memory"
+        assert "explain" in summary
+        pickle.dumps(summary)
+
+
+class TestScalePlan:
+    def test_multi_member_unit_becomes_coalesced(self, graph):
+        base = make_plan(graph, force_route="in_memory")
+        unit = scale_plan(base, [2, 3, 1])
+        assert unit.route == "coalesced"
+        assert unit.warp_cursors == "per_member"
+        assert unit.member_sizes == (2, 3, 1)
+        assert unit.num_instances == 6
+
+    def test_predicted_cost_scales_with_instances(self, graph):
+        base = make_plan(graph, force_route="in_memory")
+        small = scale_plan(base, [10])
+        large = scale_plan(base, [1000])
+        assert large.predicted_cost.rng_draws == 100 * small.predicted_cost.rng_draws
+        assert large.predicted_time_s > small.predicted_time_s
+
+    def test_sharded_route_survives_scaling(self, graph):
+        import numpy as np
+
+        base = make_plan(
+            graph, force_route="sharded", boundaries=np.array([0, 100, 200])
+        )
+        unit = scale_plan(base, [4])
+        assert unit.route == "sharded"
+        assert unit.warp_cursors == "per_walker"
+
+
+class TestSeedValidationUniformity:
+    """One error type across every entry point (the satellite contract)."""
+
+    def test_tuple_validator_flags(self):
+        with pytest.raises(SeedValidationError, match="at least one seed"):
+            validate_seed_tuples((), 10)
+        with pytest.raises(SeedValidationError, match="outside"):
+            validate_seed_tuples((5, 12), 10)
+        with pytest.raises(SeedValidationError, match="no seed"):
+            validate_seed_tuples(((), (1,)), 10)
+        with pytest.raises(SeedValidationError, match="duplicate"):
+            validate_seed_tuples(((1, 1, 2),), 10, reject_duplicates=True)
+        assert validate_seed_tuples(((1, 1, 2),), 10) == 1  # walks: allowed
+        assert validate_seed_tuples((1, 2), 10, num_instances=8) == 8
+
+    def test_truncation_matches_make_instances(self):
+        """num_instances < len(seeds) drops the tail before instances are
+        built, so the tuple validator must ignore the dropped seeds exactly
+        as a standalone sampler would."""
+        assert validate_seed_tuples((5, 10**9), 100, num_instances=1) == 1
+        with pytest.raises(SeedValidationError, match="outside"):
+            validate_seed_tuples((10**9, 5), 100, num_instances=1)
+        assert validate_seed_tuples(((1,), (10**9,)), 100, num_instances=1) == 1
+
+    def test_graph_sampler_raises_seed_validation_error(self, graph):
+        from repro.api.sampler import GraphSampler
+
+        info = get_algorithm("unbiased_neighbor_sampling")
+        sampler = GraphSampler(graph, info.program_factory(), info.config_factory())
+        with pytest.raises(SeedValidationError):
+            sampler.run([graph.num_vertices + 5])
+        with pytest.raises(SeedValidationError, match="duplicate"):
+            sampler.run([[1, 1, 2]])
+
+    def test_oom_sampler_raises_seed_validation_error(self, graph):
+        from repro.oom.scheduler import OutOfMemorySampler
+
+        info = get_algorithm("deepwalk")
+        sampler = OutOfMemorySampler(
+            graph, info.program_factory(), info.config_factory()
+        )
+        with pytest.raises(SeedValidationError):
+            sampler.run([-1])
+
+    def test_run_coalesced_raises_seed_validation_error(self, graph):
+        from repro.engine.hetero import run_coalesced
+
+        info = get_algorithm("deepwalk")
+        with pytest.raises(SeedValidationError):
+            run_coalesced(
+                graph, info.program_factory(), info.config_factory(),
+                [make_instances([0]), make_instances([graph.num_vertices])],
+            )
+
+    def test_cluster_raises_seed_validation_error(self, graph):
+        from repro.distributed import ShardedSamplingCluster
+
+        cluster = ShardedSamplingCluster(graph, "deepwalk", num_shards=2)
+        with pytest.raises(SeedValidationError):
+            cluster.run([0, graph.num_vertices + 1])
+
+    def test_error_is_a_value_error(self):
+        assert issubclass(SeedValidationError, ValueError)
+        assert issubclass(SeedValidationError, PlanError)
+
+    def test_empty_seed_list_is_uniform_too(self, graph):
+        from repro.api.instance import make_instances as mk
+        from repro.api.requests import SampleRequest
+
+        with pytest.raises(SeedValidationError, match="at least one seed"):
+            mk([])
+        with pytest.raises(SeedValidationError, match="at least one seed"):
+            SampleRequest(graph="g", algorithm="deepwalk", seeds=())
+
+
+class TestCostModelPrediction:
+    def test_graph_stats_average_degree(self):
+        stats = GraphStats(100, 500, 8000)
+        assert stats.average_degree == 5.0
+        assert GraphStats(0, 0, 0).average_degree == 0.0
+
+    def test_oom_prediction_charges_transfers(self, graph):
+        from repro.planner.cost import predict_cost
+
+        cfg = default_config("deepwalk")
+        in_mem = predict_cost(graph, cfg, 100)
+        oom = predict_cost(
+            graph, cfg, 100,
+            route="out_of_memory", num_partitions=4, max_resident_partitions=2,
+        )
+        assert in_mem.h2d_bytes == 0
+        assert oom.h2d_bytes > 0
+        assert oom.partition_transfers > 0
+
+    def test_sharded_prediction_beats_serial(self, graph):
+        from repro.planner.cost import predict_time_s
+
+        cfg = default_config("deepwalk")
+        sharded = predict_time_s(graph, cfg, 1000, route="sharded", num_shards=8)
+        serial = predict_time_s(graph, cfg, 1000)
+        assert sharded < serial
+
+
+class TestExecutorContracts:
+    def test_coalesced_plan_needs_members(self, graph):
+        from repro.planner.executor import Executor
+
+        info = get_algorithm("deepwalk")
+        p = plan(PlanRequest(
+            graph=graph,
+            program=info.program_factory(),
+            config=info.config_factory(),
+            members=[make_instances([0]), make_instances([1])],
+            force_route="coalesced",
+        ))
+        with pytest.raises(ValueError, match="member instance lists"):
+            Executor(p, graph).execute(instances=make_instances([0]))
+
+    def test_standalone_plan_needs_instances(self, graph):
+        from repro.planner.executor import Executor
+
+        p = make_plan(graph, force_route="in_memory")
+        with pytest.raises(ValueError, match="needs instances"):
+            Executor(p, graph).execute()
+
+    def test_plan_without_graph_needs_stats(self):
+        with pytest.raises(PlanError, match="graph or explicit graph stats"):
+            plan(PlanRequest(algorithm="deepwalk"))
+
+    def test_plan_without_config_or_algorithm(self, graph):
+        with pytest.raises(PlanError, match="config or a registry algorithm"):
+            plan(PlanRequest(graph=graph, instances=make_instances([0])))
+
+
+class TestPartitionLayoutDescribe:
+    def test_describe_variants(self):
+        nbytes = 10 * 1024 * 1024
+        assert "no partitioning" in PartitionLayout().describe(nbytes)
+        oom = PartitionLayout(
+            kind="oom_partitions", num_partitions=4,
+            oom=OutOfMemoryConfig.batched_only(num_partitions=4),
+        )
+        assert "BA" in oom.describe(nbytes)
+        shards = PartitionLayout(
+            kind="shard_ranges", num_partitions=2, boundaries=(0, 5, 10)
+        )
+        assert "2 cluster shards" in shards.describe(nbytes)
