@@ -48,8 +48,12 @@ def run_workload(graph, seeds, num_instances, name, overrides):
     for label, use_engine in (("scalar", False), ("engine", True)):
         best = float("inf")
         for _ in range(2):  # best-of-2 to absorb machine noise
+            # use_compiled=False pins the interpreted engine: this benchmark
+            # measures the batched engine itself, not the compiled tier on
+            # top of it (that is bench_compiled_speedup.py's job).
             sampler = GraphSampler(
-                graph, info.program_factory(), config, use_engine=use_engine
+                graph, info.program_factory(), config,
+                use_engine=use_engine, use_compiled=False,
             )
             start = time.perf_counter()
             results[label] = sampler.run(seeds, num_instances=num_instances)

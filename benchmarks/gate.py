@@ -1,0 +1,150 @@
+"""CI perf-regression gate: compare benchmark results against saved baselines.
+
+The planner benchmarks record machine-readable rows (route, wall time,
+predicted vs actual cost) into ``benchmarks/results/BENCH_planner.json``;
+this gate compares a fresh run against the baselines persisted under
+``benchmarks/baselines/`` and **fails** (exit code 1) when any record's wall
+time regressed by more than the tolerance (default 25%).
+
+Records are keyed by ``(bench, route)``.  Records present only in the
+current results (new benchmarks) or only in the baseline (partial runs) are
+reported but never fail the gate -- a smoke run of one benchmark must not
+trip on the records it did not produce.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/gate.py                 # compare
+    PYTHONPATH=src python benchmarks/gate.py --tolerance 0.4 # looser gate
+    PYTHONPATH=src python benchmarks/gate.py --update        # accept current
+
+Exit codes: 0 within tolerance, 1 regression detected, 2 usage error
+(missing/unreadable files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_RESULTS = BENCH_DIR / "results" / "BENCH_planner.json"
+DEFAULT_BASELINE = BENCH_DIR / "baselines" / "BENCH_planner.json"
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_METRIC = "wall_time_s"
+
+Key = Tuple[str, str]
+
+
+def load_records(path: Path) -> Dict[Key, dict]:
+    """Index a benchmark-results JSON list by ``(bench, route)``."""
+    rows = json.loads(path.read_text())
+    return {(str(r.get("bench")), str(r.get("route"))): r for r in rows}
+
+
+def compare(
+    current: Dict[Key, dict],
+    baseline: Dict[Key, dict],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    metric: str = DEFAULT_METRIC,
+) -> Tuple[List[str], List[str]]:
+    """Trend lines plus the regressions exceeding the tolerance."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    for key in sorted(set(current) | set(baseline), key=str):
+        bench, route = key
+        label = f"{bench}/{route}"
+        cur = current.get(key)
+        base = baseline.get(key)
+        if cur is None:
+            lines.append(f"  {label:44s} baseline only (not in this run)")
+            continue
+        if base is None:
+            lines.append(f"  {label:44s} new record (no baseline)")
+            continue
+        cur_v = float(cur.get(metric, 0.0))
+        base_v = float(base.get(metric, 0.0))
+        if base_v <= 0.0:
+            lines.append(f"  {label:44s} baseline {metric} <= 0, skipped")
+            continue
+        ratio = cur_v / base_v
+        delta = (ratio - 1.0) * 100.0
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"{label}: {metric} {cur_v:.4g}s vs baseline {base_v:.4g}s "
+                f"({delta:+.1f}% > +{tolerance * 100:.0f}% tolerance)"
+            )
+        lines.append(
+            f"  {label:44s} {base_v:10.4g}s -> {cur_v:10.4g}s "
+            f"({delta:+7.1f}%)  {verdict}"
+        )
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--results", type=Path, default=DEFAULT_RESULTS,
+        help="fresh benchmark results (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="saved baseline to gate against (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional wall-time increase (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--metric", default=DEFAULT_METRIC,
+        help="record field to compare (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="accept the current results as the new baseline and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.results.is_file():
+        print(f"gate: results file not found: {args.results}", file=sys.stderr)
+        return 2
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(args.results, args.baseline)
+        print(f"gate: baseline updated from {args.results}")
+        return 0
+    if not args.baseline.is_file():
+        print(f"gate: baseline file not found: {args.baseline}", file=sys.stderr)
+        return 2
+    try:
+        current = load_records(args.results)
+        baseline = load_records(args.baseline)
+    except (json.JSONDecodeError, OSError) as exc:
+        print(f"gate: cannot read records: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"perf gate: {args.metric}, tolerance +{args.tolerance * 100:.0f}% "
+        f"({args.results.name} vs baselines/{args.baseline.name})"
+    )
+    lines, regressions = compare(
+        current, baseline, tolerance=args.tolerance, metric=args.metric
+    )
+    for line in lines:
+        print(line)
+    if regressions:
+        for regression in regressions:
+            print("FAIL:", regression)
+        return 1
+    print("OK: no regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

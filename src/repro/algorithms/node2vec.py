@@ -30,12 +30,16 @@ class Node2Vec(SamplingProgram):
 
     name = "node2vec"
     supports_coalescing = True  # hooks are pure functions of their arguments
+    compiled_bias = "node2vec"
 
     def __init__(self, p: float = 1.0, q: float = 1.0):
         if p <= 0 or q <= 0:
             raise ValueError("node2vec parameters p and q must be positive")
         self.p = float(p)
         self.q = float(q)
+
+    def compiled_cache_token(self) -> object:
+        return (self.p, self.q)
 
     def edge_bias(self, edges: EdgePool) -> np.ndarray:
         weights = np.asarray(edges.weights, dtype=np.float64)

@@ -42,6 +42,7 @@ class SimpleRandomWalk(SamplingProgram):
 
     name = "simple_random_walk"
     supports_coalescing = True  # hooks are pure functions of their arguments
+    compiled_bias = "uniform"
 
     def edge_bias(self, edges: EdgePool) -> np.ndarray:
         return np.ones(edges.size, dtype=np.float64)
@@ -75,6 +76,7 @@ class BiasedRandomWalk(SimpleRandomWalk):
     """Static-bias random walk: edge weight (or neighbor degree) as the bias."""
 
     name = "biased_random_walk"
+    compiled_bias = "weight_or_degree"  # overrides the inherited "uniform"
 
     def edge_bias(self, edges: EdgePool) -> np.ndarray:
         if edges.graph.is_weighted:

@@ -21,7 +21,7 @@ Two context views are passed to the hooks:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
@@ -192,6 +192,25 @@ class SamplingProgram:
     #: break the service's bit-identity guarantee, so the default keeps
     #: unknown programs at one request per batch.
     supports_coalescing: bool = False
+
+    #: Bias kind the compiled tier (:mod:`repro.compiled`) may specialise
+    #: for, or ``None`` (the default) to always interpret.  Declaring a kind
+    #: is a promise that ``edge_bias`` / ``edge_bias_batch`` compute exactly
+    #: that formula: ``"uniform"`` (all ones), ``"weight_or_degree"`` (edge
+    #: weight on weighted graphs, neighbor degree + 1 otherwise) or
+    #: ``"node2vec"`` (the p/q second-order bias).  The compiler additionally
+    #: verifies the other hooks are the defaults before fusing.
+    compiled_bias: Optional[str] = None
+
+    def compiled_cache_token(self) -> object:
+        """Hashable instance parameters the compiled kernel depends on.
+
+        Programs whose bias formula has per-instance parameters (node2vec's
+        ``p``/``q``) return them here so differently parameterised instances
+        never share a cached kernel.  ``None`` (the default) means the class
+        alone identifies the bias.
+        """
+        return None
 
     # ------------------------------------------------------------------ #
     # The paper's three API functions

@@ -63,6 +63,7 @@ class GraphSampler:
         device: Optional[Device] = None,
         *,
         use_engine: bool = True,
+        use_compiled: Optional[bool] = None,
     ):
         from repro.graph.delta import as_csr
 
@@ -75,6 +76,9 @@ class GraphSampler:
         self.device = device if device is not None else make_device("gpu")
         self.rng = CounterRNG(config.seed)
         self.use_engine = use_engine
+        # The compiled tier replaces the engine depth loop, so it is only
+        # meaningful when the engine path is active.
+        self.use_compiled = use_compiled if use_engine else False
         self.engine = BatchedStepEngine(graph, program, config, self.rng)
         self._warp_counter = 0
 
@@ -89,6 +93,7 @@ class GraphSampler:
             config=self.config,
             instances=instances,
             force_route="in_memory",
+            allow_compiled=self.use_compiled,
         ))
 
     def plan(
@@ -114,14 +119,22 @@ class GraphSampler:
         from repro.planner.executor import Executor
 
         instances = make_instances(seeds, num_instances=num_instances)
+        execution_plan = self._plan(instances)
+        compiled_kernel = None
+        if execution_plan.step_tier == "compiled":
+            from repro.compiled import get_kernel_spec, instantiate_kernel
+
+            spec = get_kernel_spec(self.program, self.config, execution_plan)
+            compiled_kernel = instantiate_kernel(spec, self.engine)
         executor = Executor(
-            self._plan(instances),
+            execution_plan,
             self.graph,
             program=self.program,
             engine=self.engine,
             device=self.device,
             use_engine=self.use_engine,
             scalar_step=self._step_instance,
+            compiled_kernel=compiled_kernel,
         )
         return executor.execute(instances)
 
@@ -361,9 +374,15 @@ def sample_graph(
     num_instances: Optional[int] = None,
     device: Optional[Device] = None,
     use_engine: bool = True,
+    use_compiled: Optional[bool] = None,
 ) -> SampleResult:
     """One-call convenience wrapper around :class:`GraphSampler`."""
     sampler = GraphSampler(
-        graph, program, config or SamplingConfig(), device, use_engine=use_engine
+        graph,
+        program,
+        config or SamplingConfig(),
+        device,
+        use_engine=use_engine,
+        use_compiled=use_compiled,
     )
     return sampler.run(seeds, num_instances=num_instances)

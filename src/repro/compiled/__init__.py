@@ -1,0 +1,67 @@
+"""Compiled step kernels: plan-specialized fused execution (the compiled tier).
+
+The interpreted engine (:mod:`repro.engine.step`) re-decides everything per
+step: which hooks a program overrides, how biases are evaluated, whether the
+dedup detector is needed, how warp cursors advance.  For the plans that
+dominate real workloads -- walk-shaped configs whose programs declare a
+recognised bias kind -- all of those decisions are already fixed at plan
+time, so this package compiles them *out*: a
+:class:`~repro.compiled.compiler.KernelCompiler` inspects ``(algorithm,
+config, plan)`` once and emits a fused per-depth callable
+(:class:`~repro.compiled.walk_kernel.CompiledWalkKernel`) that keeps every
+walker in flat arrays across depths, skips program-hook dispatch entirely,
+and -- for uniform-bias walks -- never materialises biases or gathered
+neighbor pools at all.
+
+Two backends sit behind one interface:
+
+* ``"numpy"`` -- the always-available fused ndarray program;
+* ``"numba"`` -- an optional ``@njit`` inner loop for the uniform-bias
+  select, auto-detected at import (:data:`NUMBA_AVAILABLE`) and exercised by
+  the CI ``compiled-smoke`` job's with-numba leg.
+
+Bit-compatibility is the contract: the compiled kernel draws the same
+``(instance, depth, slot, warp, lane, attempt)`` RNG keys and charges the
+same per-segment cost-model counters as the interpreted engine, so samples,
+iteration counts, per-kernel records and simulated times are identical
+(asserted by the compiled axis of
+``tests/integration/test_cross_route_matrix.py``).  See ``docs/compiled.md``.
+"""
+
+from repro.compiled.backends import (
+    NUMBA_AVAILABLE,
+    available_backends,
+    backend_fingerprint,
+    compiled_enabled,
+    force_backend,
+    select_backend,
+)
+from repro.compiled.compiler import (
+    CompileDecision,
+    CompiledKernelSpec,
+    clear_kernel_cache,
+    compile_decision,
+    get_kernel_spec,
+    instantiate_kernel,
+    kernel_cache_stats,
+    plan_shape,
+    plan_step_tier,
+)
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "available_backends",
+    "backend_fingerprint",
+    "compiled_enabled",
+    "force_backend",
+    "select_backend",
+    "CompileDecision",
+    "CompiledKernelSpec",
+    "clear_kernel_cache",
+    "compile_decision",
+    "get_kernel_spec",
+    "instantiate_kernel",
+    "kernel_cache_stats",
+    "plan_shape",
+    "plan_step_tier",
+]

@@ -1,0 +1,86 @@
+"""Backend detection and selection for the compiled tier.
+
+Two backends sit behind one interface: the pure-numpy fused ndarray program
+(always available) and an optional numba ``@njit`` inner loop, auto-detected
+at import.  The active backend is part of every kernel-cache key (via
+:func:`backend_fingerprint`), so flipping numba availability -- or forcing a
+backend in a test -- can never serve a stale kernel.
+
+The whole tier can be switched off with ``REPRO_COMPILED=0`` (also ``false``
+/ ``off``); the planner then costs every plan as interpreted.
+"""
+
+import contextlib
+import os
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "available_backends",
+    "backend_fingerprint",
+    "compiled_enabled",
+    "force_backend",
+    "select_backend",
+]
+
+try:  # pragma: no cover - exercised only on hosts with numba installed
+    from numba import njit as _njit  # noqa: F401
+
+    NUMBA_AVAILABLE = True
+except ImportError:
+    NUMBA_AVAILABLE = False
+
+_DISABLED_VALUES = ("0", "false", "off", "no")
+
+# Test/benchmark override: None means "auto" (numba when available).
+_backend_override = None
+
+
+def compiled_enabled():
+    """Whether the compiled tier is enabled for this process."""
+    value = os.environ.get("REPRO_COMPILED", "").strip().lower()
+    return value not in _DISABLED_VALUES
+
+
+def available_backends():
+    """Backends usable in this process, best first."""
+    backends = ["numpy"]
+    if NUMBA_AVAILABLE:
+        backends.insert(0, "numba")
+    return tuple(backends)
+
+
+def select_backend():
+    """The backend new kernels compile for (override > auto-detect)."""
+    if _backend_override is not None:
+        return _backend_override
+    return "numba" if NUMBA_AVAILABLE else "numpy"
+
+
+def backend_fingerprint():
+    """Cache-key component tying kernels to the backend environment.
+
+    Includes the raw availability bit *and* any override so that a kernel
+    compiled under one regime is never reused under another.
+    """
+    return (NUMBA_AVAILABLE, _backend_override)
+
+
+@contextlib.contextmanager
+def force_backend(name):
+    """Temporarily pin the backend (``"numpy"`` or ``"numba"``).
+
+    Used by the speedup benchmark to time both backends and by tests to
+    exercise the numpy path on numba hosts.  Forcing ``"numba"`` on a host
+    without numba raises immediately rather than failing at kernel time.
+    """
+    global _backend_override
+    if name not in ("numpy", "numba"):
+        raise ValueError(f"unknown compiled backend: {name!r}")
+    if name == "numba" and not NUMBA_AVAILABLE:
+        raise RuntimeError("numba backend requested but numba is not importable")
+    previous = _backend_override
+    _backend_override = name
+    try:
+        yield
+    finally:
+        _backend_override = previous

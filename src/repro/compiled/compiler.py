@@ -1,0 +1,265 @@
+"""The kernel compiler: plan-time specialisation decisions and the kernel cache.
+
+``compile_decision`` is the static eligibility check: a program compiles when
+it *declares* a recognised bias kind (``SamplingProgram.compiled_bias``) and
+the (program, config) pair proves every interpreted fallback unused -- default
+accept/update/neighbor-count hooks, per-vertex scope, whole-pool frontiers
+(``frontier_size == 0``), with-replacement selection, ``NEXT_LAYER`` pools and
+no visited tracking.  Eligibility deliberately never inspects instances: the
+service plans without them, and the fused kernel handles ragged multi-vertex
+pools generally.
+
+``plan_step_tier`` is the planner's entry point: it combines the eligibility
+check with the route (only the in-memory and coalesced routes drive the
+engine's depth loop directly), the process-wide enable switch, and the
+calibrated cost comparison from :mod:`repro.planner.calibration` -- falling
+back to interpretation with a recorded reason whenever any gate fails, so
+``ExecutionPlan.explain()`` can say *why* a plan interprets.
+
+Compiled kernels are cached per ``(program identity + cache token, config,
+plan shape, backend fingerprint)`` so compilation cost amortises across
+service requests; flipping numba availability or forcing a backend changes
+the fingerprint and can never serve a stale kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.api.bias import SamplingProgram
+from repro.api.config import PoolPolicy, SamplingConfig, SelectionScope
+from repro.compiled.backends import (
+    backend_fingerprint,
+    compiled_enabled,
+    select_backend,
+)
+
+__all__ = [
+    "CompileDecision",
+    "CompiledKernelSpec",
+    "clear_kernel_cache",
+    "compile_decision",
+    "get_kernel_spec",
+    "instantiate_kernel",
+    "kernel_cache_stats",
+    "plan_shape",
+    "plan_step_tier",
+]
+
+#: Bias kinds the fused walk kernel implements.
+KNOWN_KINDS = ("uniform", "weight_or_degree", "node2vec")
+
+#: Routes whose executor drives the engine depth loop directly (the sharded
+#: route steps through shard workers, the OOM route through expand_entries).
+COMPILABLE_ROUTES = ("in_memory", "coalesced")
+
+
+@dataclass(frozen=True)
+class CompileDecision:
+    """Outcome of the static eligibility check for one (program, config)."""
+
+    eligible: bool
+    #: The declared bias kind when eligible.
+    kind: Optional[str] = None
+    #: Why compilation was refused (``explain()`` surfaces it).
+    reason: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CompiledKernelSpec:
+    """What the cache stores: enough to instantiate a kernel per engine."""
+
+    kind: str
+    backend: str
+
+
+# --------------------------------------------------------------------------- #
+# Eligibility
+# --------------------------------------------------------------------------- #
+def compile_decision(
+    program: SamplingProgram, config: SamplingConfig
+) -> CompileDecision:
+    """Static check: can this (program, config) run on the fused walk kernel?"""
+    cls = type(program)
+    kind = getattr(program, "compiled_bias", None)
+    if kind is None:
+        return CompileDecision(
+            False, reason="program declares no compiled bias kind"
+        )
+    if kind not in KNOWN_KINDS:
+        return CompileDecision(
+            False, reason=f"unknown compiled bias kind {kind!r}"
+        )
+    if cls.accept is not SamplingProgram.accept:
+        return CompileDecision(False, reason="program overrides accept")
+    if cls.update is not SamplingProgram.update:
+        return CompileDecision(False, reason="program overrides update")
+    if cls.neighbor_count is not SamplingProgram.neighbor_count:
+        return CompileDecision(
+            False, reason="program overrides neighbor_count"
+        )
+    if config.scope is not SelectionScope.PER_VERTEX:
+        return CompileDecision(False, reason="per-layer selection scope")
+    if config.frontier_size != 0:
+        return CompileDecision(
+            False, reason="frontier selection enabled (frontier_size > 0)"
+        )
+    if not config.with_replacement:
+        return CompileDecision(
+            False, reason="selection without replacement (dedup detector)"
+        )
+    if config.pool_policy is not PoolPolicy.NEXT_LAYER:
+        return CompileDecision(False, reason="non-NEXT_LAYER pool policy")
+    if config.track_visited:
+        return CompileDecision(False, reason="visited tracking enabled")
+    return CompileDecision(True, kind=kind)
+
+
+# --------------------------------------------------------------------------- #
+# Kernel cache
+# --------------------------------------------------------------------------- #
+_KERNEL_CACHE: Dict[tuple, CompiledKernelSpec] = {}
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+def plan_shape(plan) -> Tuple[str, str, int]:
+    """The plan properties a cached kernel is specialised to.
+
+    Instance *counts* are deliberately excluded (the kernel is shape-generic
+    over walkers); what matters is the execution topology: the route, the
+    warp-cursor regime and the fusion-group count (grouped vs global warp
+    allocation compile to different cursor-advance code paths).
+    """
+    return (plan.route, plan.warp_cursors, len(plan.member_sizes))
+
+
+def _cache_key(program: SamplingProgram, config: SamplingConfig, plan) -> tuple:
+    cls = type(program)
+    return (
+        f"{cls.__module__}.{cls.__qualname__}",
+        program.compiled_cache_token(),
+        config,
+        plan_shape(plan),
+        backend_fingerprint(),
+    )
+
+
+def get_kernel_spec(
+    program: SamplingProgram, config: SamplingConfig, plan
+) -> CompiledKernelSpec:
+    """The cached kernel spec for an eligible (program, config, plan).
+
+    Raises ``ValueError`` when the combination is not compilable -- callers
+    gate on :func:`compile_decision` / ``plan.step_tier`` first.
+    """
+    global _CACHE_HITS, _CACHE_MISSES
+    key = _cache_key(program, config, plan)
+    spec = _KERNEL_CACHE.get(key)
+    if spec is not None:
+        _CACHE_HITS += 1
+        return spec
+    decision = compile_decision(program, config)
+    if not decision.eligible:
+        raise ValueError(f"plan is not compilable: {decision.reason}")
+    # Only the uniform kind has a fused scalar inner loop worth jitting; the
+    # non-uniform kinds reuse the segmented numpy SELECT verbatim.
+    backend = select_backend() if decision.kind == "uniform" else "numpy"
+    spec = CompiledKernelSpec(kind=decision.kind, backend=backend)
+    _KERNEL_CACHE[key] = spec
+    _CACHE_MISSES += 1
+    return spec
+
+
+def instantiate_kernel(spec: CompiledKernelSpec, engine):
+    """Bind a cached spec to a live engine (RNG + warp cursors shared)."""
+    from repro.compiled.walk_kernel import CompiledWalkKernel
+
+    return CompiledWalkKernel(engine, kind=spec.kind, backend=spec.backend)
+
+
+def kernel_cache_stats() -> Dict[str, int]:
+    """Cache effectiveness counters (service metrics / tests)."""
+    return {
+        "entries": len(_KERNEL_CACHE),
+        "hits": _CACHE_HITS,
+        "misses": _CACHE_MISSES,
+    }
+
+
+def clear_kernel_cache() -> None:
+    """Drop every cached kernel and reset the hit/miss counters."""
+    global _CACHE_HITS, _CACHE_MISSES
+    _KERNEL_CACHE.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0
+
+
+# --------------------------------------------------------------------------- #
+# The planner's tier decision
+# --------------------------------------------------------------------------- #
+_PROBE_CACHE: Dict[str, Optional[SamplingProgram]] = {}
+
+
+def _probe_program(algorithm: str) -> Optional[SamplingProgram]:
+    """Registry probe for service plans that carry no program object."""
+    if algorithm in _PROBE_CACHE:
+        return _PROBE_CACHE[algorithm]
+    from repro.algorithms.registry import ALGORITHM_REGISTRY
+
+    info = ALGORITHM_REGISTRY.get(algorithm)
+    program = info.program_factory() if info is not None else None
+    _PROBE_CACHE[algorithm] = program
+    return program
+
+
+def plan_step_tier(
+    config: SamplingConfig,
+    route: str,
+    predicted_time_s: float,
+    *,
+    program: Optional[SamplingProgram] = None,
+    algorithm: Optional[str] = None,
+    allow_compiled: Optional[bool] = None,
+) -> Tuple[str, Optional[str], Optional[str]]:
+    """Decide the step tier for one plan: ``(tier, backend, fallback_reason)``.
+
+    ``allow_compiled`` is the request knob: ``False`` disables the tier,
+    ``True`` forces it for eligible plans (skipping the cost comparison),
+    ``None`` lets the calibrated cost model decide.  The returned fallback
+    reason is ``None`` exactly when the tier is ``"compiled"``.
+    """
+    if allow_compiled is False:
+        return "interpreted", None, "compiled tier disabled by request"
+    if not compiled_enabled():
+        return "interpreted", None, "compiled tier disabled (REPRO_COMPILED)"
+    if route not in COMPILABLE_ROUTES:
+        return (
+            "interpreted",
+            None,
+            f"route {route!r} does not drive the engine depth loop",
+        )
+    if program is None and algorithm is not None:
+        program = _probe_program(algorithm)
+    if program is None:
+        return "interpreted", None, "program unknown at plan time"
+    decision = compile_decision(program, config)
+    if not decision.eligible:
+        return "interpreted", None, decision.reason
+    backend = select_backend() if decision.kind == "uniform" else "numpy"
+    if allow_compiled is None:
+        from repro.planner.calibration import load_calibration
+
+        cal = load_calibration()
+        interpreted_s = float(predicted_time_s) * cal.time_scale
+        compiled_s = (
+            cal.compiled_overhead_s + interpreted_s / cal.compiled_speedup
+        )
+        if compiled_s > interpreted_s:
+            return (
+                "interpreted",
+                None,
+                "interpretation predicted faster than compilation",
+            )
+    return "compiled", backend, None

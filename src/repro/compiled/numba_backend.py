@@ -1,0 +1,107 @@
+"""Optional numba ``@njit`` inner loop for the uniform-bias SELECT.
+
+The compiled walk kernel's uniform specialisation reduces each draw to "hash
+five stream coordinates, binary-search the result against ``(b + 1) / n``".
+That is a scalar loop numba compiles well, so when numba is importable the
+kernel fuses RNG generation and search into one ``@njit`` pass instead of a
+numpy round trip.
+
+Bit-compat notes (why every constant below is ``np.uint64``):
+
+* numba promotes ``uint64 (op) signed-int`` to ``float64``, silently breaking
+  the wrap-around arithmetic -- all operands, including shift amounts, are
+  kept as ``np.uint64``;
+* ``np.float64(bits) / 2**64`` matches ``bits.astype(np.float64) / 2**64``
+  (one IEEE round on conversion; the division by an exact power of two is
+  exact), so the draws equal :meth:`CounterRNG.uniform` bit for bit;
+* the fold order and per-coordinate golden-ratio offsets replicate
+  :meth:`CounterRNG._counter` for exactly five coordinates.
+
+The module never imports numba at module scope; :func:`get_uniform_select`
+builds (and caches) the jitted function on first use and raises if numba is
+unavailable, so importing :mod:`repro.compiled` stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiled.backends import NUMBA_AVAILABLE
+
+__all__ = ["get_uniform_select"]
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_DENOM = np.float64(2.0**64)
+
+_FN = None
+
+
+def get_uniform_select():
+    """The jitted ``(seed, c1..c5, n) -> local indices`` kernel (cached)."""
+    global _FN
+    if _FN is not None:
+        return _FN
+    if not NUMBA_AVAILABLE:
+        raise RuntimeError("numba backend requested but numba is not importable")
+    from numba import njit
+
+    golden = _GOLDEN
+    mix1 = _MIX1
+    mix2 = _MIX2
+    denom = _DENOM
+    # Per-coordinate offsets: coordinate i is folded as (c + (i+1) * GOLDEN).
+    with np.errstate(over="ignore"):
+        g1 = np.uint64(1) * golden
+        g2 = np.uint64(2) * golden
+        g3 = np.uint64(3) * golden
+        g4 = np.uint64(4) * golden
+        g5 = np.uint64(5) * golden
+    s30 = np.uint64(30)
+    s27 = np.uint64(27)
+    s31 = np.uint64(31)
+
+    @njit(cache=False)
+    def uniform_select(seed, c1, c2, c3, c4, c5, n):
+        out = np.empty(n.size, np.int64)
+        for j in range(n.size):
+            acc = seed
+            # splitmix64(acc ^ (c_i + (i+1) * GOLDEN)) for i = 1..5
+            z = (acc ^ (c1[j] + g1)) + golden
+            z = (z ^ (z >> s30)) * mix1
+            z = (z ^ (z >> s27)) * mix2
+            acc = z ^ (z >> s31)
+            z = (acc ^ (c2[j] + g2)) + golden
+            z = (z ^ (z >> s30)) * mix1
+            z = (z ^ (z >> s27)) * mix2
+            acc = z ^ (z >> s31)
+            z = (acc ^ (c3[j] + g3)) + golden
+            z = (z ^ (z >> s30)) * mix1
+            z = (z ^ (z >> s27)) * mix2
+            acc = z ^ (z >> s31)
+            z = (acc ^ (c4[j] + g4)) + golden
+            z = (z ^ (z >> s30)) * mix1
+            z = (z ^ (z >> s27)) * mix2
+            acc = z ^ (z >> s31)
+            z = (acc ^ (c5[j] + g5)) + golden
+            z = (z ^ (z >> s30)) * mix1
+            z = (z ^ (z >> s27)) * mix2
+            acc = z ^ (z >> s31)
+            r = np.float64(acc) / denom
+            # Local binary search against the closed-form uniform CTPS.
+            nn = n[j]
+            nf = np.float64(nn)
+            lo = np.int64(0)
+            hi = nn - np.int64(1)
+            while lo < hi:
+                mid = (lo + hi) >> np.int64(1)
+                if np.float64(mid + np.int64(1)) / nf <= r:
+                    lo = mid + np.int64(1)
+                else:
+                    hi = mid
+            out[j] = lo
+        return out
+
+    _FN = uniform_select
+    return _FN

@@ -1,0 +1,451 @@
+"""The fused walk kernel: every depth step of every walker as flat arrays.
+
+:class:`CompiledWalkKernel` is what the :mod:`repro.compiled` tier emits for
+walk-shaped plans (``FrontierSize = 0``, with-replacement, ``NEXT_LAYER``,
+default accept/update hooks, a recognised bias kind).  Where the interpreted
+:class:`~repro.engine.step.BatchedStepEngine` re-dispatches program hooks,
+materialises a :class:`~repro.api.bias.SegmentedEdgePool` and walks a Python
+loop over allocated segments every step, the compiled kernel keeps the whole
+fleet of walkers in flat ndarrays across depths and defers *all* per-instance
+work (edge recording, iteration counts, state write-back) to one finalize
+pass after the last depth.
+
+Specialisations, by plan-proved properties:
+
+* ``kind="uniform"`` (SimpleRandomWalk / DeepWalk) -- biases are known to be
+  all-ones, so the kernel never materialises neighbor pools or bias arrays:
+  the CTPS over ones has the closed form ``F[b] = b / n``, the segmented scan
+  collapses to nothing, and SELECT becomes a direct local binary search of
+  each draw against ``(mid + 1) / n`` -- bitwise the probes the interpreted
+  :meth:`~repro.selection.segmented.SegmentedCTPS.search` computes on the
+  ones-prefix.  The per-draw loop optionally runs in the numba backend.
+* ``kind="weight_or_degree"`` (BiasedRandomWalk) and ``kind="node2vec"``
+  (Node2Vec) -- the bias formula is inlined (no hook dispatch), then the
+  selection reuses the segmented SELECT kernels verbatim, so non-uniform
+  draws are identical by construction.
+
+**Bit-compatibility contract.**  The kernel draws the same ``(instance,
+depth, slot, warp, lane)`` RNG keys, advances the engine's warp cursors in
+the same order, and charges every cost-model counter exactly as the
+interpreted path charges it (the uniform specialisation charges the closed
+forms of the scan/normalise/search work it skipped).  Samples, iteration
+counts, per-kernel cost records and warp-task counts are all identical; the
+compiled axis of ``tests/integration/test_cross_route_matrix.py`` and
+``tests/compiled/test_walk_kernel.py`` hold it to that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.instance import InstanceState
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.kernel import KernelLaunch
+from repro.selection.segmented import (
+    _ceil_log2,
+    concat_aranges,
+    segment_positive_counts,
+    segmented_warp_select,
+    take_segments,
+)
+
+__all__ = ["CompiledWalkKernel", "uniform_local_search"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def uniform_local_search(rs: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Binary-search each draw against the closed-form uniform CTPS.
+
+    For all-ones biases the unnormalised prefix of segment ``k`` is exactly
+    ``[1, 2, ..., n_k]`` (the segmented scan's integer fast path), so probe
+    ``b`` of :meth:`SegmentedCTPS.search` is ``float64(b + 1) / float64(n)``.
+    This computes the same probes from ``lengths`` alone -- no prefix array,
+    no segment offsets -- and therefore returns bit-identical local indices.
+    """
+    lo = np.zeros(rs.size, dtype=np.int64)
+    hi = lengths - 1
+    nf = lengths.astype(np.float64)
+    active = lo < hi
+    while np.any(active):
+        mid = (lo + hi) >> 1
+        probe = (mid + 1).astype(np.float64) / nf
+        go_right = active & (probe <= rs)
+        stay = active & ~go_right
+        lo[go_right] = mid[go_right] + 1
+        hi[stay] = mid[stay]
+        active = lo < hi
+    return lo
+
+
+class CompiledWalkKernel:
+    """Plan-specialised fused per-depth callable for walk-shaped plans.
+
+    Instantiated by :func:`repro.compiled.compiler.instantiate_kernel` around
+    a live :class:`~repro.engine.step.BatchedStepEngine` (whose RNG and warp
+    cursors it shares, so interleaving compiled and interpreted runs on one
+    sampler keeps a single warp-id stream).  :meth:`run` replaces the
+    executor's ``_depth_loop`` wholesale.
+    """
+
+    def __init__(self, engine, *, kind: str, backend: str):
+        if kind not in ("uniform", "weight_or_degree", "node2vec"):
+            raise ValueError(f"unknown compiled bias kind {kind!r}")
+        if backend not in ("numpy", "numba"):
+            raise ValueError(f"unknown compiled backend {backend!r}")
+        self.engine = engine
+        self.graph = engine.graph
+        self.program = engine.program
+        self.config = engine.config
+        self.rng = engine.rng
+        self.kind = kind
+        self.backend = backend
+        self._numba_select = None
+        if backend == "numba":
+            from repro.compiled.numba_backend import get_uniform_select
+
+            self._numba_select = get_uniform_select()
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self, instances: Sequence[InstanceState], sink
+    ) -> Tuple[List[KernelLaunch], CostModel]:
+        """Advance ``instances`` through every depth; return (kernels, cost).
+
+        Mutates the instances (pools, depth, prev_vertex, finished, recorded
+        edges), appends iteration counts to ``sink`` (plain list or grouped
+        sink) and advances the engine's warp cursors -- the same observable
+        effects as the interpreted depth loop, produced in bulk.
+        """
+        cfg = self.config
+        engine = self.engine
+        graph = self.graph
+        num = len(instances)
+        kernels: List[KernelLaunch] = []
+        total = CostModel()
+        if num == 0 or cfg.depth <= 0:
+            return kernels, total
+
+        ids = np.array([inst.instance_id for inst in instances], dtype=np.int64)
+        prevs = np.array([inst.prev_vertex for inst in instances], dtype=np.int64)
+        finished = np.array(
+            [inst.finished or inst.pool_size == 0 for inst in instances], dtype=bool
+        )
+        pool_counts = np.array(
+            [0 if finished[r] else inst.pool_size for r, inst in enumerate(instances)],
+            dtype=np.int64,
+        )
+        live_pools = [
+            inst.frontier_pool for r, inst in enumerate(instances) if not finished[r]
+        ]
+        pool_flat = np.concatenate(live_pools) if live_pools else _EMPTY
+        entry_finished = finished.copy()
+
+        stepped_any = np.zeros(num, dtype=bool)
+        last_depth = np.zeros(num, dtype=np.int64)
+        iter_totals = np.zeros(num, dtype=np.int64)
+        edge_owner_parts: List[np.ndarray] = []
+        edge_src_parts: List[np.ndarray] = []
+        edge_dst_parts: List[np.ndarray] = []
+        ns = int(cfg.neighbor_size)
+
+        grouped = engine._warp_group_of is not None
+        group_of_rank = None
+        if grouped:
+            group_of_rank = np.array(
+                [engine._warp_group_of[id(inst)] for inst in instances],
+                dtype=np.int64,
+            )
+
+        for depth in range(cfg.depth):
+            act = np.nonzero(~finished)[0]
+            if act.size == 0:
+                break
+            step_cost = CostModel()
+            counts_a = pool_counts[act]
+            seg_owner = np.repeat(act, counts_a)
+            seg_vertices = pool_flat
+            K = int(seg_vertices.size)
+            lengths = graph.degrees[seg_vertices]
+            # GATHER: the row-descriptor + edge-stream traffic of the full
+            # pool gather, charged whether or not the neighbors materialise.
+            step_cost.charge_global_bytes(16 * int(lengths.sum()) + 16 * K)
+            seg_slots = concat_aranges(counts_a)
+            starts = graph.row_ptr[seg_vertices]
+
+            neighbors = offsets = biases = None
+            if self.kind == "uniform":
+                positive = lengths
+            else:
+                offsets = np.zeros(K + 1, dtype=np.int64)
+                np.cumsum(lengths, out=offsets[1:])
+                total_pool = int(offsets[-1])
+                flat_idx = (
+                    np.repeat(starts - offsets[:-1], lengths)
+                    + np.arange(total_pool, dtype=np.int64)
+                )
+                neighbors = graph.col_idx[flat_idx]
+                biases = self._compute_biases(
+                    neighbors, flat_idx, lengths, offsets, seg_owner, prevs
+                )
+                if np.any(biases < 0) or not np.all(np.isfinite(biases)):
+                    raise ValueError(
+                        "edge_bias must return finite, non-negative biases"
+                    )
+                positive = segment_positive_counts(biases, offsets)
+
+            alloc = (lengths > 0) & (positive > 0)
+            warp_full = self._alloc_warps(alloc, seg_owner, group_of_rank)
+            allocated = np.nonzero(alloc)[0]
+            tasks = int(allocated.size)
+
+            if tasks:
+                if self.kind == "uniform":
+                    idx = self._uniform_select(
+                        allocated, lengths, ids, seg_owner, seg_slots,
+                        warp_full, depth, step_cost,
+                    )
+                    dst = graph.col_idx[np.repeat(starts[allocated], ns) + idx]
+                else:
+                    if tasks == K:
+                        sub_biases, sub_offsets = biases, offsets
+                    else:
+                        sub_biases, sub_offsets = take_segments(
+                            biases, offsets, allocated
+                        )
+                    selection = segmented_warp_select(
+                        sub_biases,
+                        sub_offsets,
+                        np.full(tasks, ns, dtype=np.int64),
+                        self.rng,
+                        [ids[seg_owner[allocated]],
+                         np.full(tasks, depth, dtype=np.int64),
+                         seg_slots[allocated] + 1,
+                         warp_full[allocated]],
+                        with_replacement=True,
+                        strategy=cfg.strategy,
+                        detector=cfg.detector,
+                        cost=step_cost,
+                        validate=False,  # validated over the whole pool above
+                        positive_counts=positive[allocated],
+                    )
+                    dst = neighbors[
+                        np.repeat(offsets[:-1][allocated], ns) + selection.indices
+                    ]
+                draws = tasks * ns
+                step_cost.sampled_edges += draws
+                owners_a = seg_owner[allocated]
+                iter_totals += np.bincount(owners_a, minlength=num) * ns
+                edge_owner_parts.append(np.repeat(owners_a, ns))
+                edge_src_parts.append(np.repeat(seg_vertices[allocated], ns))
+                edge_dst_parts.append(dst)
+                new_counts = np.bincount(owners_a, minlength=num) * ns
+            else:
+                dst = _EMPTY
+                new_counts = np.zeros(num, dtype=np.int64)
+
+            # Walk bookkeeping: prev_vertex tracks single-vertex frontiers,
+            # updated from the *pre-step* pool (biases at depth d + 1 see it).
+            single = counts_a == 1
+            if np.any(single):
+                block_starts = np.zeros(act.size, dtype=np.int64)
+                np.cumsum(counts_a[:-1], out=block_starts[1:])
+                prevs[act[single]] = pool_flat[block_starts[single]]
+
+            pool_flat = dst
+            pool_counts = new_counts
+            last_depth[act] = depth + 1
+            stepped_any[act] = True
+            finished[act] = new_counts[act] == 0
+            step_cost.kernel_launches += 1
+            kernels.append(
+                KernelLaunch(
+                    name=f"kernel:depth{depth}",
+                    cost=step_cost,
+                    num_warp_tasks=max(tasks, 1),
+                )
+            )
+            total.merge(step_cost)
+
+        self._finalize(
+            instances, sink, prevs, finished, entry_finished, stepped_any,
+            last_depth, iter_totals, pool_flat, pool_counts,
+            edge_owner_parts, edge_src_parts, edge_dst_parts,
+        )
+        return kernels, total
+
+    # ------------------------------------------------------------------ #
+    def _alloc_warps(self, alloc, seg_owner, group_of_rank) -> np.ndarray:
+        """Warp ids for allocated segments, advancing the engine's cursors.
+
+        Mirrors :meth:`BatchedStepEngine._alloc_warp_block` -- sequential in
+        segment order within the global sequence, or within each warp group's
+        own cursor when coalescing -- so interpreted and compiled runs draw
+        from one continuous warp-id stream.
+        """
+        engine = self.engine
+        warp_full = np.full(alloc.size, -1, dtype=np.int64)
+        if group_of_rank is None:
+            num_alloc = int(alloc.sum())
+            warp_full[alloc] = engine.warp_counter + np.arange(
+                num_alloc, dtype=np.int64
+            )
+            engine.warp_counter += num_alloc
+            return warp_full
+        groups_seg = group_of_rank[seg_owner]
+        for group in np.unique(groups_seg[alloc]):
+            members = alloc & (groups_seg == group)
+            count = int(members.sum())
+            warp_full[members] = engine._group_warp_cursors[group] + np.arange(
+                count, dtype=np.int64
+            )
+            engine._group_warp_cursors[group] += count
+        return warp_full
+
+    # ------------------------------------------------------------------ #
+    def _uniform_select(
+        self, allocated, lengths, ids, seg_owner, seg_slots, warp_full, depth,
+        cost,
+    ) -> np.ndarray:
+        """Closed-form SELECT for all-ones biases (one draw block per depth).
+
+        Charges the exact counters the interpreted path accumulates while
+        building and searching the ones-CTPS -- segmented scan, CTPS
+        normalisation, draw accounting, per-draw binary-search steps, and the
+        with-replacement warp wrapper -- then draws and searches directly.
+        """
+        ns = int(self.config.neighbor_size)
+        num_alloc = int(allocated.size)
+        len_a = lengths[allocated]
+        # Segmented Kogge-Stone scan over the allocated ones-segments.
+        steps = _ceil_log2(len_a)
+        chunks = np.maximum(1, (len_a + 31) // 32)
+        cost.prefix_sum_steps += int((steps * chunks).sum())
+        cost.warp_steps += int(steps.sum())
+        cost.lane_ops += int((steps * np.minimum(len_a, 32)).sum())
+        cost.charge_global_bytes(int(len_a.sum()) * 8)
+        # CTPS normalisation: one warp step per segment.
+        cost.warp_steps += num_alloc
+        cost.lane_ops += int(np.minimum(len_a, 32).sum())
+        # Draw accounting (segmented ITS).
+        draws = num_alloc * ns
+        cost.rng_draws += draws
+        cost.selection_attempts += draws
+        # Per-draw coordinates: (instance, depth, slot + 1, warp, lane).
+        owners = seg_owner[allocated]
+        coord_inst = np.repeat(ids[owners], ns)
+        coord_slot = np.repeat(seg_slots[allocated] + 1, ns)
+        coord_warp = np.repeat(warp_full[allocated], ns)
+        lanes = np.tile(np.arange(ns, dtype=np.int64), num_alloc)
+        n_draw = np.repeat(len_a, ns)
+        if self._numba_select is not None:
+            idx = self._numba_select(
+                np.uint64(self.rng.seed),
+                coord_inst.astype(np.uint64),
+                np.full(draws, depth, dtype=np.uint64),
+                coord_slot.astype(np.uint64),
+                coord_warp.astype(np.uint64),
+                lanes.astype(np.uint64),
+                n_draw,
+            )
+        else:
+            rs = np.atleast_1d(
+                self.rng.uniform(coord_inst, depth, coord_slot, coord_warp, lanes)
+            )
+            idx = uniform_local_search(rs, n_draw)
+        # Binary-search charges (one per draw, as SegmentedCTPS.search).
+        search_steps = int(np.maximum(1, _ceil_log2(n_draw + 1)).sum())
+        cost.binary_search_steps += search_steps
+        cost.charge_global_bytes(search_steps * 8)
+        # With-replacement warp wrapper: one lock-step instruction per warp.
+        cost.warp_steps += num_alloc
+        cost.lane_ops += min(ns, 32) * num_alloc
+        return idx
+
+    # ------------------------------------------------------------------ #
+    def _compute_biases(
+        self, neighbors, flat_idx, lengths, offsets, seg_owner, prevs
+    ) -> np.ndarray:
+        """Inlined bias formula for the non-uniform kinds (whole pool)."""
+        graph = self.graph
+        if self.kind == "weight_or_degree":
+            if graph.is_weighted:
+                return np.asarray(graph.weights[flat_idx], dtype=np.float64)
+            return graph.degrees[neighbors].astype(np.float64) + 1.0
+        # node2vec: second-order bias, stamp-array prev-neighbor test --
+        # operation-for-operation the Node2Vec.edge_bias_batch formula.
+        program = self.program
+        weights = (
+            np.asarray(graph.weights[flat_idx], dtype=np.float64)
+            if graph.weights is not None
+            else np.ones(neighbors.size, dtype=np.float64)
+        )
+        prevs_seg = prevs[seg_owner]
+        prev_of_edge = np.repeat(prevs_seg, lengths)
+        bias = weights / program.q
+        stamps = np.full(graph.num_vertices, -1, dtype=np.int64)
+        is_prev_neighbor = np.zeros(neighbors.size, dtype=bool)
+        for k in np.nonzero(prevs_seg >= 0)[0]:
+            lo, hi = int(offsets[k]), int(offsets[k + 1])
+            stamps[graph.neighbors(int(prevs_seg[k]))] = k
+            is_prev_neighbor[lo:hi] = stamps[neighbors[lo:hi]] == k
+        is_prev = (neighbors == prev_of_edge) & (prev_of_edge >= 0)
+        bias[is_prev_neighbor] = weights[is_prev_neighbor]
+        bias[is_prev] = weights[is_prev] / program.p
+        first = prev_of_edge < 0
+        bias[first] = weights[first]
+        return bias
+
+    # ------------------------------------------------------------------ #
+    def _finalize(
+        self, instances, sink, prevs, finished, entry_finished, stepped_any,
+        last_depth, iter_totals, pool_flat, pool_counts,
+        edge_owner_parts, edge_src_parts, edge_dst_parts,
+    ) -> None:
+        """One deferred pass producing every per-instance observable effect."""
+        num = len(instances)
+        # Iteration counts: with-replacement selections always iterate once,
+        # so only the per-owner totals matter (appended in rank order; within
+        # a grouped sink's member list the values are indistinguishable).
+        extend_for = getattr(sink, "extend_for", None)
+        if extend_for is None:
+            sink.extend([1] * int(iter_totals.sum()))
+        else:
+            for r in np.nonzero(iter_totals > 0)[0]:
+                extend_for(
+                    instances[r], np.ones(int(iter_totals[r]), dtype=np.int64)
+                )
+        # Edges: group the flat per-step draws by owner (stable, so each
+        # owner's edges stay in step-then-segment-then-lane order -- the
+        # exact order the interpreted UPDATE loop records them).
+        if edge_owner_parts:
+            all_owner = np.concatenate(edge_owner_parts)
+            all_src = np.concatenate(edge_src_parts)
+            all_dst = np.concatenate(edge_dst_parts)
+            order = np.argsort(all_owner, kind="stable")
+            all_owner = all_owner[order]
+            all_src = all_src[order]
+            all_dst = all_dst[order]
+            per_rank = np.bincount(all_owner, minlength=num)
+            bounds = np.zeros(num + 1, dtype=np.int64)
+            np.cumsum(per_rank, out=bounds[1:])
+            for r in np.nonzero(per_rank > 0)[0]:
+                lo, hi = int(bounds[r]), int(bounds[r + 1])
+                instances[r].record_edges(all_src[lo:hi], all_dst[lo:hi])
+        # State write-back.
+        pool_bounds = np.zeros(num + 1, dtype=np.int64)
+        np.cumsum(pool_counts, out=pool_bounds[1:])
+        for r in range(num):
+            inst = instances[r]
+            if stepped_any[r]:
+                lo, hi = int(pool_bounds[r]), int(pool_bounds[r + 1])
+                inst.set_pool(pool_flat[lo:hi])
+                inst.depth = int(last_depth[r])
+                inst.prev_vertex = int(prevs[r])
+                inst.finished = bool(finished[r])
+            elif entry_finished[r]:
+                # step_instances marks finished-at-entry instances on its
+                # first call even though they never step.
+                inst.finished = True

@@ -101,7 +101,8 @@ class GroupedIterationSink:
         self.lists: List[List[int]] = [[] for _ in range(num_members)]
 
     def extend_for(self, inst: InstanceState, iters: np.ndarray) -> None:
-        self.lists[self._member_of[id(inst)]].extend(int(i) for i in iters)
+        # tolist() yields python ints in one C pass (see record_iterations).
+        self.lists[self._member_of[id(inst)]].extend(iters.tolist())
 
 
 def run_coalesced(
@@ -109,6 +110,8 @@ def run_coalesced(
     program: SamplingProgram,
     config: SamplingConfig,
     members: Sequence[Sequence[InstanceState]],
+    *,
+    use_compiled: Optional[bool] = None,
 ) -> List[SampleResult]:
     """Run several members of one ``(program, config)`` as a single batch.
 
@@ -128,10 +131,23 @@ def run_coalesced(
         config=config,
         members=members,
         force_route="coalesced",
+        allow_compiled=use_compiled,
     ))
     rng = CounterRNG(config.seed)
     engine = BatchedStepEngine(graph, program, config, rng)
-    executor = Executor(execution_plan, graph, program=program, engine=engine)
+    compiled_kernel = None
+    if execution_plan.step_tier == "compiled":
+        from repro.compiled import get_kernel_spec, instantiate_kernel
+
+        spec = get_kernel_spec(program, config, execution_plan)
+        compiled_kernel = instantiate_kernel(spec, engine)
+    executor = Executor(
+        execution_plan,
+        graph,
+        program=program,
+        engine=engine,
+        compiled_kernel=compiled_kernel,
+    )
     return executor.execute(members=members)
 
 

@@ -67,7 +67,9 @@ def record_iterations(sink, inst, iters: np.ndarray) -> None:
     if extend_for is not None:
         extend_for(inst, iters)
     else:
-        sink.extend(int(i) for i in iters)
+        # tolist() converts to python ints in one C pass; extending with a
+        # genexpr of int(i) calls back into python per element.
+        sink.extend(iters.tolist())
 
 
 def validate_biases(biases: np.ndarray, expected: int, label: str) -> np.ndarray:

@@ -67,6 +67,7 @@ class Executor:
         transport_factory: Optional[Callable] = None,
         stride: Optional[int] = None,
         transport_name: str = "in_process",
+        compiled_kernel=None,
     ):
         self.plan = plan
         self.graph = graph
@@ -74,6 +75,7 @@ class Executor:
         self.engine = engine
         self.device = device
         self.use_engine = use_engine
+        self.compiled_kernel = compiled_kernel
         self.partitions = partitions
         self.scalar_step = scalar_step
         self.scalar_expand = scalar_expand
@@ -126,6 +128,10 @@ class Executor:
 
     def _depth_loop(self, instances, sink) -> tuple:
         """The shared MAIN loop: one simulated kernel per depth step."""
+        if self.compiled_kernel is not None and self.use_engine:
+            # Compiled tier: the fused kernel runs the whole depth loop,
+            # producing the same kernel records and cost totals.
+            return self.compiled_kernel.run(instances, sink)
         kernels: List[KernelLaunch] = []
         total = CostModel()
         for depth in range(self.plan.config.depth):

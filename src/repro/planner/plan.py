@@ -115,6 +115,21 @@ class ExecutionPlan:
     #: Analytic cost estimate (see :mod:`repro.planner.cost`).
     predicted_cost: Optional[CostModel] = None
     predicted_time_s: float = 0.0
+    #: Which step engine runs the depth loop: ``"interpreted"`` (the hook
+    #: dispatching :class:`~repro.engine.step.BatchedStepEngine`) or
+    #: ``"compiled"`` (a plan-specialised fused kernel, see
+    #: :mod:`repro.compiled`).
+    step_tier: str = "interpreted"
+    #: Compiled backend (``"numpy"`` / ``"numba"``) when ``step_tier`` is
+    #: ``"compiled"``.
+    compiled_backend: Optional[str] = None
+    #: Why the plan interprets, when a compiled tier exists but was not
+    #: chosen (eligibility failure, route, cost model, or disabled).
+    compiled_fallback: Optional[str] = None
+    #: ``predicted_time_s`` scaled by the host calibration constant
+    #: (:mod:`repro.planner.calibration`): the planner's estimate of actual
+    #: wall time for the chosen tier.
+    calibrated_time_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.route not in ROUTES:
@@ -162,6 +177,13 @@ class ExecutionPlan:
             f"warp cursors: {self.warp_cursors}",
             f"  layout: {self.layout.describe(self.graph_nbytes)}",
         ]
+        if self.step_tier == "compiled":
+            lines.append(f"  step tier: compiled ({self.compiled_backend} backend)")
+        else:
+            tier = "  step tier: interpreted"
+            if self.compiled_fallback:
+                tier += f" ({self.compiled_fallback})"
+            lines.append(tier)
         if self.predicted_cost is not None:
             pc = self.predicted_cost
             lines.append(
@@ -169,6 +191,10 @@ class ExecutionPlan:
                 f"(rng_draws={pc.rng_draws}, sampled_edges={pc.sampled_edges}, "
                 f"global_bytes={pc.global_bytes}, h2d_bytes={pc.h2d_bytes}, "
                 f"kernel_launches={pc.kernel_launches})"
+            )
+        if self.calibrated_time_s > 0.0:
+            lines.append(
+                f"  calibrated: {self.calibrated_time_s:.3e} s host wall estimate"
             )
         return "\n".join(lines)
 
@@ -188,6 +214,10 @@ class ExecutionPlan:
             "memory_budget_bytes": self.memory_budget_bytes,
             "over_budget": self.over_budget,
             "predicted_time_s": self.predicted_time_s,
+            "step_tier": self.step_tier,
+            "compiled_backend": self.compiled_backend,
+            "compiled_fallback": self.compiled_fallback,
+            "calibrated_time_s": self.calibrated_time_s,
             "explain": self.explain(),
         }
         if self.predicted_cost is not None:

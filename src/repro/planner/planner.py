@@ -145,6 +145,9 @@ class PlanRequest:
     graph_num_edges: Optional[int] = None
     graph_nbytes: Optional[int] = None
     spec: DeviceSpec = field(default=V100_SPEC)
+    #: Compiled step tier: ``None`` lets the calibrated cost model decide,
+    #: ``True`` forces it for eligible plans, ``False`` disables it.
+    allow_compiled: Optional[bool] = None
 
 
 def plan_route(
@@ -333,6 +336,18 @@ def scale_plan(
     predicted, predicted_time = _predict_for_layout(
         stats, base.config, total, route, base.layout, spec
     )
+    # The tier decision carries over unchanged (eligibility is identical for
+    # the in_memory and coalesced routes and depends only on program/config),
+    # but the calibrated wall estimate tracks the rescaled prediction.
+    from repro.planner.calibration import load_calibration
+
+    calibration = load_calibration()
+    calibrated_time = calibration.calibrated_time_s(predicted_time)
+    if base.step_tier == "compiled":
+        calibrated_time = (
+            calibration.compiled_overhead_s
+            + calibrated_time / calibration.compiled_speedup
+        )
     return replace(
         base,
         route=route,
@@ -341,6 +356,7 @@ def scale_plan(
         member_sizes=member_sizes,
         predicted_cost=predicted,
         predicted_time_s=predicted_time,
+        calibrated_time_s=calibrated_time,
     )
 
 
@@ -490,6 +506,28 @@ def plan(request: PlanRequest) -> ExecutionPlan:
         stats, config, num_instances, route, layout, request.spec
     )
 
+    # ------------------------------------------------------------------ #
+    # Step-tier decision (compiled vs interpreted) + host calibration
+    # ------------------------------------------------------------------ #
+    from repro.compiled import plan_step_tier
+    from repro.planner.calibration import load_calibration
+
+    step_tier, compiled_backend, compiled_fallback = plan_step_tier(
+        config,
+        route,
+        predicted_time,
+        program=program,
+        algorithm=request.algorithm,
+        allow_compiled=request.allow_compiled,
+    )
+    calibration = load_calibration()
+    calibrated_time = calibration.calibrated_time_s(predicted_time)
+    if step_tier == "compiled":
+        calibrated_time = (
+            calibration.compiled_overhead_s
+            + calibrated_time / calibration.compiled_speedup
+        )
+
     return ExecutionPlan(
         route=route,
         config=config,
@@ -506,4 +544,8 @@ def plan(request: PlanRequest) -> ExecutionPlan:
         memory_budget_bytes=request.memory_budget_bytes,
         predicted_cost=predicted,
         predicted_time_s=predicted_time,
+        step_tier=step_tier,
+        compiled_backend=compiled_backend,
+        compiled_fallback=compiled_fallback,
+        calibrated_time_s=calibrated_time,
     )

@@ -1,0 +1,73 @@
+"""The perf-regression gate: passes on shipped baselines, fails when slowed."""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+import gate
+
+REPO = Path(__file__).resolve().parents[2]
+SHIPPED_RESULTS = REPO / "benchmarks" / "results" / "BENCH_planner.json"
+SHIPPED_BASELINE = REPO / "benchmarks" / "baselines" / "BENCH_planner.json"
+
+
+def slowed_copy(src: Path, dst: Path, factor: float, metric: str = "wall_time_s"):
+    rows = json.loads(src.read_text())
+    for row in rows:
+        row[metric] = row[metric] * factor
+    dst.write_text(json.dumps(rows))
+    return dst
+
+
+class TestGate:
+    def test_passes_on_shipped_baselines(self, capsys):
+        assert gate.main([]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "REGRESSION" not in out
+
+    def test_fails_on_deliberately_slowed_run(self, tmp_path, capsys):
+        slowed = slowed_copy(SHIPPED_RESULTS, tmp_path / "slow.json", 2.0)
+        assert gate.main(["--results", str(slowed)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "+100.0%" in out
+
+    def test_tolerance_is_respected(self, tmp_path):
+        barely = slowed_copy(SHIPPED_RESULTS, tmp_path / "barely.json", 1.20)
+        assert gate.main(["--results", str(barely)]) == 0  # within 25%
+        assert gate.main(["--results", str(barely), "--tolerance", "0.1"]) == 1
+
+    def test_improvements_pass(self, tmp_path):
+        faster = slowed_copy(SHIPPED_RESULTS, tmp_path / "fast.json", 0.5)
+        assert gate.main(["--results", str(faster)]) == 0
+
+    def test_new_and_missing_records_never_fail(self, tmp_path, capsys):
+        rows = json.loads(SHIPPED_RESULTS.read_text())
+        partial = [rows[0]]  # a smoke run producing one record
+        partial.append({"bench": "brand_new", "route": "in_memory", "wall_time_s": 9.9})
+        current = tmp_path / "partial.json"
+        current.write_text(json.dumps(partial))
+        assert gate.main(["--results", str(current)]) == 0
+        out = capsys.readouterr().out
+        assert "baseline only" in out and "new record" in out
+
+    def test_update_accepts_current(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        shutil.copyfile(SHIPPED_BASELINE, baseline)
+        slowed = slowed_copy(SHIPPED_RESULTS, tmp_path / "slow.json", 3.0)
+        args = ["--results", str(slowed), "--baseline", str(baseline)]
+        assert gate.main(args) == 1
+        assert gate.main(args + ["--update"]) == 0
+        assert gate.main(args) == 0  # accepted: now the baseline itself
+
+    def test_missing_files_are_usage_errors(self, tmp_path):
+        assert gate.main(["--results", str(tmp_path / "none.json")]) == 2
+        assert gate.main(["--baseline", str(tmp_path / "none.json")]) == 2
+
+    def test_shipped_baseline_matches_results_snapshot(self):
+        # The baseline is a real snapshot of the trajectory file, not an
+        # unrelated artifact: both must parse and share record keys.
+        current = gate.load_records(SHIPPED_RESULTS)
+        baseline = gate.load_records(SHIPPED_BASELINE)
+        assert set(baseline) == set(current)

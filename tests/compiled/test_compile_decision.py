@@ -1,0 +1,158 @@
+"""Static eligibility: which (program, config) pairs compile, and why not."""
+
+import pytest
+
+from repro.algorithms.registry import ALGORITHM_REGISTRY
+from repro.api.bias import SamplingProgram
+from repro.api.config import PoolPolicy, SamplingConfig, SelectionScope
+from repro.compiled import compile_decision, plan_step_tier
+from repro.algorithms.random_walk import SimpleRandomWalk
+
+COMPILED_WALKS = {
+    "simple_random_walk": "uniform",
+    "deepwalk": "uniform",
+    "biased_random_walk": "weight_or_degree",
+    "node2vec": "node2vec",
+}
+
+
+def walk_config(**overrides) -> SamplingConfig:
+    return SimpleRandomWalk.default_config(**overrides)
+
+
+class TestCompileDecision:
+    @pytest.mark.parametrize("name", sorted(ALGORITHM_REGISTRY))
+    def test_registry_eligibility(self, name):
+        info = ALGORITHM_REGISTRY[name]
+        decision = compile_decision(info.program_factory(), info.config_factory())
+        if name in COMPILED_WALKS:
+            assert decision.eligible
+            assert decision.kind == COMPILED_WALKS[name]
+            assert decision.reason is None
+        else:
+            assert not decision.eligible
+            assert decision.reason
+
+    def test_deepwalk_inherits_uniform_and_biased_overrides_it(self):
+        from repro.algorithms.random_walk import BiasedRandomWalk, DeepWalk
+
+        assert DeepWalk.compiled_bias == "uniform"
+        assert BiasedRandomWalk.compiled_bias == "weight_or_degree"
+
+    @pytest.mark.parametrize(
+        "overrides, fragment",
+        [
+            (dict(frontier_size=2), "frontier"),
+            (dict(with_replacement=False), "replacement"),
+            (dict(track_visited=True), "visited"),
+            (dict(scope=SelectionScope.PER_LAYER), "scope"),
+            (dict(pool_policy=PoolPolicy.REPLACE_SELECTED), "pool"),
+        ],
+    )
+    def test_config_gates(self, overrides, fragment):
+        decision = compile_decision(SimpleRandomWalk(), walk_config(**overrides))
+        assert not decision.eligible
+        assert fragment in decision.reason
+
+    def test_hook_overrides_reject(self):
+        class AcceptingWalk(SimpleRandomWalk):
+            def accept(self, edges, sampled):
+                return sampled
+
+        class UpdatingWalk(SimpleRandomWalk):
+            def update(self, edges, sampled):
+                return sampled
+
+        class CountingWalk(SimpleRandomWalk):
+            def neighbor_count(self, edges, requested):
+                return requested
+
+        for program, hook in (
+            (AcceptingWalk(), "accept"),
+            (UpdatingWalk(), "update"),
+            (CountingWalk(), "neighbor_count"),
+        ):
+            decision = compile_decision(program, walk_config())
+            assert not decision.eligible
+            assert hook in decision.reason
+
+    def test_undeclared_and_unknown_kinds_reject(self):
+        assert not compile_decision(SamplingProgram(), SamplingConfig()).eligible
+
+        class MysteryWalk(SimpleRandomWalk):
+            compiled_bias = "quantum"
+
+        decision = compile_decision(MysteryWalk(), walk_config())
+        assert not decision.eligible
+        assert "quantum" in decision.reason
+
+
+class TestPlanStepTier:
+    def test_eligible_walk_compiles_on_engine_routes(self):
+        for route in ("in_memory", "coalesced"):
+            tier, backend, fallback = plan_step_tier(
+                walk_config(), route, 1e-3, program=SimpleRandomWalk()
+            )
+            assert tier == "compiled"
+            assert backend in ("numpy", "numba")
+            assert fallback is None
+
+    def test_non_engine_routes_fall_back(self):
+        for route in ("out_of_memory", "sharded"):
+            tier, backend, fallback = plan_step_tier(
+                walk_config(), route, 1e-3, program=SimpleRandomWalk()
+            )
+            assert tier == "interpreted"
+            assert backend is None
+            assert "depth loop" in fallback
+
+    def test_allow_compiled_knob(self):
+        tier, _, fallback = plan_step_tier(
+            walk_config(), "in_memory", 1e-3,
+            program=SimpleRandomWalk(), allow_compiled=False,
+        )
+        assert (tier, fallback) == ("interpreted", "compiled tier disabled by request")
+        tier, _, fallback = plan_step_tier(
+            walk_config(), "in_memory", 1e-3,
+            program=SimpleRandomWalk(), allow_compiled=True,
+        )
+        assert (tier, fallback) == ("compiled", None)
+
+    def test_env_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED", "0")
+        tier, _, fallback = plan_step_tier(
+            walk_config(), "in_memory", 1e-3, program=SimpleRandomWalk()
+        )
+        assert tier == "interpreted"
+        assert "REPRO_COMPILED" in fallback
+
+    def test_algorithm_name_resolves_via_registry(self):
+        tier, _, fallback = plan_step_tier(
+            walk_config(), "in_memory", 1e-3, algorithm="simple_random_walk"
+        )
+        assert (tier, fallback) == ("compiled", None)
+        tier, _, fallback = plan_step_tier(
+            walk_config(), "in_memory", 1e-3, algorithm="no_such_algorithm"
+        )
+        assert tier == "interpreted"
+        assert "unknown" in fallback
+
+    def test_cost_model_decides_by_default(self, monkeypatch, tmp_path):
+        # An expensive compiled overhead must push small plans back to
+        # interpretation -- the knob the calibration file controls.
+        from repro.planner import calibration as cal_mod
+
+        path = tmp_path / "calibration.json"
+        cal_mod.save_calibration(
+            cal_mod.Calibration(time_scale=1.0, compiled_overhead_s=1e9), path
+        )
+        monkeypatch.setenv("REPRO_CALIBRATION", str(path))
+        cal_mod.clear_calibration_cache()
+        try:
+            tier, _, fallback = plan_step_tier(
+                walk_config(), "in_memory", 1e-3, program=SimpleRandomWalk()
+            )
+            assert tier == "interpreted"
+            assert "faster" in fallback
+        finally:
+            cal_mod.clear_calibration_cache()

@@ -1,0 +1,98 @@
+"""Kernel-cache keying: hits, misses, and invalidation."""
+
+import pytest
+
+from repro.algorithms.node2vec import Node2Vec
+from repro.algorithms.random_walk import SimpleRandomWalk
+from repro.api.instance import make_instances
+from repro.compiled import (
+    clear_kernel_cache,
+    get_kernel_spec,
+    kernel_cache_stats,
+)
+from repro.compiled import backends as backends_mod
+from repro.graph.generators import powerlaw_graph
+from repro.planner.planner import PlanRequest, plan
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(120, 5.0, seed=2)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_kernel_cache()
+    yield
+    clear_kernel_cache()
+
+
+def make_plan(graph, program, config, *, members=None, seeds=(0, 1, 2)):
+    if members is not None:
+        return plan(PlanRequest(
+            graph=graph, program=program, config=config,
+            members=[make_instances(list(m)) for m in members],
+            force_route="coalesced",
+        ))
+    return plan(PlanRequest(
+        graph=graph, program=program, config=config,
+        instances=make_instances(list(seeds)), force_route="in_memory",
+    ))
+
+
+class TestKernelCache:
+    def test_same_shape_hits(self, graph):
+        program = SimpleRandomWalk()
+        config = SimpleRandomWalk.default_config()
+        p1 = make_plan(graph, program, config, seeds=(0, 1, 2))
+        p2 = make_plan(graph, program, config, seeds=(5, 6, 7, 8))  # shape-equal
+        s1 = get_kernel_spec(program, config, p1)
+        s2 = get_kernel_spec(program, config, p2)
+        assert s1 is s2
+        stats = kernel_cache_stats()
+        assert (stats["entries"], stats["hits"], stats["misses"]) == (1, 1, 1)
+
+    def test_config_and_program_divergence_miss(self, graph):
+        program = SimpleRandomWalk()
+        c1 = SimpleRandomWalk.default_config()
+        c2 = SimpleRandomWalk.default_config(depth=4)
+        get_kernel_spec(program, c1, make_plan(graph, program, c1))
+        get_kernel_spec(program, c2, make_plan(graph, program, c2))
+        assert kernel_cache_stats()["entries"] == 2
+
+    def test_plan_shape_divergence_miss(self, graph):
+        program = SimpleRandomWalk()
+        config = SimpleRandomWalk.default_config()
+        solo = make_plan(graph, program, config)
+        fused = make_plan(graph, program, config, members=[(0, 1), (2, 3)])
+        get_kernel_spec(program, config, solo)
+        get_kernel_spec(program, config, fused)
+        stats = kernel_cache_stats()
+        assert (stats["entries"], stats["misses"]) == (2, 2)
+
+    def test_node2vec_parameters_key_the_cache(self, graph):
+        config = Node2Vec.default_config()
+        a, b = Node2Vec(p=0.5, q=2.0), Node2Vec(p=2.0, q=0.5)
+        get_kernel_spec(a, config, make_plan(graph, a, config))
+        get_kernel_spec(b, config, make_plan(graph, b, config))
+        assert kernel_cache_stats()["entries"] == 2
+
+    def test_backend_fingerprint_invalidates(self, graph, monkeypatch):
+        program = SimpleRandomWalk()
+        config = SimpleRandomWalk.default_config()
+        execution_plan = make_plan(graph, program, config)
+        get_kernel_spec(program, config, execution_plan)
+        # A changed backend environment (numba appearing/disappearing, or a
+        # forced backend) must never serve the previously cached kernel.
+        monkeypatch.setattr(backends_mod, "_backend_override", "numpy")
+        get_kernel_spec(program, config, execution_plan)
+        stats = kernel_cache_stats()
+        assert (stats["entries"], stats["misses"], stats["hits"]) == (2, 2, 0)
+
+    def test_ineligible_raises(self, graph):
+        program = SimpleRandomWalk()
+        eligible_config = SimpleRandomWalk.default_config()
+        execution_plan = make_plan(graph, program, eligible_config)
+        bad_config = SimpleRandomWalk.default_config(with_replacement=False)
+        with pytest.raises(ValueError, match="not compilable"):
+            get_kernel_spec(program, bad_config, execution_plan)

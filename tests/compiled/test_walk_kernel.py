@@ -1,0 +1,155 @@
+"""Direct equivalence scenarios for the fused walk kernel.
+
+The cross-route matrix covers every registry algorithm at its default
+config; these tests push the compiled kernel through the shapes that stress
+its array program specifically: ragged multi-vertex pools, weighted biases,
+non-trivial node2vec parameters, fanout > 1, dead-end early termination and
+warp-counter continuity across runs of one sampler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.node2vec import Node2Vec
+from repro.algorithms.random_walk import BiasedRandomWalk, SimpleRandomWalk
+from repro.api.sampler import GraphSampler
+from repro.compiled import NUMBA_AVAILABLE, force_backend
+from repro.graph.builder import from_edge_list
+
+
+def assert_bit_identical(a, b, *, kernels=True):
+    assert len(a.samples) == len(b.samples)
+    for sa, sb in zip(a.samples, b.samples):
+        assert sa.instance_id == sb.instance_id
+        assert np.array_equal(sa.seeds, sb.seeds)
+        assert np.array_equal(sa.edges, sb.edges)
+    assert a.cost.as_dict() == b.cost.as_dict()
+    assert a.iteration_counts == b.iteration_counts
+    if kernels:
+        assert len(a.kernels) == len(b.kernels)
+        for ka, kb in zip(a.kernels, b.kernels):
+            assert ka.name == kb.name
+            assert ka.cost.as_dict() == kb.cost.as_dict()
+            assert ka.num_warp_tasks == kb.num_warp_tasks
+
+
+def run_both(graph, program_factory, config, seeds):
+    compiled_sampler = GraphSampler(graph, program_factory(), config)
+    assert compiled_sampler.plan(seeds).step_tier == "compiled"
+    compiled = compiled_sampler.run(seeds)
+    interpreted = GraphSampler(
+        graph, program_factory(), config, use_compiled=False
+    ).run(seeds)
+    assert_bit_identical(interpreted, compiled)
+    return compiled
+
+
+class TestWalkKernelScenarios:
+    def test_ragged_multi_vertex_pools(self, small_powerlaw_graph):
+        # Seed *groups*: instances start with pools of different sizes, so
+        # every depth step is a ragged segmented batch.
+        seeds = [[0], [3, 7, 11], [20, 21], [30, 31, 32, 33], [40]]
+        config = SimpleRandomWalk.default_config(depth=5, seed=7)
+        run_both(small_powerlaw_graph, SimpleRandomWalk, config, seeds)
+
+    def test_weighted_biased_walk(self, small_weighted_graph):
+        config = BiasedRandomWalk.default_config(depth=6, seed=3)
+        run_both(small_weighted_graph, BiasedRandomWalk, config, list(range(0, 500, 11)))
+
+    def test_unweighted_biased_walk_uses_degrees(self, small_powerlaw_graph):
+        config = BiasedRandomWalk.default_config(depth=6, seed=3)
+        run_both(small_powerlaw_graph, BiasedRandomWalk, config, list(range(0, 500, 11)))
+
+    @pytest.mark.parametrize("p,q", [(0.25, 4.0), (4.0, 0.25), (1.0, 1.0)])
+    def test_node2vec_parameters(self, small_weighted_graph, p, q):
+        config = Node2Vec.default_config(depth=6, seed=5)
+        run_both(
+            small_weighted_graph, lambda: Node2Vec(p=p, q=q), config,
+            list(range(0, 500, 17)),
+        )
+
+    def test_fanout_above_one(self, small_powerlaw_graph):
+        # neighbor_size > 1 keeps walks eligible (fixed fanout, with
+        # replacement); pools now grow by ns per vertex per depth.
+        config = SimpleRandomWalk.default_config(depth=3, neighbor_size=3, seed=2)
+        run_both(small_powerlaw_graph, SimpleRandomWalk, config, list(range(0, 100, 9)))
+
+    def test_dead_ends_terminate_early(self):
+        # Directed chain into sinks: walkers die before the configured depth,
+        # so the kernel must stop emitting depth kernels exactly where the
+        # interpreted loop does (and mark everything finished).
+        edges = [(0, 1), (1, 2), (2, 3), (4, 3), (5, 4)]
+        graph = from_edge_list(edges, num_vertices=7, symmetrize=False)
+        config = SimpleRandomWalk.default_config(depth=8, seed=1)
+        result = run_both(graph, SimpleRandomWalk, config, [0, 2, 3, 5, 6])
+        assert len(result.kernels) < config.depth
+
+    def test_warp_counter_continuity_across_runs(self, small_powerlaw_graph):
+        # Two runs on one sampler continue the warp-id sequence; compiled and
+        # interpreted samplers must stay aligned run after run.
+        config = SimpleRandomWalk.default_config(depth=4, seed=13)
+        compiled_sampler = GraphSampler(
+            small_powerlaw_graph, SimpleRandomWalk(), config
+        )
+        interp_sampler = GraphSampler(
+            small_powerlaw_graph, SimpleRandomWalk(), config, use_compiled=False
+        )
+        for seeds in ([0, 1, 2], [10, 20], [33]):
+            assert_bit_identical(
+                interp_sampler.run(seeds), compiled_sampler.run(seeds)
+            )
+        assert (
+            compiled_sampler.engine.warp_counter
+            == interp_sampler.engine.warp_counter
+            > 0
+        )
+
+    def test_iteration_counts_are_python_ints(self, small_powerlaw_graph):
+        # The sink micro-fix contract: plain python ints, identical values.
+        config = SimpleRandomWalk.default_config(depth=4, seed=1)
+        for use_compiled in (None, False):
+            result = GraphSampler(
+                small_powerlaw_graph, SimpleRandomWalk(), config,
+                use_compiled=use_compiled,
+            ).run([0, 1, 2])
+            assert result.iteration_counts
+            assert all(type(i) is int for i in result.iteration_counts)
+
+
+class TestBackends:
+    def test_forced_numpy_matches_default(self, small_powerlaw_graph):
+        config = SimpleRandomWalk.default_config(depth=5, seed=4)
+        seeds = list(range(0, 200, 7))
+        with force_backend("numpy"):
+            forced = GraphSampler(
+                small_powerlaw_graph, SimpleRandomWalk(), config
+            ).run(seeds)
+        default = GraphSampler(
+            small_powerlaw_graph, SimpleRandomWalk(), config
+        ).run(seeds)
+        assert_bit_identical(forced, default)
+
+    @pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+    def test_numba_backend_is_bit_identical(self, small_powerlaw_graph):
+        config = SimpleRandomWalk.default_config(depth=6, seed=4)
+        seeds = list(range(0, 500, 7))
+        with force_backend("numba"):
+            jitted = GraphSampler(
+                small_powerlaw_graph, SimpleRandomWalk(), config
+            ).run(seeds)
+        with force_backend("numpy"):
+            plain = GraphSampler(
+                small_powerlaw_graph, SimpleRandomWalk(), config
+            ).run(seeds)
+        assert_bit_identical(jitted, plain)
+
+    def test_force_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            with force_backend("cuda"):
+                pass  # pragma: no cover
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba is installed")
+    def test_force_numba_without_numba_raises(self):
+        with pytest.raises(RuntimeError):
+            with force_backend("numba"):
+                pass  # pragma: no cover

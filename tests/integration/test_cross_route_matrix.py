@@ -131,3 +131,89 @@ class TestCrossRouteMatrix:
     @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
     def test_route_is_bit_identical(self, graph, seeds, algorithm, route):
         _CHECKS[route](graph, ALGORITHM_REGISTRY[algorithm], seeds)
+
+
+# --------------------------------------------------------------------------- #
+# The compiled axis: every algorithm, compiled tier on vs off
+# --------------------------------------------------------------------------- #
+
+#: Registry algorithms whose (program, default config) compile.
+COMPILED_WALKS = frozenset(
+    {"simple_random_walk", "deepwalk", "biased_random_walk", "node2vec"}
+)
+
+
+class TestCompiledAxis:
+    """Compiled step kernels vs the interpreted engine, per algorithm.
+
+    The compiled tier is on by default, so the compiled-on leg is exactly
+    what users run; the compiled-off leg pins the interpreted reference.
+    Bit-identity covers samples, iteration counts, cost totals *and* the
+    per-kernel records -- the compiled kernel must charge every counter the
+    interpreted MAIN loop charges, per depth step.
+    """
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_compiled_matches_interpreted_in_memory(self, graph, seeds, algorithm):
+        info = ALGORITHM_REGISTRY[algorithm]
+        config = info.config_factory(seed=11)
+        interp_sampler = GraphSampler(
+            graph, info.program_factory(), config, use_compiled=False
+        )
+        interp_plan = interp_sampler.plan(seeds)
+        assert interp_plan.step_tier == "interpreted"
+        assert interp_plan.compiled_fallback == "compiled tier disabled by request"
+        interp = interp_sampler.run(seeds)
+
+        compiled_sampler = GraphSampler(graph, info.program_factory(), config)
+        plan = compiled_sampler.plan(seeds)
+        if algorithm in COMPILED_WALKS:
+            assert plan.step_tier == "compiled"
+            assert plan.compiled_backend in ("numpy", "numba")
+            assert plan.compiled_fallback is None
+        else:
+            assert plan.step_tier == "interpreted"
+            assert plan.compiled_fallback  # a reason is always recorded
+        compiled = compiled_sampler.run(seeds)
+        assert_equivalent(interp, compiled, kernels=True)
+
+    @pytest.mark.parametrize("algorithm", sorted(COMPILED_WALKS))
+    def test_compiled_matches_interpreted_coalesced(self, graph, seeds, algorithm):
+        from repro.api.instance import make_instances
+
+        info = ALGORITHM_REGISTRY[algorithm]
+        config = info.config_factory(seed=11)
+        halves = [seeds[:5], seeds[5:]]
+        batches = {}
+        for use_compiled in (False, None):
+            batches[use_compiled] = run_coalesced(
+                graph, info.program_factory(), config,
+                [make_instances(h) for h in halves],
+                use_compiled=use_compiled,
+            )
+        for interp_member, compiled_member in zip(batches[False], batches[None]):
+            assert_same_samples(interp_member, compiled_member)
+            assert interp_member.iteration_counts == compiled_member.iteration_counts
+            assert interp_member.cost.as_dict() == compiled_member.cost.as_dict()
+        # ... and each compiled member still replays its standalone stream.
+        for half, member_result in zip(halves, batches[None]):
+            solo = GraphSampler(graph, info.program_factory(), config).run(half)
+            assert_same_samples(solo, member_result)
+            assert solo.iteration_counts == member_result.iteration_counts
+
+    @pytest.mark.parametrize("algorithm", sorted(COMPILED_WALKS))
+    def test_non_engine_routes_fall_back(self, graph, seeds, algorithm):
+        info = ALGORITHM_REGISTRY[algorithm]
+        config = info.config_factory(seed=9)
+        oom_sampler = OutOfMemorySampler(
+            graph, info.program_factory(), config,
+            OutOfMemoryConfig.fully_optimized(num_partitions=3),
+        )
+        oom_plan = oom_sampler.plan(seeds)
+        assert oom_plan.step_tier == "interpreted"
+        assert "depth loop" in oom_plan.compiled_fallback
+
+        cluster = ShardedSamplingCluster(graph, info.name, num_shards=3)
+        sharded_plan = cluster.plan(seeds)
+        assert sharded_plan.step_tier == "interpreted"
+        assert "depth loop" in sharded_plan.compiled_fallback

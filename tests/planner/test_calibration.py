@@ -1,0 +1,111 @@
+"""Host calibration: fitting, persistence, and the planner's use of it."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.planner.calibration import (
+    Calibration,
+    DEFAULT_PATH,
+    clear_calibration_cache,
+    fit_calibration,
+    load_calibration,
+    save_calibration,
+)
+
+BASELINE_RECORDS = (
+    Path(__file__).resolve().parents[2]
+    / "benchmarks"
+    / "baselines"
+    / "BENCH_planner.json"
+)
+
+
+@pytest.fixture()
+def records():
+    return json.loads(BASELINE_RECORDS.read_text())
+
+
+class TestFit:
+    def test_geomean_fit(self):
+        records = [
+            {"bench": "a", "route": "r", "predicted_time_s": 1.0, "actual_time_s": 2.0},
+            {"bench": "b", "route": "r", "predicted_time_s": 1.0, "actual_time_s": 8.0},
+        ]
+        cal = fit_calibration(records)
+        assert cal.time_scale == pytest.approx(4.0)  # geomean(2, 8)
+        assert cal.fitted_from == ("a:r", "b:r")
+
+    def test_unusable_records_skipped_and_empty_raises(self):
+        good = {"bench": "a", "route": "r", "predicted_time_s": 1.0, "actual_time_s": 3.0}
+        bad = {"bench": "b", "route": "r", "predicted_time_s": 0.0, "actual_time_s": 3.0}
+        assert fit_calibration([good, bad]).time_scale == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            fit_calibration([bad])
+
+    def test_shipped_fit_brings_predictions_into_band(self, records):
+        """The satellite's acceptance: the raw cost model was up to ~26x off;
+
+        after applying the fitted constant every shipped record's prediction
+        lands within a [1/8, 8] band of its measured time.
+        """
+        cal = fit_calibration(records)
+        assert cal.time_scale > 1.0  # the model systematically under-predicted
+        for rec in records:
+            calibrated = cal.calibrated_time_s(rec["predicted_time_s"])
+            ratio = rec["actual_time_s"] / calibrated
+            assert 1 / 8 <= ratio <= 8, (rec["bench"], rec["route"], ratio)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        cal = fit_calibration([
+            {"bench": "x", "route": "y", "predicted_time_s": 2.0, "actual_time_s": 5.0},
+        ])
+        path = save_calibration(cal, tmp_path / "calibration.json")
+        assert load_calibration(path) == cal
+
+    def test_shipped_calibration_loads_by_default(self):
+        clear_calibration_cache()
+        cal = load_calibration()
+        assert DEFAULT_PATH.is_file()
+        assert cal.time_scale > 1.0
+        assert cal.fitted_from  # provenance recorded
+
+    def test_env_override_and_missing_file_fallback(self, tmp_path, monkeypatch):
+        path = tmp_path / "cal.json"
+        save_calibration(Calibration(time_scale=7.5), path)
+        monkeypatch.setenv("REPRO_CALIBRATION", str(path))
+        clear_calibration_cache()
+        try:
+            assert load_calibration().time_scale == pytest.approx(7.5)
+            monkeypatch.setenv("REPRO_CALIBRATION", str(tmp_path / "absent.json"))
+            clear_calibration_cache()
+            assert load_calibration() == Calibration()  # defaults, no crash
+        finally:
+            clear_calibration_cache()
+
+
+class TestPlannerIntegration:
+    def test_plans_report_calibrated_time(self):
+        from repro.algorithms.random_walk import SimpleRandomWalk
+        from repro.api.instance import make_instances
+        from repro.graph.generators import powerlaw_graph
+        from repro.planner.planner import PlanRequest, plan
+
+        graph = powerlaw_graph(200, 5.0, seed=1)
+        config = SimpleRandomWalk.default_config()
+        clear_calibration_cache()
+        cal = load_calibration()
+        execution_plan = plan(PlanRequest(
+            graph=graph, program=SimpleRandomWalk(), config=config,
+            instances=make_instances([0, 1, 2]), force_route="in_memory",
+        ))
+        assert execution_plan.predicted_time_s > 0
+        scaled = cal.calibrated_time_s(execution_plan.predicted_time_s)
+        if execution_plan.step_tier == "compiled":
+            scaled = cal.compiled_overhead_s + scaled / cal.compiled_speedup
+        assert execution_plan.calibrated_time_s == pytest.approx(scaled)
+        assert "calibrated" in execution_plan.explain()
+        assert "calibrated_time_s" in execution_plan.summary()
