@@ -11,6 +11,11 @@ wall time, plan-construction time, predicted vs actual cost); at session
 end they are merged into ``benchmarks/results/BENCH_planner.json`` keyed by
 ``(bench, route)``, so the planner's routing decisions and cost-model drift
 stay comparable across PRs.
+
+Telemetry trajectory: records that additionally carry a ``latencies_s``
+list (per-run wall times) are summarised through a telemetry histogram
+into ``benchmarks/results/BENCH_telemetry.json`` (count, mean, p50, p99),
+which ``gate.py`` folds into its trend report.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from repro.bench.workloads import DEFAULT_SCALE
 RESULTS_DIR = Path(__file__).parent / "results"
 
 PLANNER_JSON = "BENCH_planner.json"
+TELEMETRY_JSON = "BENCH_telemetry.json"
 
 _planner_records: List[Dict] = []
 
@@ -45,6 +51,38 @@ def write_planner_records(results_dir: Path, records: List[Dict]) -> Path:
             merged[(row.get("bench"), row.get("route"))] = row
     for row in records:
         merged[(row.get("bench"), row.get("route"))] = row
+    ordered = [merged[key] for key in sorted(merged, key=str)]
+    path.write_text(json.dumps(ordered, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_telemetry_records(results_dir: Path, records: List[Dict]) -> Path:
+    """Summarise per-run latencies into ``BENCH_telemetry.json``.
+
+    Records carrying a ``latencies_s`` list get their latencies folded
+    through a telemetry histogram into a p50/p99 snapshot keyed by
+    ``(bench, route)`` -- the same merge semantics as the planner file, so
+    ``gate.py`` can show latency percentiles in its trend report.
+    """
+    from repro.telemetry.metrics import Histogram
+
+    path = results_dir / TELEMETRY_JSON
+    merged: Dict = {}
+    if path.exists():
+        for row in json.loads(path.read_text()):
+            merged[(row.get("bench"), row.get("route"))] = row
+    for row in records:
+        latencies = row.get("latencies_s") or []
+        if not latencies:
+            continue
+        histogram = Histogram()
+        for value in latencies:
+            histogram.observe(float(value))
+        merged[(row.get("bench"), row.get("route"))] = {
+            "bench": row.get("bench"),
+            "route": row.get("route"),
+            **histogram.summary(),
+        }
     ordered = [merged[key] for key in sorted(merged, key=str)]
     path.write_text(json.dumps(ordered, indent=2, sort_keys=True) + "\n")
     return path
@@ -80,7 +118,11 @@ def planner_record(results_dir):
 
 def pytest_sessionfinish(session, exitstatus):  # noqa: ARG001 - pytest hook
     if _planner_records:
-        write_planner_records(RESULTS_DIR, list(_planner_records))
+        write_telemetry_records(RESULTS_DIR, list(_planner_records))
+        # latency lists are summarised above; keep the planner file scalar
+        rows = [{k: v for k, v in row.items() if k != "latencies_s"}
+                for row in _planner_records]
+        write_planner_records(RESULTS_DIR, rows)
         _planner_records.clear()
 
 

@@ -11,6 +11,11 @@ current results (new benchmarks) or only in the baseline (partial runs) are
 reported but never fail the gate -- a smoke run of one benchmark must not
 trip on the records it did not produce.
 
+When ``BENCH_telemetry.json`` snapshots exist next to the results (written
+by the conftest from ``latencies_s`` benchmark records), the report also
+prints per-benchmark latency p50/p99 trend lines; those are informational
+and never fail the gate.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/gate.py                 # compare
@@ -35,6 +40,7 @@ DEFAULT_RESULTS = BENCH_DIR / "results" / "BENCH_planner.json"
 DEFAULT_BASELINE = BENCH_DIR / "baselines" / "BENCH_planner.json"
 DEFAULT_TOLERANCE = 0.25
 DEFAULT_METRIC = "wall_time_s"
+TELEMETRY_JSON = "BENCH_telemetry.json"
 
 Key = Tuple[str, str]
 
@@ -87,6 +93,44 @@ def compare(
     return lines, regressions
 
 
+def load_telemetry(path: Path) -> Dict[Key, dict]:
+    """Index a telemetry-snapshot JSON list by ``(bench, route)``; {} when
+    the file is absent or unreadable (the snapshots are report-only)."""
+    try:
+        rows = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    return {(str(r.get("bench")), str(r.get("route"))): r for r in rows}
+
+
+def telemetry_lines(
+    current: Dict[Key, dict], baseline: Dict[Key, dict]
+) -> List[str]:
+    """Latency-percentile trend lines (report-only, never gate)."""
+    lines: List[str] = []
+    for key in sorted(set(current) | set(baseline), key=str):
+        bench, route = key
+        cur = current.get(key)
+        base = baseline.get(key)
+        label = f"{bench}/{route}"
+        if cur is None:
+            lines.append(f"  {label:44s} baseline only (not in this run)")
+            continue
+        p50 = float(cur.get("p50_s", 0.0))
+        p99 = float(cur.get("p99_s", 0.0))
+        if base is None:
+            lines.append(
+                f"  {label:44s} p50 {p50:10.4g}s  p99 {p99:10.4g}s  (new)"
+            )
+            continue
+        lines.append(
+            f"  {label:44s} p50 {float(base.get('p50_s', 0.0)):10.4g}s "
+            f"-> {p50:10.4g}s  p99 {float(base.get('p99_s', 0.0)):10.4g}s "
+            f"-> {p99:10.4g}s"
+        )
+    return lines
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -117,6 +161,11 @@ def main(argv=None) -> int:
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         shutil.copyfile(args.results, args.baseline)
+        telemetry_results = args.results.parent / TELEMETRY_JSON
+        if telemetry_results.is_file():
+            shutil.copyfile(
+                telemetry_results, args.baseline.parent / TELEMETRY_JSON
+            )
         print(f"gate: baseline updated from {args.results}")
         return 0
     if not args.baseline.is_file():
@@ -138,6 +187,12 @@ def main(argv=None) -> int:
     )
     for line in lines:
         print(line)
+    current_telemetry = load_telemetry(args.results.parent / TELEMETRY_JSON)
+    baseline_telemetry = load_telemetry(args.baseline.parent / TELEMETRY_JSON)
+    if current_telemetry or baseline_telemetry:
+        print("telemetry latency percentiles (report-only):")
+        for line in telemetry_lines(current_telemetry, baseline_telemetry):
+            print(line)
     if regressions:
         for regression in regressions:
             print("FAIL:", regression)

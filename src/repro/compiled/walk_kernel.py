@@ -50,6 +50,7 @@ from repro.selection.segmented import (
     segmented_warp_select,
     take_segments,
 )
+from repro.telemetry import trace as _trace
 
 __all__ = ["CompiledWalkKernel", "uniform_local_search"]
 
@@ -119,6 +120,17 @@ class CompiledWalkKernel:
         sink) and advances the engine's warp cursors -- the same observable
         effects as the interpreted depth loop, produced in bulk.
         """
+        with _trace.span(
+            "compiled_run",
+            kind=self.kind,
+            backend=self.backend,
+            instances=len(instances),
+        ):
+            return self._run(instances, sink)
+
+    def _run(
+        self, instances: Sequence[InstanceState], sink
+    ) -> Tuple[List[KernelLaunch], CostModel]:
         cfg = self.config
         engine = self.engine
         graph = self.graph

@@ -56,6 +56,10 @@ class WalkerEnvelope:
     #: Stateful program travelling with the walker (``None`` = use the
     #: shard's shared program; see the module docstring).
     program: Optional[SamplingProgram] = None
+    #: Telemetry trace context (``repro.telemetry.trace.TraceContext``)
+    #: riding along so shard runtimes join the request's span tree;
+    #: ``None`` whenever tracing is inactive.
+    trace_ctx: Optional[tuple] = None
 
     @property
     def instance_id(self) -> int:

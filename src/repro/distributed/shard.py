@@ -55,6 +55,7 @@ from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.prng import CounterRNG, splitmix64
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import range_owners, uniform_stride
+from repro.telemetry import trace as _trace
 
 __all__ = ["ShardReport", "ShardRuntime", "walker_program_seed"]
 
@@ -88,6 +89,7 @@ class ShardReport:
         steps: int,
         admitted: int,
         emigrated: int,
+        spans: Optional[list] = None,
     ):
         self.shard_index = shard_index
         #: Every walker resident at collection (finished and active alike).
@@ -100,6 +102,10 @@ class ShardReport:
         self.steps = steps
         self.admitted = admitted
         self.emigrated = emigrated
+        #: Telemetry span records drained from the shard's process, shipped
+        #: home with the report (empty for in-process shards, whose spans
+        #: land directly in the coordinator's buffer).
+        self.spans = spans if spans is not None else []
 
 
 class _WalkerRecord:
@@ -163,6 +169,9 @@ class ShardRuntime:
         )
         #: Resident walkers keyed by global instance id.
         self._records: Dict[int, _WalkerRecord] = {}
+        #: Trace context adopted from the first carrying envelope, so shard
+        #: spans (possibly minted in a shard process) join the request tree.
+        self._trace_ctx = None
         self.cost = CostModel()
         self.kernels: List[KernelLaunch] = []
         self.steps = 0
@@ -196,6 +205,8 @@ class ShardRuntime:
     def admit(self, envelopes: List[WalkerEnvelope]) -> None:
         """Accept walkers (initial seeds or immigrants) into this shard."""
         for env in envelopes:
+            if self._trace_ctx is None and env.trace_ctx is not None:
+                self._trace_ctx = env.trace_ctx
             instance_id = env.instance_id
             if instance_id in self._records:
                 raise ValueError(
@@ -240,10 +251,19 @@ class ShardRuntime:
         if not active:
             return {}
         step_cost = CostModel()
-        if self.coalescable:
-            tasks = self._step_fused(active, depth, step_cost)
-        else:
-            tasks = self._step_private(active, depth, step_cost)
+        # Adopt the envelope-carried context only when no ambient one exists
+        # (shard processes); in-process shards nest under the epoch span.
+        ctx = self._trace_ctx if _trace.current() is None else None
+        with _trace.activated(ctx), _trace.span(
+            "shard_step",
+            shard=self.shard_index,
+            depth=depth,
+            walkers=len(active),
+        ):
+            if self.coalescable:
+                tasks = self._step_fused(active, depth, step_cost)
+            else:
+                tasks = self._step_private(active, depth, step_cost)
         self.cost.merge(step_cost)
         self.steps += 1
         if tasks:
@@ -317,6 +337,9 @@ class ShardRuntime:
             warp_cursor=record.warp_cursor,
             iterations=record.iterations,
             program=record.program,
+            # Outgoing walkers keep carrying the trace context so shards
+            # populated purely by migration adopt it too.
+            trace_ctx=self._trace_ctx,
         )
 
     # ------------------------------------------------------------------ #

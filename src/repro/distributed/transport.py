@@ -29,6 +29,7 @@ from repro.distributed.router import WalkerEnvelope
 from repro.distributed.shard import ShardReport, ShardRuntime
 from repro.graph.csr import CSRGraph
 from repro.service.store import SharedGraphHandle, SharedGraphStore, attach
+from repro.telemetry import trace as _trace
 
 __all__ = ["ClusterTransportError", "InProcessTransport", "MultiprocessTransport"]
 
@@ -91,6 +92,9 @@ def _shard_main(
     handle: SharedGraphHandle,
 ) -> None:
     """Shard process: map the shared graph, loop on pipe commands."""
+    # A forked shard inherits the coordinator's span buffer; those records
+    # belong to the parent and must not ship home again as duplicates.
+    _trace.clear()
     mapping = None
     try:
         try:
@@ -113,7 +117,12 @@ def _shard_main(
                     outbox = runtime.step(payload)
                     conn.send(("ok", (outbox, runtime.active_count())))
                 elif command == "collect":
-                    conn.send(("ok", runtime.collect()))
+                    report = runtime.collect()
+                    # Ship this process's finished spans home with the
+                    # report; the coordinator re-ingests them so the
+                    # request's span tree stays in one buffer.
+                    report.spans = _trace.drain()
+                    conn.send(("ok", report))
                 elif command == "stop":
                     conn.send(("ok", None))
                     return
@@ -252,7 +261,12 @@ class MultiprocessTransport:
     def collect(self) -> List[ShardReport]:
         for shard in range(self.num_shards):
             self._send(shard, "collect", None)
-        return [self._receive(shard) for shard in range(self.num_shards)]
+        reports = [self._receive(shard) for shard in range(self.num_shards)]
+        for report in reports:
+            if report.spans:
+                _trace.ingest(report.spans)
+                report.spans = []
+        return reports
 
     def close(self) -> None:
         for shard, conn in enumerate(self._conns):

@@ -44,6 +44,8 @@ from repro.gpusim.costmodel import CostModel
 from repro.gpusim.prng import CounterRNG
 from repro.gpusim.warp import WarpExecutor
 from repro.graph.csr import CSRGraph
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
 from repro.selection.segmented import (
     concat_aranges,
     segment_positive_counts,
@@ -237,8 +239,13 @@ class BatchedStepEngine:
         if not active:
             return None
         if self.config.scope is SelectionScope.PER_LAYER:
-            return self._step_per_layer(active, depth, cost, iteration_counts)
-        return self._step_per_vertex(active, depth, cost, iteration_counts)
+            tasks = self._step_per_layer(active, depth, cost, iteration_counts)
+        else:
+            tasks = self._step_per_vertex(active, depth, cost, iteration_counts)
+        if _trace.active():
+            _metrics.REGISTRY.counter("engine_depth_steps").inc()
+            _metrics.REGISTRY.counter("engine_warp_tasks").inc(int(tasks or 0))
+        return tasks
 
     # ------------------------------------------------------------------ #
     def _step_per_vertex(

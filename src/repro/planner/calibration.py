@@ -42,6 +42,7 @@ __all__ = [
     "DEFAULT_PATH",
     "clear_calibration_cache",
     "fit_calibration",
+    "fit_from_telemetry",
     "load_calibration",
     "save_calibration",
 ]
@@ -100,6 +101,32 @@ def fit_calibration(
         compiled_speedup=compiled_speedup,
         compiled_overhead_s=compiled_overhead_s,
         fitted_from=tuple(labels),
+    )
+
+
+def fit_from_telemetry(
+    sink=None,
+    *,
+    compiled_speedup: float = 3.0,
+    compiled_overhead_s: float = 0.0,
+) -> Calibration:
+    """Fit a calibration from live plan-cost feedback instead of shipped
+    benchmark records.
+
+    When telemetry is enabled every executed plan deposits a
+    predicted-vs-actual record into
+    :data:`repro.telemetry.feedback.FEEDBACK` (or the ``sink`` given here);
+    those records use the same keys as the benchmark files, so this is
+    :func:`fit_calibration` over whatever traffic the process has actually
+    served.  Raises ``ValueError`` when the sink holds no usable records
+    (e.g. telemetry was never enabled).
+    """
+    if sink is None:
+        from repro.telemetry.feedback import FEEDBACK as sink
+    return fit_calibration(
+        sink.records(),
+        compiled_speedup=compiled_speedup,
+        compiled_overhead_s=compiled_overhead_s,
     )
 
 

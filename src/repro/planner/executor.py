@@ -22,6 +22,7 @@ executor drives them through the same scheduling skeleton as the engine.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -40,6 +41,9 @@ from repro.oom.balancing import block_fractions
 from repro.oom.batching import group_entries_by_instance, single_batch
 from repro.oom.transfer import PartitionResidency
 from repro.planner.plan import ExecutionPlan
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+from repro.telemetry.feedback import FEEDBACK
 
 __all__ = ["Executor"]
 
@@ -89,7 +93,32 @@ class Executor:
         instances: Optional[Sequence[InstanceState]] = None,
         members: Optional[Sequence[Sequence[InstanceState]]] = None,
     ):
-        """Run the plan; the return type is the route's native result."""
+        """Run the plan; the return type is the route's native result.
+
+        When telemetry is active the execution is wrapped in an
+        ``execute`` span and the plan's predicted-vs-actual wall time is
+        recorded into the plan-cost feedback sink.
+        """
+        if not _trace.active():
+            return self._execute(instances, members)
+        plan = self.plan
+        with _trace.span(
+            "execute",
+            route=plan.route,
+            algorithm=plan.algorithm,
+            step_tier=plan.step_tier,
+            num_instances=plan.num_instances,
+        ):
+            started = time.perf_counter()
+            result = self._execute(instances, members)
+            FEEDBACK.record(plan, time.perf_counter() - started)
+            return result
+
+    def _execute(
+        self,
+        instances: Optional[Sequence[InstanceState]] = None,
+        members: Optional[Sequence[Sequence[InstanceState]]] = None,
+    ):
         route = self.plan.route
         if route == "coalesced":
             if members is None:
@@ -136,10 +165,12 @@ class Executor:
         total = CostModel()
         for depth in range(self.plan.config.depth):
             step_cost = CostModel()
-            if self.use_engine:
-                tasks = self.engine.step_instances(instances, depth, step_cost, sink)
-            else:
-                tasks = self._scalar_pass(instances, depth, step_cost, sink)
+            with _trace.span("depth_step", depth=depth) as sp:
+                if self.use_engine:
+                    tasks = self.engine.step_instances(instances, depth, step_cost, sink)
+                else:
+                    tasks = self._scalar_pass(instances, depth, step_cost, sink)
+                sp.set(tasks=tasks)
             if tasks is None:
                 break
             step_cost.kernel_launches += 1
@@ -242,30 +273,33 @@ class Executor:
                 [active[p] for p in chosen], balanced=oom.balanced_blocks
             )
             protect = set(chosen)
-            for stream_index, (partition_index, fraction) in enumerate(
-                zip(chosen, fractions)
-            ):
-                stream = timeline[stream_index % len(timeline.streams)]
-                transfer_duration = residency.ensure_resident(
-                    partition_index, total_cost, protect=protect
-                )
-                if transfer_duration > 0:
-                    stream.enqueue(f"transfer:p{partition_index}", transfer_duration)
-                    transfer_times.append(transfer_duration)
-                self._drain_partition(
-                    partition_index,
-                    queues,
-                    instance_map,
-                    fraction,
-                    stream,
-                    total_cost,
-                    kernel_times,
-                    iteration_counts,
-                    oom,
-                )
-                # Paper: the actively sampled partition is released only once
-                # its frontier queue is empty, which _drain_partition ensures.
-                residency.release(partition_index)
+            with _trace.span("oom_round", round=rounds, partitions=len(chosen)):
+                for stream_index, (partition_index, fraction) in enumerate(
+                    zip(chosen, fractions)
+                ):
+                    stream = timeline[stream_index % len(timeline.streams)]
+                    transfer_duration = residency.ensure_resident(
+                        partition_index, total_cost, protect=protect
+                    )
+                    if transfer_duration > 0:
+                        stream.enqueue(f"transfer:p{partition_index}", transfer_duration)
+                        transfer_times.append(transfer_duration)
+                    with _trace.span("partition_drain", partition=partition_index):
+                        self._drain_partition(
+                            partition_index,
+                            queues,
+                            instance_map,
+                            fraction,
+                            stream,
+                            total_cost,
+                            kernel_times,
+                            iteration_counts,
+                            oom,
+                        )
+                    # Paper: the actively sampled partition is released only
+                    # once its frontier queue is empty, which _drain_partition
+                    # ensures.
+                    residency.release(partition_index)
 
         sample = SampleResult.from_instances(
             instances,
@@ -368,6 +402,12 @@ class Executor:
         bounds = np.asarray(self.plan.layout.boundaries, dtype=np.int64)
         num_shards = self.plan.layout.num_partitions
         envelopes = [WalkerEnvelope(instance=inst) for inst in instances]
+        ctx = _trace.current()
+        if ctx is not None:
+            # Trace context rides the envelopes so shard runtimes (possibly
+            # in other processes) join this request's span tree.
+            for env in envelopes:
+                env.trace_ctx = ctx
         placement = bucket_by_shard(envelopes, bounds, stride=self.stride)
 
         router = MigrationRouter(num_shards)
@@ -380,13 +420,18 @@ class Executor:
                 if active == 0:
                     break
                 epochs += 1
-                outboxes, actives = transport.step_all(depth)
-                inboxes = router.exchange(outboxes)
-                transport.admit(inboxes)
-                active = sum(actives) + sum(len(v) for v in inboxes.values())
-            reports = transport.collect()
+                with _trace.span("shard_epoch", depth=depth) as sp:
+                    outboxes, actives = transport.step_all(depth)
+                    inboxes = router.exchange(outboxes)
+                    transport.admit(inboxes)
+                    active = sum(actives) + sum(len(v) for v in inboxes.values())
+                    sp.set(active=active)
+            with _trace.span("reassemble", shards=num_shards):
+                reports = transport.collect()
         finally:
             transport.close()
+        if _trace.active():
+            _metrics.REGISTRY.counter("walker_migrations").inc(router.migrations)
         return self._reassemble_shards(
             reports, len(instances), epochs, router.migrations, num_shards
         )

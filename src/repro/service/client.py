@@ -36,6 +36,12 @@ def _should_retry(error: ServiceError, attempt: int, attempts: int) -> bool:
     return attempt + 1 < attempts and bool(getattr(error, "transient", False))
 
 
+def _annotate_attempts(response: SampleResponse, attempt: int) -> SampleResponse:
+    """Telemetry: how many submissions this answer took (1 = no retries)."""
+    response.stats["attempts"] = float(attempt + 1)
+    return response
+
+
 def _build_request(
     graph: str,
     algorithm: str,
@@ -88,7 +94,10 @@ class SamplingClient:
                 config_overrides, epoch,
             )
             try:
-                return self.service.submit(request).result(timeout=timeout)
+                return _annotate_attempts(
+                    self.service.submit(request).result(timeout=timeout),
+                    attempt,
+                )
             except ServiceError as exc:
                 if not _should_retry(exc, attempt, attempts):
                     raise
@@ -130,9 +139,10 @@ class AsyncSamplingClient:
             )
             future = self.service.submit(request)
             try:
-                return await asyncio.wait_for(
+                response = await asyncio.wait_for(
                     asyncio.wrap_future(future), timeout=timeout
                 )
+                return _annotate_attempts(response, attempt)
             except ServiceError as exc:
                 if not _should_retry(exc, attempt, attempts):
                     raise

@@ -53,6 +53,9 @@ from repro.planner.planner import (
 )
 from repro.service.store import SharedGraphStore
 from repro.service.workers import RequestSpec, UnitResult, WorkUnit, WorkerPool
+from repro.telemetry import trace as _trace
+from repro.telemetry.feedback import FEEDBACK
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["ServiceError", "ServiceStats", "SamplingService"]
 
@@ -74,7 +77,14 @@ class ServiceError(RuntimeError):
 
 @dataclass
 class ServiceStats:
-    """Aggregate service counters (read with :meth:`SamplingService.stats`)."""
+    """Aggregate service counters plus telemetry-derived rates.
+
+    Readable two ways for compatibility: as the attribute it always was
+    (``service.stats.units_dispatched``) and as a callable
+    (``service.stats()`` -- alias of :meth:`snapshot`) returning the flat
+    dict with per-route latency percentiles, queue-wait, fusion rate and
+    kernel-cache hit rate mixed in from the service's metrics registry.
+    """
 
     requests_submitted: int = 0
     requests_completed: int = 0
@@ -89,9 +99,14 @@ class ServiceStats:
         default_factory=lambda: collections.deque(maxlen=4096)
     )
 
-    def snapshot(self) -> Dict[str, float]:
-        """Flat copy for printing."""
-        out = {
+    def bind(self, registry: MetricsRegistry) -> "ServiceStats":
+        """Attach the registry whose instruments enrich :meth:`snapshot`."""
+        self._registry = registry
+        return self
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat copy for printing, enriched from the bound registry."""
+        out: Dict[str, object] = {
             "requests_submitted": self.requests_submitted,
             "requests_completed": self.requests_completed,
             "requests_failed": self.requests_failed,
@@ -104,7 +119,31 @@ class ServiceStats:
             out["mean_unit_size"] = (
                 self.requests_completed + self.requests_failed
             ) / self.units_dispatched
+        if self.requests_completed:
+            out["fusion_rate"] = self.coalesced_requests / self.requests_completed
+        registry: Optional[MetricsRegistry] = getattr(self, "_registry", None)
+        if registry is None:
+            return out
+        hits = registry.counter("kernel_cache_hits").value
+        misses = registry.counter("kernel_cache_misses").value
+        if hits + misses:
+            out["kernel_cache_hit_rate"] = hits / (hits + misses)
+        out["walker_migrations"] = registry.counter("walker_migrations").value
+        out["epoch_retirements"] = registry.counter("epoch_retirements").value
+        latency_by_route: Dict[str, Dict[str, float]] = {}
+        for labels, histogram in registry.find_histograms("request_latency_s"):
+            latency_by_route[labels.get("route", "?")] = histogram.summary()
+        if latency_by_route:
+            out["latency_by_route"] = latency_by_route
+        for name, key in (("queue_wait_s", "queue_wait"),
+                          ("execute_s", "execute")):
+            found = registry.find_histograms(name)
+            if found:
+                out[key] = found[0][1].summary()
         return out
+
+    def __call__(self) -> Dict[str, object]:
+        return self.snapshot()
 
 
 @dataclass
@@ -116,6 +155,14 @@ class _Pending:
     epoch: int = 0
     #: Plan summary of the dispatched unit (attached to the response).
     plan: Optional[Dict[str, object]] = None
+    #: Telemetry: trace id minted at submission (None = tracing off) and
+    #: the request's root span id, closed at completion.
+    trace_id: Optional[str] = None
+    root_span_id: Optional[str] = None
+    #: Wall-clock submit time (span time base) and dispatch times.
+    submitted_wall: float = 0.0
+    dispatched_wall: float = 0.0
+    dispatched_perf: float = 0.0
 
 
 class SamplingService:
@@ -188,7 +235,10 @@ class SamplingService:
         self._dispatched_at: Dict[int, float] = {}  # unit id -> perf_counter
         self._unit_ids = itertools.count()
         self._lock = threading.Lock()
-        self.stats = ServiceStats()
+        #: Service-local metrics registry (latencies, queue waits, cache
+        #: hit counters ...); dump with :meth:`metrics_text`.
+        self.metrics = MetricsRegistry()
+        self.stats = ServiceStats().bind(self.metrics)
         self._shutdown = threading.Event()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="sampling-dispatch", daemon=True
@@ -415,6 +465,12 @@ class SamplingService:
             key = (request.graph, epoch)
             self._epoch_active[key] = self._epoch_active.get(key, 0) + 1
         pending = _Pending(request, Future(), time.perf_counter(), epoch=epoch)
+        if _trace.enabled():
+            # One trace per request; the root span opens here and is closed
+            # (recorded) by the collector when the answer lands.
+            pending.trace_id = _trace.new_trace_id()
+            pending.root_span_id = _trace.new_span_id()
+            pending.submitted_wall = time.time()
         try:
             # Plan-time seed validation, uniform across entry points: the
             # same SeedValidationError a standalone sampler would raise.
@@ -437,6 +493,7 @@ class SamplingService:
             raise
         with self._lock:
             self.stats.requests_submitted += 1
+            self.metrics.counter("requests_submitted").inc()
             self._pending[request.request_id] = pending
         self._queue.put(pending)
         return pending.future
@@ -531,6 +588,14 @@ class SamplingService:
             [p.request.instance_count() for p in members],
         )
         route = class_plan.route  # the worker-facing tier name
+        # A fused unit runs once, so its worker spans join the HEAD
+        # request's trace; sibling members keep their own trace ids but
+        # only record service-side spans (see docs/telemetry.md).
+        trace_ctx = (
+            (members[0].trace_id, members[0].root_span_id)
+            if members[0].trace_id is not None
+            else None
+        )
         unit = WorkUnit(
             unit_id=next(self._unit_ids),
             handle=self.store.handle(head.graph, epoch),
@@ -551,22 +616,30 @@ class SamplingService:
                 unit_plan.layout.num_partitions if route == "sharded" else None
             ),
             plan=unit_plan,
+            trace_ctx=trace_ctx,
         )
         plan_summary = unit_plan.summary()
+        dispatched_perf = time.perf_counter()
+        dispatched_wall = time.time()
         for p in members:
             p.plan = plan_summary
+            p.dispatched_perf = dispatched_perf
+            p.dispatched_wall = dispatched_wall
         with self._lock:
             self._inflight[unit.unit_id] = [
                 p.request.request_id for p in members
             ]
-            self._dispatched_at[unit.unit_id] = time.perf_counter()
+            self._dispatched_at[unit.unit_id] = dispatched_perf
             self.stats.units_dispatched += 1
+            self.metrics.counter("units_dispatched").inc()
+            self.metrics.counter("route_requests", route=route).inc(len(members))
             if route == "out_of_memory":
                 self.stats.oom_requests += len(members)
             if route == "sharded":
                 self.stats.sharded_requests += len(members)
             if len(members) > 1:
                 self.stats.coalesced_requests += len(members)
+                self.metrics.counter("coalesced_requests").inc(len(members))
         self._pool.submit(unit)
 
     # ------------------------------------------------------------------ #
@@ -659,6 +732,11 @@ class SamplingService:
             request_ids = self._inflight.pop(result.unit_id, [])
             self._claims.pop(result.unit_id, None)
             self._dispatched_at.pop(result.unit_id, None)
+        # Spans/feedback minted in a process worker ride home on the result.
+        if getattr(result, "spans", None):
+            _trace.ingest(result.spans)
+        if getattr(result, "feedback", None):
+            FEEDBACK.ingest(result.feedback)
         if result.error is not None:
             for request_id in request_ids:
                 self._fail(request_id, result.error,
@@ -675,11 +753,43 @@ class SamplingService:
             if payload.error is not None:
                 with self._lock:
                     self.stats.requests_failed += 1
+                    self.metrics.counter("requests_failed").inc()
                 self._set_future(
                     pending.future, exception=ServiceError(payload.error)
                 )
                 self._note_resolved(pending)
                 continue
+            extra: Dict[str, object] = {"latency_s": latency}
+            queue_wait = None
+            if pending.dispatched_perf:
+                # Submit -> dispatch wait (coalescing window + queueing),
+                # separated from the execute wall so window latency is
+                # visible per response.
+                queue_wait = pending.dispatched_perf - pending.enqueued_at
+                extra["queue_wait_s"] = queue_wait
+                extra["execute_s"] = latency - queue_wait
+            if pending.trace_id is not None:
+                extra["trace_id"] = pending.trace_id
+                now_wall = time.time()
+                _trace.record_span(
+                    "queue_wait",
+                    trace_id=pending.trace_id,
+                    parent_id=pending.root_span_id,
+                    start_s=pending.submitted_wall,
+                    end_s=pending.dispatched_wall or now_wall,
+                )
+                _trace.record_span(
+                    "request",
+                    trace_id=pending.trace_id,
+                    span_id=pending.root_span_id,
+                    parent_id=None,
+                    start_s=pending.submitted_wall,
+                    end_s=now_wall,
+                    request_id=payload.request_id,
+                    graph=pending.request.graph,
+                    algorithm=pending.request.algorithm,
+                    route=payload.route,
+                )
             response = SampleResponse(
                 request_id=payload.request_id,
                 graph=pending.request.graph,
@@ -692,12 +802,28 @@ class SamplingService:
                 route=payload.route,
                 epoch=pending.epoch,
                 coalesced_with=payload.coalesced_with,
-                stats={**payload.stats, "latency_s": latency},
+                stats={**payload.stats, **extra},
                 plan=pending.plan,
             )
             with self._lock:
                 self.stats.requests_completed += 1
                 self.stats.latencies_s.append(latency)
+                self.metrics.counter("requests_completed").inc()
+            self.metrics.histogram(
+                "request_latency_s", route=payload.route
+            ).observe(latency)
+            if queue_wait is not None:
+                self.metrics.histogram("queue_wait_s").observe(queue_wait)
+                self.metrics.histogram("execute_s").observe(latency - queue_wait)
+            cache_hits = payload.stats.get("kernel_cache_hits")
+            if cache_hits is not None:
+                self.metrics.counter("kernel_cache_hits").inc(int(cache_hits))
+                self.metrics.counter("kernel_cache_misses").inc(
+                    int(payload.stats.get("kernel_cache_misses", 0))
+                )
+            migrations = payload.stats.get("migrations")
+            if migrations:
+                self.metrics.counter("walker_migrations").inc(int(migrations))
             self._set_future(pending.future, result=response)
             self._note_resolved(pending)
         for request_id in request_ids:
@@ -709,6 +835,7 @@ class SamplingService:
             pending = self._pending.pop(request_id, None)
             if pending is not None:
                 self.stats.requests_failed += 1
+                self.metrics.counter("requests_failed").inc()
         if pending is not None:
             self._set_future(
                 pending.future,
@@ -763,6 +890,14 @@ class SamplingService:
             # either a pinnable epoch or a KeyError, never the gap between
             # un-retiring and unlinking.
             self.store.release(name, epoch)
+            self.metrics.counter("epoch_retirements").inc()
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    def metrics_text(self) -> str:
+        """Prometheus-style text dump of the service's metrics registry."""
+        return self.metrics.render_prometheus()
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -37,8 +37,11 @@ from repro.api.instance import make_instances
 from repro.api.sampler import GraphSampler
 from repro.engine.hetero import run_coalesced
 from repro.graph.csr import CSRGraph
+from repro.compiled.compiler import kernel_cache_stats
 from repro.oom.scheduler import OutOfMemoryConfig, OutOfMemorySampler
 from repro.service.store import SharedGraphHandle, attach
+from repro.telemetry import trace as _trace
+from repro.telemetry.feedback import FEEDBACK
 
 __all__ = [
     "RequestSpec",
@@ -81,6 +84,9 @@ class WorkUnit:
     #: worker-facing projection; directly constructed units (tests) may
     #: omit it.
     plan: Optional[object] = None
+    #: Telemetry trace context of the (head) request this unit serves, so
+    #: worker-side spans join the request's trace; ``None`` = tracing off.
+    trace_ctx: Optional[tuple] = None
 
 
 @dataclass
@@ -93,7 +99,9 @@ class RequestPayload:
     iteration_counts: List[int] = field(default_factory=list)
     route: str = "in_memory"
     coalesced_with: int = 1
-    stats: Dict[str, float] = field(default_factory=dict)
+    #: Numeric run statistics plus telemetry annotations (``step_tier`` is
+    #: a string; everything else stays a float).
+    stats: Dict[str, object] = field(default_factory=dict)
     error: Optional[str] = None
 
 
@@ -108,6 +116,12 @@ class UnitResult:
     #: backstops are transient: the requests were not at fault and a
     #: resubmit is safe (clients retry exactly these).
     transient: bool = False
+    #: Telemetry span records drained from a process worker's buffer,
+    #: shipped home so the front-end re-ingests them into one tree (empty
+    #: for thread/inline workers, which share the front-end's buffer).
+    spans: List = field(default_factory=list)
+    #: Plan-cost feedback records drained alongside the spans.
+    feedback: List = field(default_factory=list)
 
 
 # --------------------------------------------------------------------------- #
@@ -128,6 +142,12 @@ def _payload_from_result(spec: RequestSpec, result, route: str,
     )
 
 
+def _annotate_step_tier(payload: RequestPayload, unit: WorkUnit) -> None:
+    """Surface the plan's compiled/interpreted decision on the payload."""
+    if unit.plan is not None:
+        payload.stats["step_tier"] = unit.plan.step_tier
+
+
 def execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
     """Run one work unit against an already-attached graph.
 
@@ -137,7 +157,24 @@ def execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
     projection and the fallback for directly constructed units.  Each
     branch below delegates to a facade that itself plans + executes on the
     shared executor, so the worker never re-implements a run loop.
+
+    When the unit carries a trace context the whole execution is adopted
+    into that trace under a ``unit`` span, so worker-side spans connect to
+    the front-end's request span.
     """
+    ctx = unit.trace_ctx
+    if ctx is None:
+        return _execute_unit(graph, unit)
+    with _trace.activated(ctx), _trace.span(
+        "unit",
+        unit_id=unit.unit_id,
+        route=unit.route,
+        requests=len(unit.requests),
+    ):
+        return _execute_unit(graph, unit)
+
+
+def _execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
     from repro.algorithms.registry import get_algorithm
 
     info = get_algorithm(unit.algorithm)
@@ -189,6 +226,7 @@ def execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
                 payload.stats["makespan"] = float(cluster_result.makespan())
                 payload.stats["num_shards"] = float(cluster_result.num_shards)
                 payload.stats["migrations"] = float(cluster_result.migrations)
+                _annotate_step_tier(payload, unit)
                 payloads.append(payload)
             except Exception:
                 payloads.append(RequestPayload(
@@ -215,6 +253,7 @@ def execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
                     spec, oom_result.sample, "out_of_memory", 1
                 )
                 payload.stats["makespan"] = float(oom_result.makespan)
+                _annotate_step_tier(payload, unit)
                 payloads.append(payload)
             except Exception:
                 payloads.append(RequestPayload(
@@ -232,11 +271,23 @@ def execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
                 )
                 for spec in unit.requests
             ]
+            cache_before = kernel_cache_stats()
             results = run_coalesced(graph, probe, unit.config, members)
+            cache_after = kernel_cache_stats()
             for spec, result in zip(unit.requests, results):
-                payloads.append(_payload_from_result(
+                payload = _payload_from_result(
                     spec, result, "in_memory", len(unit.requests)
-                ))
+                )
+                # One kernel lookup served the fused batch; every member
+                # reports the shared delta.
+                payload.stats["kernel_cache_hits"] = float(
+                    cache_after["hits"] - cache_before["hits"]
+                )
+                payload.stats["kernel_cache_misses"] = float(
+                    cache_after["misses"] - cache_before["misses"]
+                )
+                _annotate_step_tier(payload, unit)
+                payloads.append(payload)
             return UnitResult(unit_id=unit.unit_id, payloads=payloads)
         except Exception:
             # One member's failure must not take down the whole batch: fall
@@ -258,8 +309,17 @@ def execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
             sampler = GraphSampler(
                 graph, info.program_factory(**kwargs), unit.config
             )
+            cache_before = kernel_cache_stats()
             result = sampler.run(list(spec.seeds), num_instances=spec.num_instances)
+            cache_after = kernel_cache_stats()
             payload = _payload_from_result(spec, result, "in_memory", 1)
+            payload.stats["kernel_cache_hits"] = float(
+                cache_after["hits"] - cache_before["hits"]
+            )
+            payload.stats["kernel_cache_misses"] = float(
+                cache_after["misses"] - cache_before["misses"]
+            )
+            _annotate_step_tier(payload, unit)
             if fell_back:
                 payload.stats["coalesced_fallback"] = 1.0
             payloads.append(payload)
@@ -277,6 +337,10 @@ def _process_worker_main(task_queue, result_queue) -> None:
     """Process-mode worker: attach shared graphs lazily, loop until sentinel."""
     import os
 
+    # A forked worker inherits the front-end's span/feedback buffers; those
+    # records belong to the parent and must not ship home again.
+    _trace.clear()
+    FEEDBACK.clear()
     attached: Dict[str, object] = {}
     try:
         while True:
@@ -297,6 +361,11 @@ def _process_worker_main(task_queue, result_queue) -> None:
                     mapping = attach(unit.handle)
                     attached[unit.handle.name] = mapping
                 result = execute_unit(mapping.graph, unit)
+                if unit.trace_ctx is not None:
+                    # Process boundary: spans and plan-cost feedback minted
+                    # here must travel home inside the result message.
+                    result.spans = _trace.drain()
+                    result.feedback = FEEDBACK.drain()
             except Exception:
                 result = UnitResult(
                     unit_id=unit.unit_id, error=traceback.format_exc(limit=8)

@@ -1,0 +1,102 @@
+"""Unified telemetry: structured tracing, metrics and plan-cost feedback.
+
+One zero-dependency subsystem observes every layer of the stack:
+
+* :mod:`repro.telemetry.trace` -- lightweight spans with a trace id minted
+  per request and propagated through :class:`~repro.service.workers.WorkUnit`
+  into process workers and through
+  :class:`~repro.distributed.router.WalkerEnvelope` across cluster shards,
+  so one sampling request yields a single coherent span tree covering
+  admission -> plan -> dispatch -> per-depth engine (or compiled-kernel)
+  steps -> migration epochs -> reassembly;
+* :mod:`repro.telemetry.metrics` -- a process-local registry of counters and
+  fixed-bucket histograms (no locks on the hot path, mergeable across
+  workers) behind the service's per-route latency / queue-wait / fusion-rate
+  / kernel-cache statistics and a Prometheus-style text dump;
+* :mod:`repro.telemetry.export` -- JSON and Chrome ``trace_event`` exporters
+  (viewable in ``chrome://tracing`` / Perfetto) plus span-tree helpers;
+* :mod:`repro.telemetry.feedback` -- every executed plan records predicted
+  vs actual cost, so :func:`repro.planner.calibration.fit_from_telemetry`
+  can refresh the host calibration from live traffic.
+
+**Overhead contract.**  Telemetry is disabled by default and the disabled
+mode costs near zero: every instrumented hot path is guarded by a no-op
+span / a single boolean check, and ``benchmarks/bench_telemetry_overhead.py``
+pins the total disabled-mode instrumentation cost of a run below 3% of its
+wall time.  Enabling telemetry never changes sampling results -- spans and
+metrics observe the RNG-independent control flow only (asserted over the
+full 13-algorithm x 4-route matrix by
+``tests/integration/test_telemetry_bitcompat.py``).
+
+Enable with :func:`enable` (or ``REPRO_TELEMETRY=1``), disable with
+:func:`disable`.
+"""
+
+from repro.telemetry.trace import (
+    Span,
+    SpanRecord,
+    TraceContext,
+    activated,
+    active,
+    clear,
+    current,
+    disable,
+    drain,
+    enable,
+    enabled,
+    ingest,
+    new_span_id,
+    new_trace_id,
+    record_span,
+    span,
+    spans,
+    spans_for,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.telemetry.export import (
+    chrome_trace_events,
+    format_tree,
+    is_connected,
+    span_tree,
+    write_chrome_trace,
+    write_json,
+)
+from repro.telemetry.feedback import FEEDBACK, PlanFeedbackSink
+
+__all__ = [
+    "Counter",
+    "FEEDBACK",
+    "Histogram",
+    "MetricsRegistry",
+    "PlanFeedbackSink",
+    "REGISTRY",
+    "Span",
+    "SpanRecord",
+    "TraceContext",
+    "activated",
+    "active",
+    "chrome_trace_events",
+    "clear",
+    "current",
+    "disable",
+    "drain",
+    "enable",
+    "enabled",
+    "format_tree",
+    "ingest",
+    "is_connected",
+    "new_span_id",
+    "new_trace_id",
+    "record_span",
+    "span",
+    "span_tree",
+    "spans",
+    "spans_for",
+    "write_chrome_trace",
+    "write_json",
+]

@@ -1,0 +1,151 @@
+"""Span exporters: JSON, Chrome ``trace_event`` format, and tree helpers.
+
+``write_chrome_trace`` produces a file loadable in ``chrome://tracing`` or
+https://ui.perfetto.dev -- each span becomes a complete ("ph": "X") event
+with microsecond timestamps, laid out per process/thread, with trace and
+span ids in ``args`` for cross-referencing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.telemetry.trace import SpanRecord
+
+__all__ = [
+    "chrome_trace_events",
+    "format_tree",
+    "is_connected",
+    "span_tree",
+    "write_chrome_trace",
+    "write_json",
+]
+
+
+def _record_dict(record: SpanRecord) -> Dict[str, object]:
+    return {
+        "trace_id": record.trace_id,
+        "span_id": record.span_id,
+        "parent_id": record.parent_id,
+        "name": record.name,
+        "start_s": record.start_s,
+        "end_s": record.end_s,
+        "duration_s": record.duration_s,
+        "attrs": dict(record.attrs),
+        "pid": record.pid,
+        "tid": record.tid,
+    }
+
+
+def write_json(records: Sequence[SpanRecord],
+               path: Union[str, Path, None] = None) -> str:
+    """Serialize spans to a JSON array; optionally write it to ``path``."""
+    text = json.dumps([_record_dict(r) for r in records], indent=2,
+                      default=str)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def chrome_trace_events(records: Sequence[SpanRecord]) -> List[Dict[str, object]]:
+    """Spans as Chrome ``trace_event`` complete events (+ process metadata)."""
+    events: List[Dict[str, object]] = []
+    seen_pids = set()
+    for record in records:
+        if record.pid not in seen_pids:
+            seen_pids.add(record.pid)
+            events.append({
+                "ph": "M",
+                "name": "process_name",
+                "pid": record.pid,
+                "args": {"name": "repro pid %d" % record.pid},
+            })
+        events.append({
+            "ph": "X",
+            "name": record.name,
+            "cat": "repro",
+            "ts": record.start_s * 1e6,
+            "dur": max(record.duration_s, 0.0) * 1e6,
+            "pid": record.pid,
+            "tid": record.tid,
+            "args": {
+                "trace_id": record.trace_id,
+                "span_id": record.span_id,
+                "parent_id": record.parent_id,
+                **{k: str(v) for k, v in record.attrs.items()},
+            },
+        })
+    return events
+
+
+def write_chrome_trace(records: Sequence[SpanRecord],
+                       path: Union[str, Path]) -> Path:
+    """Write spans as a ``{"traceEvents": [...]}`` Chrome trace file."""
+    path = Path(path)
+    path.write_text(json.dumps(
+        {"traceEvents": chrome_trace_events(records),
+         "displayTimeUnit": "ms"},
+        default=str))
+    return path
+
+
+def span_tree(records: Sequence[SpanRecord]
+              ) -> Tuple[List[SpanRecord], Dict[str, List[SpanRecord]]]:
+    """Split spans into (roots, children-by-parent-span-id).
+
+    A span is a root when it has no parent id or its parent is absent from
+    ``records`` (the latter marks a broken tree; see :func:`is_connected`).
+    """
+    by_id = {r.span_id: r for r in records}
+    roots: List[SpanRecord] = []
+    children: Dict[str, List[SpanRecord]] = {}
+    for record in records:
+        if record.parent_id is not None and record.parent_id in by_id:
+            children.setdefault(record.parent_id, []).append(record)
+        else:
+            roots.append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda r: (r.start_s, r.span_id))
+    roots.sort(key=lambda r: (r.start_s, r.span_id))
+    return roots, children
+
+
+def is_connected(records: Sequence[SpanRecord],
+                 trace_id: Optional[str] = None) -> bool:
+    """True when spans form one tree: a single trace id, exactly one span
+    without a parent, and every other span's parent present in the set."""
+    if not records:
+        return False
+    trace_ids = {r.trace_id for r in records}
+    if trace_id is not None and trace_ids != {trace_id}:
+        return False
+    if len(trace_ids) != 1:
+        return False
+    by_id = {r.span_id: r for r in records}
+    if len(by_id) != len(records):
+        return False  # duplicate span ids
+    orphanless_roots = [r for r in records if r.parent_id is None]
+    if len(orphanless_roots) != 1:
+        return False
+    return all(r.parent_id in by_id for r in records
+               if r.parent_id is not None)
+
+
+def format_tree(records: Sequence[SpanRecord]) -> str:
+    """Human-readable indented rendering of the span tree (for debugging)."""
+    roots, children = span_tree(records)
+    lines: List[str] = []
+
+    def visit(record: SpanRecord, depth: int) -> None:
+        attrs = " ".join("%s=%s" % (k, v) for k, v in record.attrs.items())
+        lines.append("%s%s (%.3f ms)%s" % (
+            "  " * depth, record.name, record.duration_s * 1e3,
+            " [%s]" % attrs if attrs else ""))
+        for child in children.get(record.span_id, ()):
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    return "\n".join(lines)

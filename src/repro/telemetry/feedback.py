@@ -1,0 +1,74 @@
+"""Plan-cost feedback: predicted vs actual cost of every executed plan.
+
+The executor records one entry per plan execution when telemetry is
+active. Entries use the same record keys as the shipped benchmark files
+(``predicted_time_s`` / ``actual_time_s`` / ``bench`` / ``route``), so
+:func:`repro.planner.calibration.fit_calibration` consumes them directly
+and :func:`repro.planner.calibration.fit_from_telemetry` can refresh the
+host calibration from live traffic.
+
+Worker processes record into their own sink; the pool drains it alongside
+span buffers and ships the entries home inside the unit result, where the
+front-end re-ingests them.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, Dict, Iterable, List
+
+__all__ = ["FEEDBACK", "PlanFeedbackSink"]
+
+_DEFAULT_CAPACITY = 4096
+
+
+class PlanFeedbackSink:
+    """Bounded buffer of plan-outcome records (oldest dropped first)."""
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY) -> None:
+        self._records: Deque[Dict[str, object]] = collections.deque(
+            maxlen=capacity)
+
+    def record(self, plan, actual_time_s: float, *,
+               source: str = "live") -> Dict[str, object]:
+        """Store the outcome of one executed :class:`ExecutionPlan`."""
+        entry: Dict[str, object] = {
+            "bench": "%s:%s" % (source, plan.algorithm or plan.program_name
+                                or "program"),
+            "route": plan.route,
+            "algorithm": plan.algorithm,
+            "step_tier": plan.step_tier,
+            "num_instances": plan.num_instances,
+            "predicted_sampled_edges": int(plan.predicted_cost.sampled_edges),
+            "predicted_time_s": float(plan.predicted_time_s),
+            "calibrated_time_s": float(plan.calibrated_time_s),
+            "actual_time_s": float(actual_time_s),
+        }
+        self._records.append(entry)
+        return entry
+
+    def records(self) -> List[Dict[str, object]]:
+        return list(self._records)
+
+    def ingest(self, records: Iterable[Dict[str, object]]) -> None:
+        """Append records shipped from a worker process."""
+        self._records.extend(records)
+
+    def drain(self) -> List[Dict[str, object]]:
+        """Remove and return every buffered record (worker side)."""
+        records: List[Dict[str, object]] = []
+        while True:
+            try:
+                records.append(self._records.popleft())
+            except IndexError:
+                return records
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+# Process-global sink written by the executor, drained by worker pools.
+FEEDBACK = PlanFeedbackSink()

@@ -1,0 +1,278 @@
+"""Lightweight structured tracing with cross-process context propagation.
+
+Design goals, in order:
+
+1. **Near-zero disabled cost.**  :func:`span` is the only call sites pay.
+   With tracing off and no propagated context active it returns a shared
+   no-op span object without allocating -- one global check, one
+   thread-local read.  Nothing else runs.
+2. **One trace per request, across processes.**  A :class:`TraceContext`
+   is a tiny picklable pair ``(trace_id, span_id)``.  The service mints a
+   trace id per request and ships the context inside ``WorkUnit``; the
+   sharded executor ships it inside ``WalkerEnvelope``; receivers adopt it
+   with :func:`activated` so their spans join the caller's tree.  Span ids
+   embed the producing pid, so ids never collide across workers.
+3. **No locks on the hot path.**  Finished spans land in a process-local
+   bounded deque (``collections.deque`` append is atomic under the GIL).
+   Workers :func:`drain` their buffer and ship the records home inside the
+   result message; the front-end :func:`ingest`\\ s them back, yielding one
+   coherent tree.
+
+Spans record wall-clock epoch seconds (``time.time()``) so records from
+different processes line up on a shared axis in Chrome trace viewers.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, Iterator, List, NamedTuple, Optional
+
+__all__ = [
+    "Span",
+    "SpanRecord",
+    "TraceContext",
+    "activated",
+    "active",
+    "clear",
+    "current",
+    "disable",
+    "drain",
+    "enable",
+    "enabled",
+    "ingest",
+    "new_span_id",
+    "new_trace_id",
+    "record_span",
+    "span",
+    "spans",
+    "spans_for",
+]
+
+# Maximum finished spans retained per process; oldest are dropped first.
+_BUFFER_CAPACITY = 65536
+
+_enabled = os.environ.get("REPRO_TELEMETRY", "") == "1"
+
+_local = threading.local()
+
+_BUFFER: Deque["SpanRecord"] = collections.deque(maxlen=_BUFFER_CAPACITY)
+
+# Monotonic per-process sequence for span ids; combined with the pid so
+# ids minted in different worker processes never collide.
+_SEQUENCE = itertools.count(1)
+
+
+class TraceContext(NamedTuple):
+    """Picklable propagation token: the trace id plus the parent span id."""
+
+    trace_id: str
+    span_id: Optional[str] = None
+
+
+@dataclass
+class SpanRecord:
+    """A finished span. Plain data, picklable, cheap to ship across pipes."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start_s: float
+    end_s: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+    pid: int = 0
+    tid: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def enable() -> None:
+    """Turn telemetry on process-wide (spans, hot-path metrics, feedback)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn telemetry off. Already-buffered spans are kept until :func:`clear`."""
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    """Whether telemetry was enabled in this process."""
+    return _enabled
+
+
+def current() -> Optional[TraceContext]:
+    """The active trace context on this thread, or None."""
+    return getattr(_local, "ctx", None)
+
+
+def active() -> bool:
+    """True when spans would record: telemetry is enabled here, or a
+    propagated context is active on this thread (worker processes trace
+    on behalf of an enabled front-end without flipping their own switch)."""
+    return _enabled or getattr(_local, "ctx", None) is not None
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+def new_span_id() -> str:
+    return "%x.%x" % (os.getpid(), next(_SEQUENCE))
+
+
+class _NullSpan:
+    """Shared no-op span returned when tracing is inactive."""
+
+    __slots__ = ()
+    span_id: Optional[str] = None
+    trace_id: Optional[str] = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live span; use as a context manager. On exit it restores the
+    parent context and appends a :class:`SpanRecord` to the process buffer."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "attrs",
+                 "start_s", "_prev")
+
+    def __init__(self, name: str, trace_id: str, parent_id: Optional[str],
+                 attrs: Dict[str, object]):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.start_s = 0.0
+        self._prev: Optional[TraceContext] = None
+
+    def set(self, **attrs: object) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.start_s = time.time()
+        self._prev = getattr(_local, "ctx", None)
+        _local.ctx = TraceContext(self.trace_id, self.span_id)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        _local.ctx = self._prev
+        _BUFFER.append(SpanRecord(
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            start_s=self.start_s,
+            end_s=time.time(),
+            attrs=self.attrs,
+            pid=os.getpid(),
+            tid=threading.get_ident() & 0xFFFF,
+        ))
+        return False
+
+
+def span(name: str, **attrs: object):
+    """Open a span named ``name``.
+
+    Child of the thread's current span when one is active; otherwise a new
+    trace root when telemetry is enabled; otherwise the shared no-op span.
+    """
+    ctx = getattr(_local, "ctx", None)
+    if ctx is None:
+        if not _enabled:
+            return _NULL_SPAN
+        return Span(name, new_trace_id(), None, attrs)
+    return Span(name, ctx.trace_id, ctx.span_id, attrs)
+
+
+@contextmanager
+def activated(ctx: Optional[TraceContext]) -> Iterator[None]:
+    """Adopt a propagated context on this thread for the duration of the
+    block. ``None`` is a no-op, so call sites need no conditional."""
+    if ctx is None:
+        yield
+        return
+    prev = getattr(_local, "ctx", None)
+    _local.ctx = TraceContext(ctx[0], ctx[1])
+    try:
+        yield
+    finally:
+        _local.ctx = prev
+
+
+def record_span(name: str, *, trace_id: str, start_s: float, end_s: float,
+                span_id: Optional[str] = None, parent_id: Optional[str] = None,
+                **attrs: object) -> SpanRecord:
+    """Append an already-timed span directly.
+
+    Used for spans whose start and end happen on different threads (the
+    service opens a request's root span at submit time on the caller thread
+    and closes it on the collector thread).
+    """
+    rec = SpanRecord(
+        trace_id=trace_id,
+        span_id=span_id if span_id is not None else new_span_id(),
+        parent_id=parent_id,
+        name=name,
+        start_s=start_s,
+        end_s=end_s,
+        attrs=dict(attrs),
+        pid=os.getpid(),
+        tid=threading.get_ident() & 0xFFFF,
+    )
+    _BUFFER.append(rec)
+    return rec
+
+
+def drain() -> List[SpanRecord]:
+    """Remove and return every buffered span (worker side of shipping)."""
+    records: List[SpanRecord] = []
+    while True:
+        try:
+            records.append(_BUFFER.popleft())
+        except IndexError:
+            return records
+
+
+def ingest(records: Iterable[SpanRecord]) -> None:
+    """Append spans shipped from another process into the local buffer."""
+    _BUFFER.extend(records)
+
+
+def spans() -> List[SpanRecord]:
+    """Snapshot of all buffered spans, oldest first."""
+    return list(_BUFFER)
+
+
+def spans_for(trace_id: str) -> List[SpanRecord]:
+    """Buffered spans belonging to one trace, oldest first."""
+    return [r for r in _BUFFER if r.trace_id == trace_id]
+
+
+def clear() -> None:
+    """Discard every buffered span."""
+    _BUFFER.clear()

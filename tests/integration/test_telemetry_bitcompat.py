@@ -1,0 +1,114 @@
+"""Telemetry must never perturb sampling: spans and metrics observe control
+flow only, so every (algorithm x route) cell of the cross-route matrix has to
+stay bit-identical with telemetry enabled vs disabled.
+
+This is the observability counterpart of ``test_cross_route_matrix``: the
+same 13x4 matrix, but comparing a telemetry-off run against a telemetry-on
+run of the *same* leg (and asserting the enabled leg actually recorded
+spans, so the instrumentation cannot silently pass by being dead code).
+"""
+
+import pytest
+
+from repro.algorithms.registry import ALGORITHM_REGISTRY
+from repro.api.instance import make_instances
+from repro.api.sampler import GraphSampler
+from repro.distributed import ShardedSamplingCluster
+from repro.engine.hetero import run_coalesced
+from repro.graph.generators import powerlaw_graph
+from repro.oom.scheduler import OutOfMemoryConfig, OutOfMemorySampler
+from repro import telemetry as tel
+
+from bitcompat import fingerprint
+
+ALL_ALGORITHMS = sorted(ALGORITHM_REGISTRY)
+ROUTES = ("in_memory", "coalesced", "out_of_memory", "sharded")
+
+NUM_SEEDS = 10
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(150, 6.0, exponent=2.2, seed=5)
+
+
+@pytest.fixture(scope="module")
+def seeds(graph):
+    step = graph.num_vertices // NUM_SEEDS
+    return [int(s) for s in range(0, graph.num_vertices, step)][:NUM_SEEDS]
+
+
+def _run_in_memory(graph, info, seeds):
+    config = info.config_factory(seed=11)
+    result = GraphSampler(graph, info.program_factory(), config).run(seeds)
+    return fingerprint(result)
+
+
+def _run_coalesced(graph, info, seeds):
+    if not info.program_factory().supports_coalescing:
+        pytest.skip("stateful program: the planner refuses the coalesced route")
+    config = info.config_factory(seed=11)
+    halves = [seeds[:5], seeds[5:]]
+    batch = run_coalesced(
+        graph, info.program_factory(), config,
+        [make_instances(h) for h in halves],
+    )
+    return tuple(fingerprint(member) for member in batch)
+
+
+def _run_out_of_memory(graph, info, seeds):
+    config = info.config_factory(seed=9)
+    sampler = OutOfMemorySampler(
+        graph, info.program_factory(), config,
+        OutOfMemoryConfig.fully_optimized(num_partitions=3),
+    )
+    run = sampler.run(seeds)
+    return fingerprint(run.sample), run.rounds
+
+
+def _run_sharded(graph, info, seeds):
+    cluster = ShardedSamplingCluster(graph, info.name, num_shards=3)
+    return fingerprint(cluster.run(seeds).result)
+
+
+_RUNNERS = {
+    "in_memory": _run_in_memory,
+    "coalesced": _run_coalesced,
+    "out_of_memory": _run_out_of_memory,
+    "sharded": _run_sharded,
+}
+
+
+@pytest.fixture()
+def telemetry_toggle():
+    """Clean slate; restores the telemetry switch and buffers afterwards."""
+    was_enabled = tel.enabled()
+    tel.disable()
+    tel.clear()
+    tel.FEEDBACK.clear()
+    yield
+    if was_enabled:
+        tel.enable()
+    else:
+        tel.disable()
+    tel.clear()
+    tel.FEEDBACK.clear()
+
+
+class TestTelemetryBitCompat:
+    @pytest.mark.parametrize("route", ROUTES)
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_enabled_telemetry_is_bit_identical(self, graph, seeds, algorithm,
+                                                route, telemetry_toggle):
+        runner = _RUNNERS[route]
+        info = ALGORITHM_REGISTRY[algorithm]
+        baseline = runner(graph, info, seeds)
+        assert tel.spans() == []  # disabled run must not record
+
+        tel.enable()
+        try:
+            traced = runner(graph, info, seeds)
+            assert tel.spans(), "enabled run recorded no spans"
+        finally:
+            tel.disable()
+        assert baseline == traced

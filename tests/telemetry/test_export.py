@@ -1,0 +1,131 @@
+"""Unit tests of the exporters: JSON, Chrome trace_event, tree helpers."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.export import (
+    chrome_trace_events,
+    format_tree,
+    is_connected,
+    span_tree,
+    write_chrome_trace,
+    write_json,
+)
+from repro.telemetry.trace import SpanRecord
+
+
+def _rec(span_id, parent_id=None, *, trace_id="t1", name="s", start=1.0,
+         end=2.0, pid=100, **attrs):
+    return SpanRecord(trace_id=trace_id, span_id=span_id, parent_id=parent_id,
+                      name=name, start_s=start, end_s=end, attrs=attrs,
+                      pid=pid, tid=1)
+
+
+def _tree():
+    return [
+        _rec("r", name="request", start=0.0, end=3.0),
+        _rec("u", "r", name="unit", start=1.0, end=2.5),
+        _rec("d1", "u", name="depth_step", start=1.0, end=1.5, depth=0),
+        _rec("d2", "u", name="depth_step", start=1.5, end=2.0, depth=1),
+    ]
+
+
+class TestJson:
+    def test_round_trips_every_field(self, tmp_path):
+        path = tmp_path / "spans.json"
+        text = write_json(_tree(), path)
+        assert path.read_text() == text
+        rows = json.loads(text)
+        assert [r["name"] for r in rows] == [
+            "request", "unit", "depth_step", "depth_step"]
+        assert rows[2]["attrs"] == {"depth": 0}
+        assert rows[0]["duration_s"] == 3.0
+
+    def test_path_is_optional(self):
+        assert json.loads(write_json([]))== []
+
+
+class TestChromeTrace:
+    def test_events_carry_microsecond_timestamps(self):
+        events = chrome_trace_events(_tree())
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 4
+        root = xs[0]
+        assert root["ts"] == 0.0
+        assert root["dur"] == 3.0 * 1e6
+        assert root["args"]["span_id"] == "r"
+        assert root["args"]["parent_id"] is None
+
+    def test_one_process_metadata_event_per_pid(self):
+        records = _tree() + [_rec("w", "u", pid=200)]
+        events = chrome_trace_events(records)
+        metas = [e for e in events if e["ph"] == "M"]
+        assert [m["pid"] for m in metas] == [100, 200]
+        assert all(m["name"] == "process_name" for m in metas)
+
+    def test_attrs_are_stringified_into_args(self):
+        (meta, event) = chrome_trace_events([_rec("a", depth=3)])
+        assert meta["ph"] == "M"
+        assert event["args"]["depth"] == "3"
+
+    def test_write_chrome_trace_file_loads(self, tmp_path):
+        path = write_chrome_trace(_tree(), tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) == 5  # 4 spans + 1 process meta
+
+
+class TestSpanTree:
+    def test_roots_and_children(self):
+        roots, children = span_tree(_tree())
+        assert [r.span_id for r in roots] == ["r"]
+        assert [c.span_id for c in children["r"]] == ["u"]
+        assert [c.span_id for c in children["u"]] == ["d1", "d2"]
+
+    def test_children_sorted_by_start_time(self):
+        records = [
+            _rec("r", name="root"),
+            _rec("late", "r", start=2.0),
+            _rec("early", "r", start=0.5),
+        ]
+        _, children = span_tree(records)
+        assert [c.span_id for c in children["r"]] == ["early", "late"]
+
+    def test_orphan_becomes_root(self):
+        roots, _ = span_tree([_rec("a"), _rec("b", "missing")])
+        assert {r.span_id for r in roots} == {"a", "b"}
+
+    def test_format_tree_indents(self):
+        text = format_tree(_tree())
+        lines = text.splitlines()
+        assert lines[0].startswith("request")
+        assert lines[1].startswith("  unit")
+        assert lines[2].startswith("    depth_step")
+        assert "depth=0" in lines[2]
+
+
+class TestIsConnected:
+    def test_single_tree_is_connected(self):
+        assert is_connected(_tree())
+        assert is_connected(_tree(), "t1")
+
+    def test_wrong_trace_id_rejected(self):
+        assert not is_connected(_tree(), "other")
+
+    def test_empty_is_not_connected(self):
+        assert not is_connected([])
+
+    def test_two_trace_ids_rejected(self):
+        records = _tree() + [_rec("x", trace_id="t2")]
+        assert not is_connected(records)
+
+    def test_missing_parent_rejected(self):
+        records = _tree() + [_rec("ghost", "nowhere")]
+        assert not is_connected(records)
+
+    def test_two_roots_rejected(self):
+        assert not is_connected([_rec("a"), _rec("b")])
+
+    def test_duplicate_span_ids_rejected(self):
+        assert not is_connected([_rec("a"), _rec("a")])

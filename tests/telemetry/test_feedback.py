@@ -1,0 +1,89 @@
+"""Plan-cost feedback: executed plans feed the calibration fit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import get_algorithm
+from repro.api.sampler import GraphSampler
+from repro.planner.calibration import Calibration, fit_from_telemetry
+from repro.telemetry.feedback import FEEDBACK, PlanFeedbackSink
+
+
+def _sampler(graph):
+    info = get_algorithm("deepwalk")
+    return GraphSampler(graph, info.program_factory(),
+                        info.config_factory(seed=7, depth=4))
+
+
+class TestSink:
+    def test_record_uses_calibration_compatible_keys(self, telemetry,
+                                                     small_powerlaw_graph):
+        plan = _sampler(small_powerlaw_graph).plan(range(10))
+        sink = PlanFeedbackSink()
+        entry = sink.record(plan, 0.125)
+        # "live:" + the plan's algorithm or program name
+        assert entry["bench"].startswith("live:")
+        assert "deepwalk" in entry["bench"].lower()
+        assert entry["route"] == "in_memory"
+        assert entry["actual_time_s"] == 0.125
+        assert entry["predicted_time_s"] == plan.predicted_time_s
+        assert entry["step_tier"] == plan.step_tier
+        assert len(sink) == 1
+        assert sink.records() == [entry]
+
+    def test_drain_and_ingest_round_trip(self, telemetry, small_powerlaw_graph):
+        plan = _sampler(small_powerlaw_graph).plan(range(10))
+        worker, front = PlanFeedbackSink(), PlanFeedbackSink()
+        worker.record(plan, 0.1)
+        worker.record(plan, 0.2)
+        shipped = worker.drain()
+        assert len(worker) == 0
+        front.ingest(shipped)
+        assert [e["actual_time_s"] for e in front.records()] == [0.1, 0.2]
+
+    def test_capacity_bounds_the_buffer(self, telemetry, small_powerlaw_graph):
+        plan = _sampler(small_powerlaw_graph).plan(range(10))
+        sink = PlanFeedbackSink(capacity=3)
+        for i in range(5):
+            sink.record(plan, float(i))
+        assert [e["actual_time_s"] for e in sink.records()] == [2.0, 3.0, 4.0]
+
+
+class TestExecutorFeedback:
+    def test_executed_plans_deposit_records(self, telemetry,
+                                            small_powerlaw_graph):
+        _sampler(small_powerlaw_graph).run(range(10))
+        records = FEEDBACK.records()
+        assert len(records) >= 1
+        entry = records[-1]
+        assert entry["route"] == "in_memory"
+        assert entry["actual_time_s"] > 0.0
+
+    def test_disabled_telemetry_records_nothing(self, telemetry_off,
+                                                small_powerlaw_graph):
+        _sampler(small_powerlaw_graph).run(range(10))
+        assert len(FEEDBACK) == 0
+
+
+class TestFitFromTelemetry:
+    def test_fits_live_traffic(self, telemetry, small_powerlaw_graph):
+        sampler = _sampler(small_powerlaw_graph)
+        for _ in range(3):
+            sampler.run(range(10))
+        cal = fit_from_telemetry()
+        assert isinstance(cal, Calibration)
+        assert cal.time_scale > 0.0
+        assert any(label.startswith("live:") for label in cal.fitted_from)
+
+    def test_explicit_sink(self, telemetry, small_powerlaw_graph):
+        plan = _sampler(small_powerlaw_graph).plan(range(10))
+        sink = PlanFeedbackSink()
+        sink.record(plan, plan.predicted_time_s * 2.0)
+        cal = fit_from_telemetry(sink, compiled_speedup=4.0)
+        assert cal.time_scale == pytest.approx(2.0)
+        assert cal.compiled_speedup == 4.0
+
+    def test_empty_sink_raises(self, telemetry):
+        with pytest.raises(ValueError, match="no records"):
+            fit_from_telemetry(PlanFeedbackSink())

@@ -1,0 +1,164 @@
+"""Unit tests of the metrics registry: counters, histograms, exposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_merge(self):
+        a, b = Counter(), Counter()
+        a.inc()
+        a.inc(4)
+        b.inc(2)
+        a.merge(b)
+        assert a.value == 7
+        assert b.value == 2
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        h = Histogram()
+        assert h.summary() == {"count": 0, "mean_s": 0.0, "min_s": 0.0,
+                               "max_s": 0.0, "p50_s": 0.0, "p99_s": 0.0}
+        assert h.percentile(50.0) == 0.0
+
+    def test_observe_tracks_count_mean_extremes(self):
+        h = Histogram()
+        for v in (0.001, 0.002, 0.003):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(0.002)
+        assert h.min == 0.001
+        assert h.max == 0.003
+
+    def test_percentiles_clamp_to_observed_range(self):
+        h = Histogram()
+        for _ in range(100):
+            h.observe(0.005)
+        # everything in one bucket: interpolation must not escape [min, max]
+        assert h.percentile(1.0) == 0.005
+        assert h.percentile(50.0) == 0.005
+        assert h.percentile(99.0) == 0.005
+
+    def test_percentile_resolution_within_one_bucket(self):
+        h = Histogram()
+        for i in range(1, 101):
+            h.observe(i / 1000.0)  # 1ms .. 100ms
+        p50 = h.percentile(50.0)
+        p99 = h.percentile(99.0)
+        # successive DEFAULT_BUCKETS bounds differ by 2x: estimates are
+        # accurate to within one doubling of the true rank values.
+        assert 0.025 <= p50 <= 0.1
+        assert 0.05 <= p99 <= 0.1
+        assert p50 <= p99
+
+    def test_percentiles_are_monotone_in_q(self):
+        h = Histogram()
+        for i in range(1, 201):
+            h.observe(i * 1e-4)
+        qs = [1, 10, 25, 50, 75, 90, 99, 100]
+        estimates = [h.percentile(q) for q in qs]
+        assert estimates == sorted(estimates)
+
+    def test_merge_accumulates(self):
+        a, b = Histogram(), Histogram()
+        a.observe(0.001)
+        b.observe(0.004)
+        b.observe(0.002)
+        a.merge(b)
+        assert a.count == 3
+        assert a.min == 0.001
+        assert a.max == 0.004
+        assert a.total == pytest.approx(0.007)
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a = Histogram()
+        b = Histogram(bounds=(0.1, 1.0))
+        with pytest.raises(ValueError, match="different buckets"):
+            a.merge(b)
+
+    def test_default_buckets_cover_microseconds_to_a_minute(self):
+        assert DEFAULT_BUCKETS[0] == 1e-6
+        assert DEFAULT_BUCKETS[-1] > 60.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_instruments_are_cached_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        assert reg.counter("hits") is reg.counter("hits")
+        assert reg.counter("hits", route="a") is not reg.counter("hits", route="b")
+        assert reg.histogram("lat") is reg.histogram("lat")
+
+    def test_find_histograms_returns_label_dicts(self):
+        reg = MetricsRegistry()
+        reg.histogram("request_latency_s", route="in_memory").observe(0.01)
+        reg.histogram("request_latency_s", route="sharded").observe(0.02)
+        reg.histogram("other").observe(1.0)
+        found = reg.find_histograms("request_latency_s")
+        assert [labels for labels, _ in found] == [
+            {"route": "in_memory"}, {"route": "sharded"}]
+
+    def test_merge_folds_worker_registry_into_frontend(self):
+        front, worker = MetricsRegistry(), MetricsRegistry()
+        front.counter("units").inc(1)
+        worker.counter("units").inc(2)
+        worker.counter("worker_only").inc(5)
+        worker.histogram("lat").observe(0.5)
+        front.merge(worker)
+        assert front.counter("units").value == 3
+        assert front.counter("worker_only").value == 5
+        assert front.histogram("lat").count == 1
+
+    def test_snapshot_flattens_with_label_suffixes(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        reg.histogram("lat", route="x").observe(0.25)
+        snap = reg.snapshot()
+        assert snap["hits"] == 3
+        assert snap['lat{route="x"}']["count"] == 1
+        assert snap['lat{route="x"}']["p50_s"] == 0.25
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        reg.clear()
+        assert reg.snapshot() == {}
+
+
+class TestPrometheus:
+    def test_counter_and_histogram_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("kernel_cache_hits").inc(2)
+        h = reg.histogram("request_latency_s", route="in_memory")
+        h.observe(0.01)
+        h.observe(0.02)
+        text = reg.render_prometheus()
+        assert "# TYPE repro_kernel_cache_hits counter" in text
+        assert "repro_kernel_cache_hits 2" in text
+        assert "# TYPE repro_request_latency_s histogram" in text
+        assert 'le="+Inf",route="in_memory"} 2' in text
+        assert 'repro_request_latency_s_count{route="in_memory"} 2' in text
+        assert 'repro_request_latency_s_sum{route="in_memory"} 0.03' in text
+        assert text.endswith("\n")
+
+    def test_bucket_counts_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = reg.render_prometheus()
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="1"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""

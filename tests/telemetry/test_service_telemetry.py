@@ -1,0 +1,184 @@
+"""Service-side telemetry: response stats, stats() snapshot, Prometheus
+dump, kernel-cache hit reporting and traced requests end to end."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.compiled.compiler import clear_kernel_cache
+from repro.graph.generators import powerlaw_graph
+from repro.service import SamplingClient, SamplingService
+from repro.telemetry import is_connected
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(400, 6.0, seed=2)
+
+
+@pytest.fixture()
+def service(graph):
+    svc = SamplingService(
+        num_workers=1, mode="inline", batch_window_s=0.0,
+        max_batch_requests=1, memory_budget_bytes=None,
+    )
+    svc.load_graph("g", graph)
+    yield svc
+    svc.shutdown()
+
+
+@pytest.fixture()
+def thread_service(graph):
+    svc = SamplingService(
+        num_workers=2, mode="thread", batch_window_s=0.01,
+        memory_budget_bytes=None,
+    )
+    svc.load_graph("g", graph)
+    yield svc
+    svc.shutdown()
+
+
+class TestKernelCacheStats:
+    """Satellite: the response reports the run's kernel-cache traffic."""
+
+    def test_second_identical_request_reports_a_cache_hit(self, service):
+        client = SamplingClient(service)
+        clear_kernel_cache()
+        first = client.sample("g", "simple_random_walk", [1, 2, 3],
+                              depth=5, seed=3, timeout=30)
+        second = client.sample("g", "simple_random_walk", [1, 2, 3],
+                               depth=5, seed=3, timeout=30)
+        assert first.stats["step_tier"] == "compiled"
+        assert first.stats["kernel_cache_misses"] >= 1
+        assert second.stats["step_tier"] == "compiled"
+        assert second.stats["kernel_cache_misses"] == 0
+        assert second.stats["kernel_cache_hits"] >= 1
+
+    def test_interpreted_requests_report_their_tier(self, service):
+        client = SamplingClient(service)
+        response = client.sample("g", "forest_fire_sampling", [1, 2], seed=1,
+                                 timeout=30)
+        assert response.stats["step_tier"] == "interpreted"
+
+
+class TestLatencyStats:
+    """Satellite: queue-wait vs execute time on every response."""
+
+    def test_response_breaks_latency_into_wait_and_execute(self, service):
+        client = SamplingClient(service)
+        response = client.sample("g", "deepwalk", [1, 2, 3], depth=4,
+                                 seed=1, timeout=30)
+        stats = response.stats
+        assert stats["latency_s"] > 0.0
+        assert stats["execute_s"] > 0.0
+        assert stats["queue_wait_s"] >= 0.0
+        # wait + execute tile the latency (different clocks: small slack)
+        assert stats["queue_wait_s"] + stats["execute_s"] <= stats["latency_s"] + 0.05
+        assert stats["attempts"] == 1.0
+
+    def test_thread_mode_reports_the_same_fields(self, thread_service):
+        client = SamplingClient(thread_service)
+        response = client.sample("g", "deepwalk", [5, 6], depth=4, seed=2,
+                                 timeout=30)
+        assert response.stats["queue_wait_s"] >= 0.0
+        assert response.stats["execute_s"] > 0.0
+
+
+class TestStatsSnapshot:
+    def test_stats_is_both_attribute_and_callable(self, service):
+        client = SamplingClient(service)
+        client.sample("g", "deepwalk", [1, 2], depth=4, seed=1, timeout=30)
+        # legacy attribute access keeps working ...
+        assert service.stats.requests_completed == 1
+        # ... and the ISSUE's service.stats() returns the enriched snapshot
+        snap = service.stats()
+        assert snap["requests_completed"] == 1
+        assert snap["units_dispatched"] >= 1
+
+    def test_snapshot_reports_per_route_percentiles(self, service):
+        client = SamplingClient(service)
+        for seed in range(4):
+            client.sample("g", "deepwalk", [seed, seed + 10], depth=4,
+                          seed=seed + 1, timeout=30)
+        snap = service.stats()
+        latency = snap["latency_by_route"]["in_memory"]
+        assert latency["count"] == 4
+        assert 0.0 < latency["p50_s"] <= latency["p99_s"]
+        assert snap["queue_wait"]["count"] == 4
+        assert snap["execute"]["count"] == 4
+        assert snap["kernel_cache_hit_rate"] >= 0.0
+
+    def test_fusion_rate_counts_coalesced_requests(self, thread_service):
+        client = SamplingClient(thread_service)
+        responses = {}
+
+        def issue(rank):
+            responses[rank] = client.sample(
+                "g", "simple_random_walk", [rank, rank + 50], depth=5,
+                seed=3, timeout=30)
+
+        threads = [threading.Thread(target=issue, args=(r,)) for r in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = thread_service.stats()
+        if max(r.coalesced_with for r in responses.values()) > 1:
+            assert snap["fusion_rate"] > 0.0
+        else:  # scheduling-dependent; the field must still be present
+            assert snap["fusion_rate"] == 0.0
+
+
+class TestPrometheusDump:
+    def test_metrics_text_exposes_latency_and_counters(self, service):
+        client = SamplingClient(service)
+        client.sample("g", "deepwalk", [1, 2], depth=4, seed=1, timeout=30)
+        text = service.metrics_text()
+        assert "# TYPE repro_requests_completed counter" in text
+        assert "repro_requests_completed 1" in text
+        assert "# TYPE repro_request_latency_s histogram" in text
+        assert 'route="in_memory"' in text
+        assert "repro_queue_wait_s_count 1" in text
+
+
+class TestTracedRequests:
+    def test_response_carries_a_connected_trace(self, telemetry, service):
+        client = SamplingClient(service)
+        response = client.sample("g", "deepwalk", [1, 2, 3], depth=4,
+                                 seed=1, timeout=30)
+        trace_id = response.stats["trace_id"]
+        records = telemetry.spans_for(trace_id)
+        assert is_connected(records, trace_id)
+        names = {r.name for r in records}
+        assert {"request", "queue_wait", "unit", "execute"} <= names
+        root = next(r for r in records if r.parent_id is None)
+        assert root.name == "request"
+        assert root.attrs["algorithm"] == "deepwalk"
+
+    def test_untraced_service_omits_trace_ids(self, telemetry_off, service):
+        client = SamplingClient(service)
+        response = client.sample("g", "deepwalk", [1, 2], depth=4, seed=1,
+                                 timeout=30)
+        assert "trace_id" not in response.stats
+
+    def test_process_workers_ship_spans_home(self, telemetry, graph):
+        svc = SamplingService(num_workers=1, mode="process",
+                              batch_window_s=0.0, max_batch_requests=1)
+        try:
+            svc.load_graph("g", graph)
+            client = SamplingClient(svc)
+            response = client.sample("g", "deepwalk", [1, 2, 3], depth=4,
+                                     seed=1, timeout=60)
+            trace_id = response.stats["trace_id"]
+            records = telemetry.spans_for(trace_id)
+            assert is_connected(records, trace_id)
+            names = {r.name for r in records}
+            assert {"request", "unit", "execute"} <= names
+            import os
+
+            worker_spans = [r for r in records if r.pid != os.getpid()]
+            assert worker_spans  # produced in the worker, shipped in the result
+        finally:
+            svc.shutdown()

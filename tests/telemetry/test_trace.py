@@ -1,0 +1,171 @@
+"""Unit tests of the tracing core: spans, propagation, buffers."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.telemetry import trace
+
+
+class TestDisabled:
+    def test_span_returns_shared_null_span(self, telemetry_off):
+        a = trace.span("anything", attr=1)
+        b = trace.span("else")
+        assert a is b  # the shared no-op object, no allocation per call
+
+    def test_null_span_records_nothing(self, telemetry_off):
+        with trace.span("invisible"):
+            pass
+        assert trace.spans() == []
+
+    def test_null_span_set_is_noop(self, telemetry_off):
+        with trace.span("invisible") as sp:
+            assert sp.set(tasks=3) is sp
+
+    def test_not_active(self, telemetry_off):
+        assert not trace.active()
+        assert trace.current() is None
+
+
+class TestEnabled:
+    def test_root_span_records(self, telemetry):
+        with trace.span("root", route="in_memory"):
+            pass
+        records = trace.spans()
+        assert len(records) == 1
+        rec = records[0]
+        assert rec.name == "root"
+        assert rec.parent_id is None
+        assert rec.attrs == {"route": "in_memory"}
+        assert rec.pid == os.getpid()
+        assert rec.end_s >= rec.start_s
+        assert rec.duration_s == rec.end_s - rec.start_s
+
+    def test_nested_spans_share_trace_and_link_parent(self, telemetry):
+        with trace.span("outer") as outer:
+            with trace.span("inner") as inner:
+                assert trace.current() == (inner.trace_id, inner.span_id)
+            assert trace.current() == (outer.trace_id, outer.span_id)
+        assert trace.current() is None
+        # children exit first, so the buffer holds [inner, outer]
+        inner_rec, outer_rec = trace.spans()
+        assert inner_rec.name == "inner"
+        assert inner_rec.trace_id == outer_rec.trace_id
+        assert inner_rec.parent_id == outer_rec.span_id
+        assert outer_rec.parent_id is None
+
+    def test_sibling_roots_get_distinct_traces(self, telemetry):
+        with trace.span("a"):
+            pass
+        with trace.span("b"):
+            pass
+        a, b = trace.spans()
+        assert a.trace_id != b.trace_id
+
+    def test_set_updates_attrs(self, telemetry):
+        with trace.span("s", fixed=1) as sp:
+            sp.set(tasks=7)
+        (rec,) = trace.spans()
+        assert rec.attrs == {"fixed": 1, "tasks": 7}
+
+    def test_span_ids_embed_pid_and_never_repeat(self, telemetry):
+        ids = {trace.new_span_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(i.startswith("%x." % os.getpid()) for i in ids)
+
+    def test_active_and_enabled(self, telemetry):
+        assert trace.enabled()
+        assert trace.active()
+
+
+class TestPropagation:
+    def test_activated_adopts_context(self, telemetry_off):
+        ctx = trace.TraceContext("cafe1234", "parent.1")
+        with trace.activated(ctx):
+            # a worker with telemetry off still traces for the caller
+            assert trace.active()
+            with trace.span("child"):
+                pass
+        assert not trace.active()
+        (rec,) = trace.spans()
+        assert rec.trace_id == "cafe1234"
+        assert rec.parent_id == "parent.1"
+
+    def test_activated_none_is_noop(self, telemetry_off):
+        with trace.activated(None):
+            assert not trace.active()
+            with trace.span("invisible"):
+                pass
+        assert trace.spans() == []
+
+    def test_activated_restores_previous_context(self, telemetry):
+        with trace.span("outer") as outer:
+            with trace.activated(trace.TraceContext("other", "x.1")):
+                assert trace.current().trace_id == "other"
+            assert trace.current() == (outer.trace_id, outer.span_id)
+
+    def test_plain_tuple_works_as_context(self, telemetry_off):
+        # WorkUnit / WalkerEnvelope ship the context as a picklable pair.
+        with trace.activated(("t1", "p.9")):
+            with trace.span("child"):
+                pass
+        (rec,) = trace.spans()
+        assert (rec.trace_id, rec.parent_id) == ("t1", "p.9")
+
+    def test_context_is_thread_local(self, telemetry):
+        seen = {}
+
+        def probe():
+            seen["ctx"] = trace.current()
+
+        with trace.span("outer"):
+            worker = threading.Thread(target=probe)
+            worker.start()
+            worker.join()
+        assert seen["ctx"] is None
+
+
+class TestBuffers:
+    def test_record_span_with_explicit_ids(self, telemetry):
+        rec = trace.record_span(
+            "request", trace_id="t", span_id="root.1", parent_id=None,
+            start_s=1.0, end_s=2.5, request_id=7)
+        assert rec in trace.spans()
+        assert rec.duration_s == 1.5
+        assert rec.attrs == {"request_id": 7}
+
+    def test_drain_empties_and_ingest_restores(self, telemetry):
+        with trace.span("a"):
+            pass
+        with trace.span("b"):
+            pass
+        shipped = trace.drain()
+        assert [r.name for r in shipped] == ["a", "b"]
+        assert trace.spans() == []
+        trace.ingest(shipped)
+        assert [r.name for r in trace.spans()] == ["a", "b"]
+
+    def test_spans_for_filters_by_trace(self, telemetry):
+        with trace.span("a") as a:
+            pass
+        with trace.span("b"):
+            pass
+        mine = trace.spans_for(a.trace_id)
+        assert [r.name for r in mine] == ["a"]
+
+    def test_clear_discards_everything(self, telemetry):
+        with trace.span("a"):
+            pass
+        trace.clear()
+        assert trace.spans() == []
+
+    def test_records_pickle(self, telemetry):
+        import pickle
+
+        with trace.span("a", k="v"):
+            pass
+        (rec,) = trace.spans()
+        clone = pickle.loads(pickle.dumps(rec))
+        assert clone == rec
+        assert pickle.loads(pickle.dumps(trace.TraceContext("t", "s"))) == ("t", "s")
