@@ -13,6 +13,12 @@ Production-shaped serving layer over the batched execution engine
   coalesces compatible requests arriving within a batching window into one
   multi-instance engine run, demultiplexes per-request results, and routes
   graphs larger than the memory budget to the out-of-memory sampler.
+* :class:`~repro.service.gateway.Gateway` -- the multi-tenant front door:
+  a deterministic result cache (:mod:`repro.service.cache`, bit-identical
+  hits without dispatching) and cost-based per-tenant admission control
+  (:mod:`repro.service.qos`, token buckets charged with planner-predicted
+  cost; over-quota tenants shed with :class:`~repro.service.qos.
+  AdmissionRejected` before any compute).
 * :class:`~repro.service.client.SamplingClient` /
   :class:`~repro.service.client.AsyncSamplingClient` -- blocking and asyncio
   front doors.
@@ -21,7 +27,15 @@ Per-request results are bit-identical to standalone sampler runs with the
 same seed regardless of coalescing (see ``docs/service.md``).
 """
 
+from repro.service.cache import CachedResult, SampleCache
 from repro.service.client import AsyncSamplingClient, SamplingClient
+from repro.service.gateway import Gateway, GatewayConfig
+from repro.service.qos import (
+    AdmissionController,
+    AdmissionRejected,
+    TenantQuota,
+    TokenBucket,
+)
 from repro.service.server import SamplingService, ServiceError, ServiceStats
 from repro.service.store import (
     AttachedGraph,
@@ -40,14 +54,22 @@ from repro.service.workers import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
     "AsyncSamplingClient",
     "AttachedGraph",
+    "CachedResult",
+    "Gateway",
+    "GatewayConfig",
     "RequestPayload",
     "RequestSpec",
+    "SampleCache",
     "SamplingClient",
     "SamplingService",
     "ServiceError",
     "ServiceStats",
+    "TenantQuota",
+    "TokenBucket",
     "SharedGraphHandle",
     "SharedGraphStore",
     "UnitResult",

@@ -23,17 +23,41 @@ program errors) are never retried.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Optional, Sequence
 
 from repro.api.requests import SampleRequest, SampleResponse
+from repro.service.qos import AdmissionRejected
 from repro.service.server import SamplingService, ServiceError
 
 __all__ = ["SamplingClient", "AsyncSamplingClient"]
+
+#: Longest a client retry sleeps on an admission retry-after hint.  Quotas
+#: refill continuously, so waiting longer than this per attempt only burns
+#: attempts the next refill window would have served.
+MAX_RETRY_AFTER_S = 5.0
 
 
 def _should_retry(error: ServiceError, attempt: int, attempts: int) -> bool:
     """Shared retry gate: resubmit only service-marked transient failures."""
     return attempt + 1 < attempts and bool(getattr(error, "transient", False))
+
+
+def _admission_backoff(
+    error: AdmissionRejected, attempt: int, attempts: int
+) -> Optional[float]:
+    """Seconds to wait before resubmitting a quota-shed request.
+
+    ``None`` means do not retry: either attempts ran out or the rejection
+    carries no finite retry-after hint (a request that can never pass its
+    quota must surface, not spin).
+    """
+    if attempt + 1 >= attempts:
+        return None
+    retry_after = error.retry_after_s
+    if retry_after is None or not (retry_after >= 0.0) or retry_after == float("inf"):
+        return None
+    return min(retry_after, MAX_RETRY_AFTER_S)
 
 
 def _annotate_attempts(response: SampleResponse, attempt: int) -> SampleResponse:
@@ -50,6 +74,8 @@ def _build_request(
     program_kwargs: Optional[dict],
     config_overrides: dict,
     epoch: Optional[int] = None,
+    tenant: str = "default",
+    priority: int = 0,
 ) -> SampleRequest:
     return SampleRequest(
         graph=graph,
@@ -59,6 +85,8 @@ def _build_request(
         epoch=epoch,
         config_overrides=config_overrides,
         program_kwargs=program_kwargs or {},
+        tenant=tenant,
+        priority=priority,
     )
 
 
@@ -79,25 +107,35 @@ class SamplingClient:
         timeout: Optional[float] = None,
         retries: int = 0,
         epoch: Optional[int] = None,
+        tenant: str = "default",
+        priority: int = 0,
         **config_overrides,
     ) -> SampleResponse:
         """Sample and wait.  ``config_overrides`` go to the algorithm's
         default config (``depth=...``, ``neighbor_size=...``, ``seed=...``);
         ``epoch`` pins a published graph version (default: latest);
-        ``retries`` resubmits on transient worker-crash failures."""
+        ``tenant`` / ``priority`` feed the gateway's quota accounting and
+        dispatch lanes; ``retries`` resubmits on transient worker-crash
+        failures and -- sleeping out the rejection's ``retry_after_s``
+        hint -- on per-tenant quota sheds."""
         if retries < 0:
             raise ValueError("retries must be >= 0")
         attempts = retries + 1
         for attempt in range(attempts):
             request = _build_request(
                 graph, algorithm, seeds, num_instances, program_kwargs,
-                config_overrides, epoch,
+                config_overrides, epoch, tenant, priority,
             )
             try:
                 return _annotate_attempts(
                     self.service.submit(request).result(timeout=timeout),
                     attempt,
                 )
+            except AdmissionRejected as exc:
+                backoff = _admission_backoff(exc, attempt, attempts)
+                if backoff is None:
+                    raise
+                time.sleep(backoff)
             except ServiceError as exc:
                 if not _should_retry(exc, attempt, attempts):
                     raise
@@ -125,19 +163,29 @@ class AsyncSamplingClient:
         timeout: Optional[float] = None,
         retries: int = 0,
         epoch: Optional[int] = None,
+        tenant: str = "default",
+        priority: int = 0,
         **config_overrides,
     ) -> SampleResponse:
         """Awaitable variant of :meth:`SamplingClient.sample` (same
-        ``timeout`` / ``retries`` semantics)."""
+        ``timeout`` / ``retries`` / ``tenant`` / ``priority`` semantics;
+        quota-shed backoffs await instead of blocking)."""
         if retries < 0:
             raise ValueError("retries must be >= 0")
         attempts = retries + 1
         for attempt in range(attempts):
             request = _build_request(
                 graph, algorithm, seeds, num_instances, program_kwargs,
-                config_overrides, epoch,
+                config_overrides, epoch, tenant, priority,
             )
-            future = self.service.submit(request)
+            try:
+                future = self.service.submit(request)
+            except AdmissionRejected as exc:
+                backoff = _admission_backoff(exc, attempt, attempts)
+                if backoff is None:
+                    raise
+                await asyncio.sleep(backoff)
+                continue
             try:
                 response = await asyncio.wait_for(
                     asyncio.wrap_future(future), timeout=timeout

@@ -1,0 +1,198 @@
+"""Per-tenant quality-of-service: cost-based admission control.
+
+The gateway charges every admitted request's *predicted* cost -- the
+planner's ``ExecutionPlan.calibrated_time_s`` estimate of host wall time --
+against its tenant's token bucket **before** any compute is spent.  A tenant
+over its quota is shed at submit time with a typed :class:`AdmissionRejected`
+carrying a ``retry_after_s`` hint (when the bucket will have refilled enough
+to admit this request), so a greedy tenant queues against its own budget
+instead of starving everyone else's dispatch lanes.
+
+Quotas are expressed in *cost-seconds*: a :class:`TenantQuota` with
+``rate=0.5`` may spend half a second of predicted compute per wall-clock
+second, with bursts up to ``burst`` cost-seconds.  Tenants without an
+explicit quota fall back to the controller's default quota; a ``None``
+default means unlimited (admission control off for unlisted tenants).
+
+Everything here is deliberately execution-free: deciding admission never
+touches the dispatcher, the planner cache warm-up aside.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+__all__ = [
+    "AdmissionRejected",
+    "TenantQuota",
+    "TokenBucket",
+    "AdmissionController",
+]
+
+
+class AdmissionRejected(RuntimeError):
+    """A request was shed by admission control before any compute ran.
+
+    Raised synchronously from ``SamplingService.submit``.  Not a transient
+    service failure -- the request itself was fine, its tenant is over
+    quota -- so the clients' transient-retry machinery ignores it; instead
+    both clients honour :attr:`retry_after_s` (sleep, then resubmit) when
+    ``retries`` remain.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant whose quota shed the request.
+    retry_after_s:
+        Seconds until the tenant's bucket will hold enough budget to admit
+        a request of this predicted cost (``inf`` when it never will under
+        the current quota, e.g. a global overload shed).
+    predicted_cost_s:
+        The planner's calibrated cost estimate that was charged.
+    reason:
+        ``"tenant_quota"`` or ``"service_overloaded"``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str,
+        retry_after_s: float,
+        predicted_cost_s: float = 0.0,
+        reason: str = "tenant_quota",
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after_s = float(retry_after_s)
+        self.predicted_cost_s = float(predicted_cost_s)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's admission budget, in predicted cost-seconds.
+
+    ``rate`` is the sustained spend (cost-seconds of predicted compute per
+    wall second); ``burst`` is the bucket capacity -- how much a tenant may
+    spend at once after being idle.  A single request costlier than
+    ``burst`` is still admissible: it requires a *full* bucket and drains
+    it completely (charge clamped to capacity), so oversized one-off
+    requests run at full-refill cadence instead of being starved forever.
+    """
+
+    rate: float
+    burst: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0:
+            raise ValueError("rate must be > 0 cost-seconds per second")
+        if self.burst <= 0.0:
+            raise ValueError("burst must be > 0 cost-seconds")
+
+
+class TokenBucket:
+    """Continuous-refill token bucket over an injectable monotonic clock."""
+
+    __slots__ = ("quota", "level", "_last_refill")
+
+    def __init__(self, quota: TenantQuota, now: float):
+        self.quota = quota
+        self.level = quota.burst  # start full: idle tenants have headroom
+        self._last_refill = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last_refill
+        if elapsed > 0.0:
+            self.level = min(
+                self.quota.burst, self.level + elapsed * self.quota.rate
+            )
+        self._last_refill = now
+
+    def try_spend(self, cost: float, now: float) -> float:
+        """Admit-or-price: returns 0.0 on admission, else seconds to wait.
+
+        The charge is clamped to the bucket capacity so requests costlier
+        than ``burst`` admit on a full bucket (see :class:`TenantQuota`).
+        """
+        self._refill(now)
+        charge = min(float(cost), self.quota.burst)
+        if charge <= self.level:
+            self.level -= charge
+            return 0.0
+        return (charge - self.level) / self.quota.rate
+
+
+class AdmissionController:
+    """Per-tenant token buckets behind one lock (admission is not hot).
+
+    ``clock`` is injectable for deterministic tests; production uses
+    ``time.monotonic``.
+    """
+
+    def __init__(
+        self,
+        *,
+        default_quota: Optional[TenantQuota] = None,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.default_quota = default_quota
+        self._quotas: Dict[str, TenantQuota] = dict(quotas or {})
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def quota_for(self, tenant: str) -> Optional[TenantQuota]:
+        """The quota in force for a tenant (``None`` = unlimited)."""
+        return self._quotas.get(tenant, self.default_quota)
+
+    def set_quota(self, tenant: str, quota: Optional[TenantQuota]) -> None:
+        """Install (or with ``None`` remove) a tenant's explicit quota.
+
+        The tenant's bucket resets to the new quota's full burst.
+        """
+        with self._lock:
+            if quota is None:
+                self._quotas.pop(tenant, None)
+            else:
+                self._quotas[tenant] = quota
+            self._buckets.pop(tenant, None)
+
+    def admit(self, tenant: str, predicted_cost_s: float) -> None:
+        """Charge a request's predicted cost; raises when over quota."""
+        with self._lock:
+            quota = self.quota_for(tenant)
+            if quota is None:
+                return
+            now = self._clock()
+            bucket = self._buckets.get(tenant)
+            if bucket is None or bucket.quota is not quota:
+                bucket = self._buckets[tenant] = TokenBucket(quota, now)
+            retry_after = bucket.try_spend(predicted_cost_s, now)
+        if retry_after > 0.0:
+            raise AdmissionRejected(
+                f"tenant {tenant!r} over quota: predicted cost "
+                f"{predicted_cost_s:.3e} cost-s exceeds remaining budget; "
+                f"retry after {retry_after:.3f}s",
+                tenant=tenant,
+                retry_after_s=retry_after,
+                predicted_cost_s=predicted_cost_s,
+                reason="tenant_quota",
+            )
+
+    def headroom(self, tenant: str) -> float:
+        """The tenant's current bucket level (``inf`` when unlimited)."""
+        with self._lock:
+            quota = self.quota_for(tenant)
+            if quota is None:
+                return float("inf")
+            now = self._clock()
+            bucket = self._buckets.get(tenant)
+            if bucket is None or bucket.quota is not quota:
+                bucket = self._buckets[tenant] = TokenBucket(quota, now)
+            bucket._refill(now)
+            return bucket.level

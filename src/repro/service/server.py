@@ -51,6 +51,9 @@ from repro.planner.planner import (
     scale_plan,
     validate_seed_tuples,
 )
+from repro.service.cache import CachedResult
+from repro.service.gateway import Gateway, GatewayConfig
+from repro.service.qos import AdmissionRejected, TenantQuota
 from repro.service.store import SharedGraphStore
 from repro.service.workers import RequestSpec, UnitResult, WorkUnit, WorkerPool
 from repro.telemetry import trace as _trace
@@ -89,6 +92,12 @@ class ServiceStats:
     requests_submitted: int = 0
     requests_completed: int = 0
     requests_failed: int = 0
+    #: Requests shed by admission control before any compute was spent
+    #: (never counted as submitted -- they were refused at the door).
+    requests_shed: int = 0
+    #: Requests answered bit-identically from the result cache (these ARE
+    #: counted submitted + completed; they just never dispatched).
+    cache_hits: int = 0
     units_dispatched: int = 0
     coalesced_requests: int = 0  # requests that shared a unit with others
     oom_requests: int = 0
@@ -99,9 +108,11 @@ class ServiceStats:
         default_factory=lambda: collections.deque(maxlen=4096)
     )
 
-    def bind(self, registry: MetricsRegistry) -> "ServiceStats":
-        """Attach the registry whose instruments enrich :meth:`snapshot`."""
+    def bind(self, registry: MetricsRegistry,
+             gateway: Optional["Gateway"] = None) -> "ServiceStats":
+        """Attach the registry (and gateway) that enrich :meth:`snapshot`."""
         self._registry = registry
+        self._gateway = gateway
         return self
 
     def snapshot(self) -> Dict[str, object]:
@@ -110,17 +121,32 @@ class ServiceStats:
             "requests_submitted": self.requests_submitted,
             "requests_completed": self.requests_completed,
             "requests_failed": self.requests_failed,
+            "requests_shed": self.requests_shed,
+            "cache_hits": self.cache_hits,
             "units_dispatched": self.units_dispatched,
             "coalesced_requests": self.coalesced_requests,
             "oom_requests": self.oom_requests,
             "sharded_requests": self.sharded_requests,
         }
+        attempted = self.requests_submitted + self.requests_shed
+        if attempted:
+            out["shed_rate"] = self.requests_shed / attempted
         if self.units_dispatched:
             out["mean_unit_size"] = (
                 self.requests_completed + self.requests_failed
             ) / self.units_dispatched
         if self.requests_completed:
             out["fusion_rate"] = self.coalesced_requests / self.requests_completed
+        gateway: Optional["Gateway"] = getattr(self, "_gateway", None)
+        if gateway is not None:
+            gw = gateway.stats()
+            cache_stats = gw.get("cache")
+            if cache_stats is not None:
+                out["result_cache"] = cache_stats
+                out["cache_hit_rate"] = cache_stats["hit_rate"]
+            tenants = gw.get("tenants")
+            if tenants is not None:
+                out["tenants"] = tenants
         registry: Optional[MetricsRegistry] = getattr(self, "_registry", None)
         if registry is None:
             return out
@@ -180,6 +206,11 @@ class SamplingService:
         cluster_shards: int = 0,
         store: Optional[SharedGraphStore] = None,
         unit_timeout_s: Optional[float] = 600.0,
+        cache_bytes: Optional[int] = 64 * 1024 * 1024,
+        default_quota: Optional[TenantQuota] = None,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        max_pending: Optional[int] = None,
+        intake_pause_timeout_s: float = 60.0,
     ):
         """``batch_window_s=0`` with ``max_batch_requests=1`` disables
         coalescing entirely (every request runs alone) -- the benchmark's
@@ -195,6 +226,15 @@ class SamplingService:
         unanswered before its requests fail.  It is the backstop for losses
         the claim protocol cannot see (a worker killed before its claim
         message flushed); ``None`` disables it.
+
+        Gateway switches (see ``docs/service.md``): ``cache_bytes`` budgets
+        the deterministic result cache (``None``/``0`` disables it);
+        ``quotas`` / ``default_quota`` are per-tenant
+        :class:`~repro.service.qos.TenantQuota` token buckets charged with
+        each request's planner-predicted cost (both ``None`` = admission
+        control off); ``max_pending`` is a service-wide pending ceiling.
+        ``intake_pause_timeout_s`` bounds how long :meth:`submit` waits
+        while :meth:`replan` has intake paused before failing transient.
         """
         if max_batch_requests < 1:
             raise ValueError("max_batch_requests must be >= 1")
@@ -226,7 +266,13 @@ class SamplingService:
                 handle.name, handle.epoch
             ),
         )
-        self._queue: "queue.Queue[Optional[_Pending]]" = queue.Queue()
+        #: Priority-lane dispatch queue: entries are ``(-priority, seq,
+        #: pending-or-None)`` so higher priorities drain first, FIFO within
+        #: a lane, and the shutdown sentinel (``+inf``) sorts last.
+        self._queue: "queue.PriorityQueue[Tuple[float, int, Optional[_Pending]]]" = (
+            queue.PriorityQueue()
+        )
+        self._queue_seq = itertools.count()
         self._coalescable: Dict[Tuple, bool] = {}
         self.unit_timeout_s = unit_timeout_s
         self._pending: Dict[int, _Pending] = {}
@@ -235,10 +281,28 @@ class SamplingService:
         self._dispatched_at: Dict[int, float] = {}  # unit id -> perf_counter
         self._unit_ids = itertools.count()
         self._lock = threading.Lock()
+        #: Intake gate: cleared by replan() to pause submit() while a drain
+        #: is in progress; _intake_open counts submits past the gate but not
+        #: yet enqueued, so replan can wait the race window out.
+        self._intake_gate = threading.Event()
+        self._intake_gate.set()
+        self._intake_open = 0
+        self.intake_pause_timeout_s = float(intake_pause_timeout_s)
         #: Service-local metrics registry (latencies, queue waits, cache
         #: hit counters ...); dump with :meth:`metrics_text`.
         self.metrics = MetricsRegistry()
-        self.stats = ServiceStats().bind(self.metrics)
+        #: The multi-tenant front door: deterministic result cache plus
+        #: cost-based per-tenant admission control (docs/service.md).
+        self.gateway = Gateway(
+            GatewayConfig(
+                cache_bytes=cache_bytes or None,
+                default_quota=default_quota,
+                quotas=dict(quotas or {}),
+                max_pending=max_pending,
+            ),
+            self.metrics,
+        )
+        self.stats = ServiceStats().bind(self.metrics, self.gateway)
         self._shutdown = threading.Event()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="sampling-dispatch", daemon=True
@@ -370,26 +434,47 @@ class SamplingService:
 
         Raises :class:`TimeoutError` if the graph's requests do not drain
         within ``timeout`` seconds (the admission is left unchanged).
+
+        Intake is paused for the whole drain + re-admit window: without
+        that, sustained traffic could keep the busy-check from ever seeing
+        an idle instant (starving the replan until its timeout), and a
+        request admitted between the final busy-check and the re-admission
+        could be dispatched against the stale route's cached class plan.
+        Paused submitters block on the intake gate (bounded by the
+        service's ``intake_pause_timeout_s``, after which they fail with a
+        *transient* :class:`ServiceError` the clients' retry path resubmits).
         """
         if name not in self.store.names():
             raise KeyError(f"graph {name!r} is not loaded")
         with self._update_lock:
-            deadline = time.perf_counter() + timeout
-            while True:
-                with self._lock:
-                    busy = any(
-                        p.request.graph == name for p in self._pending.values()
-                    )
-                if not busy:
-                    break
-                if time.perf_counter() > deadline:
-                    raise TimeoutError(
-                        f"replan({name!r}): requests still in flight "
-                        f"after {timeout}s"
-                    )
-                time.sleep(0.002)
-            handle = self.store.handle(name, self.store.latest_epoch(name))
-            return self._admit(handle)
+            self._intake_gate.clear()
+            try:
+                deadline = time.perf_counter() + timeout
+                while True:
+                    with self._lock:
+                        # _intake_open == 0 closes the submit race window:
+                        # no request is past the gate but not yet pending.
+                        busy = self._intake_open > 0 or any(
+                            p.request.graph == name
+                            for p in self._pending.values()
+                        )
+                    if not busy:
+                        break
+                    if time.perf_counter() > deadline:
+                        raise TimeoutError(
+                            f"replan({name!r}): requests still in flight "
+                            f"after {timeout}s"
+                        )
+                    time.sleep(0.002)
+                handle = self.store.handle(name, self.store.latest_epoch(name))
+                route = self._admit(handle)
+                # Cached results carry the plan/route they ran under; a
+                # re-admission makes them stale metadata-wise even though
+                # the sampled bits would be identical.  Drop them.
+                self.gateway.invalidate_epoch(name, handle.epoch)
+                return route
+            finally:
+                self._intake_gate.set()
 
     def _oom_config_for(
         self, name: str, epoch: Optional[int] = None
@@ -439,12 +524,62 @@ class SamplingService:
     # ------------------------------------------------------------------ #
     # Request intake
     # ------------------------------------------------------------------ #
+    def _intake_begin(self) -> None:
+        """Pass the intake gate (see :meth:`replan`) and count ourselves in."""
+        while True:
+            if not self._intake_gate.wait(timeout=self.intake_pause_timeout_s):
+                raise ServiceError(
+                    "intake paused (replan in progress); resubmit shortly",
+                    transient=True,
+                )
+            with self._lock:
+                # Re-check under the lock: replan may have cleared the gate
+                # between the wait and here; only count in when it is open.
+                if self._intake_gate.is_set():
+                    self._intake_open += 1
+                    return
+
+    def _intake_end(self) -> None:
+        with self._lock:
+            self._intake_open -= 1
+
+    def _admission_active(self) -> bool:
+        """Whether any quota or ceiling makes cost prediction worthwhile."""
+        admission = self.gateway.admission
+        return (
+            self.gateway.config.max_pending is not None
+            or admission.default_quota is not None
+            or bool(admission._quotas)
+        )
+
+    def _predicted_cost_s(self, request: SampleRequest, epoch: int) -> float:
+        """The planner's calibrated wall-time estimate for this request."""
+        class_plan = self._class_plan(request, epoch)
+        unit_plan = scale_plan(class_plan, [request.instance_count()])
+        return unit_plan.calibrated_time_s or unit_plan.predicted_time_s
+
     def submit(self, request: SampleRequest) -> Future:
-        """Queue a request; the future resolves to a :class:`SampleResponse`."""
+        """Queue a request; the future resolves to a :class:`SampleResponse`.
+
+        The gateway runs first, before any compute: a deterministic-cache
+        hit resolves the future right here (bit-identical to a fresh run,
+        ``stats["cache_hit"]=True``, no dispatcher work); an over-quota
+        tenant -- or a full service -- is shed with a synchronous
+        :class:`~repro.service.qos.AdmissionRejected` carrying a
+        ``retry_after_s`` hint.  Admitted requests queue in their
+        ``priority`` lane.
+        """
         if self._shutdown.is_set():
             raise RuntimeError("service is shut down")
         if request.graph not in self.store.names():
             raise KeyError(f"graph {request.graph!r} is not loaded")
+        self._intake_begin()
+        try:
+            return self._submit_admitted(request)
+        finally:
+            self._intake_end()
+
+    def _submit_admitted(self, request: SampleRequest) -> Future:
         # Resolve the epoch the request binds to (an explicit pin must name
         # a still-serving epoch; None means latest-now) and take the epoch
         # reference in the SAME critical section -- a concurrent
@@ -491,12 +626,72 @@ class SamplingService:
         except Exception:
             self._note_resolved(pending)  # give the epoch reference back
             raise
+        # Gateway, stage 1: the deterministic result cache.  Hits are
+        # bit-identical by construction and cost (nearly) nothing, so they
+        # are answered before -- and without -- quota accounting.
+        cached = self.gateway.lookup(request, epoch)
+        if cached is not None:
+            self._finish_cache_hit(pending, cached)
+            return pending.future
+        # Gateway, stage 2: cost-based admission.  The planner's calibrated
+        # estimate for this request class is charged against the tenant's
+        # token bucket; an over-quota tenant is shed right here, before any
+        # compute is spent.
+        if self._admission_active():
+            cost = self._predicted_cost_s(request, epoch)
+            with self._lock:
+                pending_count = len(self._pending)
+            try:
+                self.gateway.admit(request, cost, pending_count)
+            except AdmissionRejected:
+                with self._lock:
+                    self.stats.requests_shed += 1
+                self._note_resolved(pending)
+                raise
         with self._lock:
             self.stats.requests_submitted += 1
             self.metrics.counter("requests_submitted").inc()
+            self.metrics.counter("tenant_requests", tenant=request.tenant).inc()
             self._pending[request.request_id] = pending
-        self._queue.put(pending)
+        self._enqueue(pending, request.priority)
         return pending.future
+
+    def _enqueue(self, pending: Optional[_Pending], priority: float = 0.0) -> None:
+        """Queue in priority lanes (higher first, FIFO within a lane)."""
+        self._queue.put((-float(priority), next(self._queue_seq), pending))
+
+    def _finish_cache_hit(self, pending: _Pending, response: SampleResponse) -> None:
+        """Resolve a request from the cache: no dispatch, no worker, no plan."""
+        request = pending.request
+        latency = time.perf_counter() - pending.enqueued_at
+        response.stats["latency_s"] = latency
+        if pending.trace_id is not None:
+            response.stats["trace_id"] = pending.trace_id
+            now_wall = time.time()
+            _trace.record_span(
+                "request",
+                trace_id=pending.trace_id,
+                span_id=pending.root_span_id,
+                parent_id=None,
+                start_s=pending.submitted_wall,
+                end_s=now_wall,
+                request_id=request.request_id,
+                graph=request.graph,
+                algorithm=request.algorithm,
+                route="cache",
+            )
+        with self._lock:
+            self.stats.requests_submitted += 1
+            self.stats.requests_completed += 1
+            self.stats.cache_hits += 1
+            self.stats.latencies_s.append(latency)
+            self.metrics.counter("requests_submitted").inc()
+            self.metrics.counter("requests_completed").inc()
+            self.metrics.counter("tenant_requests", tenant=request.tenant).inc()
+            self.metrics.counter("tenant_completed", tenant=request.tenant).inc()
+        self.metrics.histogram("request_latency_s", route="cache").observe(latency)
+        self._set_future(pending.future, result=response)
+        self._note_resolved(pending)
 
     # ------------------------------------------------------------------ #
     # Dispatcher: window batching + class grouping
@@ -504,7 +699,7 @@ class SamplingService:
     def _dispatch_loop(self) -> None:
         while True:
             try:
-                first = self._queue.get(timeout=0.05)
+                _, _, first = self._queue.get(timeout=0.05)
             except queue.Empty:
                 if self._shutdown.is_set():
                     return
@@ -518,7 +713,7 @@ class SamplingService:
                 if remaining <= 0:
                     break
                 try:
-                    item = self._queue.get(timeout=remaining)
+                    _, _, item = self._queue.get(timeout=remaining)
                 except queue.Empty:
                     break
                 if item is None:
@@ -759,7 +954,12 @@ class SamplingService:
                 )
                 self._note_resolved(pending)
                 continue
-            extra: Dict[str, object] = {"latency_s": latency}
+            extra: Dict[str, object] = {
+                "latency_s": latency,
+                "cache_hit": False,
+                "tenant": pending.request.tenant,
+                "priority": pending.request.priority,
+            }
             queue_wait = None
             if pending.dispatched_perf:
                 # Submit -> dispatch wait (coalescing window + queueing),
@@ -824,6 +1024,25 @@ class SamplingService:
             migrations = payload.stats.get("migrations")
             if migrations:
                 self.metrics.counter("walker_migrations").inc(int(migrations))
+            self.metrics.counter(
+                "tenant_completed", tenant=pending.request.tenant
+            ).inc()
+            # Populate the deterministic result cache with the worker-side
+            # payload (stats without the per-request latency annotations),
+            # so an identical future request is answered bit-identically
+            # without dispatching.
+            self.gateway.store(
+                pending.request,
+                pending.epoch,
+                CachedResult(
+                    samples=payload.samples,
+                    iteration_counts=list(payload.iteration_counts),
+                    route=payload.route,
+                    coalesced_with=payload.coalesced_with,
+                    stats=dict(payload.stats),
+                    plan=pending.plan,
+                ),
+            )
             self._set_future(pending.future, result=response)
             self._note_resolved(pending)
         for request_id in request_ids:
@@ -891,6 +1110,9 @@ class SamplingService:
             # un-retiring and unlinking.
             self.store.release(name, epoch)
             self.metrics.counter("epoch_retirements").inc()
+        # Retirement is the cache's invalidation signal: evict exactly this
+        # epoch's cached results (newer/pinned epochs' entries stay).
+        self.gateway.invalidate_epoch(name, epoch)
 
     # ------------------------------------------------------------------ #
     # Telemetry
@@ -918,7 +1140,8 @@ class SamplingService:
             return
         self.drain(drain_timeout)
         self._shutdown.set()
-        self._queue.put(None)
+        # Sentinel at -inf priority: sorts after all real work, drains last.
+        self._enqueue(None, float("-inf"))
         self._dispatcher.join(timeout=5.0)
         self._collector.join(timeout=5.0)
         self._monitor.join(timeout=5.0)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -123,10 +124,25 @@ def _label_key(name: str, labels: Dict[str, object]) -> _LabelKey:
     return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    The spec requires ``\\`` -> ``\\\\``, ``"`` -> ``\\"`` and a literal
+    newline -> ``\\n`` inside quoted label values; anything else passes
+    through verbatim.  Backslash must be first or it would re-escape the
+    escapes it just introduced.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
     if not labels:
         return ""
-    return "{" + ",".join('%s="%s"' % (k, v) for k, v in labels) + "}"
+    return "{" + ",".join(
+        '%s="%s"' % (k, _escape_label_value(v)) for k, v in labels
+    ) + "}"
 
 
 class MetricsRegistry:
@@ -134,18 +150,26 @@ class MetricsRegistry:
 
     ``counter()`` / ``histogram()`` resolve (and lazily create) the
     instrument; hold the returned object to skip the dict lookup on
-    genuinely hot paths.
+    genuinely hot paths.  Creation is thread-safe: the submit, dispatcher
+    and collector threads all create instruments lazily, and an unlocked
+    check-then-insert could race two objects for one key -- the loser's
+    increments would be silently dropped.  The hot path (instrument
+    already exists) stays a lock-free dict read.
     """
 
     def __init__(self) -> None:
         self._counters: Dict[_LabelKey, Counter] = {}
         self._histograms: Dict[_LabelKey, Histogram] = {}
+        self._create_lock = threading.Lock()
 
     def counter(self, name: str, **labels: object) -> Counter:
         key = _label_key(name, labels)
         instrument = self._counters.get(key)
         if instrument is None:
-            instrument = self._counters[key] = Counter()
+            with self._create_lock:
+                instrument = self._counters.get(key)
+                if instrument is None:
+                    instrument = self._counters[key] = Counter()
         return instrument
 
     def histogram(self, name: str, buckets: Optional[Iterable[float]] = None,
@@ -153,46 +177,70 @@ class MetricsRegistry:
         key = _label_key(name, labels)
         instrument = self._histograms.get(key)
         if instrument is None:
-            instrument = self._histograms[key] = Histogram(buckets)
+            with self._create_lock:
+                instrument = self._histograms.get(key)
+                if instrument is None:
+                    instrument = self._histograms[key] = Histogram(buckets)
         return instrument
+
+    def find_counters(self, name: str) -> List[Tuple[Dict[str, str], Counter]]:
+        """Every counter registered under ``name``, with its label dict."""
+        with self._create_lock:
+            items = sorted(self._counters.items())
+        return [
+            (dict(labels), counter)
+            for (metric, labels), counter in items
+            if metric == name
+        ]
 
     def find_histograms(
         self, name: str
     ) -> List[Tuple[Dict[str, str], Histogram]]:
         """Every histogram registered under ``name``, with its label dict."""
+        with self._create_lock:
+            items = sorted(self._histograms.items())
         return [
             (dict(labels), histogram)
-            for (metric, labels), histogram in sorted(self._histograms.items())
+            for (metric, labels), histogram in items
             if metric == name
         ]
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry (e.g. shipped from a worker) into this one."""
-        for (name, labels), counter in other._counters.items():
-            self._counters.setdefault((name, labels), Counter()).merge(counter)
-        for (name, labels), histogram in other._histograms.items():
-            mine = self._histograms.get((name, labels))
-            if mine is None:
-                mine = self._histograms[(name, labels)] = Histogram(histogram.bounds)
-            mine.merge(histogram)
+        with self._create_lock:
+            for (name, labels), counter in other._counters.items():
+                self._counters.setdefault((name, labels), Counter()).merge(counter)
+            for (name, labels), histogram in other._histograms.items():
+                mine = self._histograms.get((name, labels))
+                if mine is None:
+                    mine = self._histograms[(name, labels)] = Histogram(histogram.bounds)
+                mine.merge(histogram)
 
     def snapshot(self) -> Dict[str, object]:
         """Flat dict: counters -> int, histograms -> summary dicts."""
         out: Dict[str, object] = {}
-        for (name, labels), counter in sorted(self._counters.items()):
+        # Freeze the key sets under the lock: a reader snapshotting while
+        # another thread creates an instrument must not see a dict resize.
+        with self._create_lock:
+            counters = sorted(self._counters.items())
+            histograms = sorted(self._histograms.items())
+        for (name, labels), counter in counters:
             out[name + _format_labels(labels)] = counter.value
-        for (name, labels), histogram in sorted(self._histograms.items()):
+        for (name, labels), histogram in histograms:
             out[name + _format_labels(labels)] = histogram.summary()
         return out
 
     def render_prometheus(self, prefix: str = "repro_") -> str:
         """Prometheus text exposition format (counters + histograms)."""
         lines: List[str] = []
-        for (name, labels), counter in sorted(self._counters.items()):
+        with self._create_lock:
+            counter_items = sorted(self._counters.items())
+            histogram_items = sorted(self._histograms.items())
+        for (name, labels), counter in counter_items:
             full = prefix + name
             lines.append("# TYPE %s counter" % full)
             lines.append("%s%s %d" % (full, _format_labels(labels), counter.value))
-        for (name, labels), histogram in sorted(self._histograms.items()):
+        for (name, labels), histogram in histogram_items:
             full = prefix + name
             lines.append("# TYPE %s histogram" % full)
             cumulative = 0
@@ -215,8 +263,9 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
     def clear(self) -> None:
-        self._counters.clear()
-        self._histograms.clear()
+        with self._create_lock:
+            self._counters.clear()
+            self._histograms.clear()
 
 
 # Process-global default registry, used by hot-path instrumentation in the

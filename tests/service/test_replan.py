@@ -106,6 +106,89 @@ class TestFrozenAdmission:
                 assert response.route == "in_memory"
 
 
+class TestIntakePause:
+    def test_replan_pauses_intake_while_draining(self, graph):
+        """A submit racing a replan either lands before the drain or waits
+        for the re-admission -- it can never run on the stale plan."""
+        import threading
+        import time
+
+        with make_service(memory_budget_bytes=graph.nbytes + 1,
+                          batch_window_s=0.002) as svc:
+            svc.load_graph("g", graph)
+            sample_once(svc, "g")
+            svc.memory_budget_bytes = 1024
+
+            release = threading.Event()
+            routes = []
+
+            def submit_during_replan():
+                release.wait(5.0)
+                # Issued while the gate is (likely) closed: blocks until
+                # the replan finishes, then runs on the NEW plan.
+                routes.append(sample_once(svc, "g").route)
+
+            thread = threading.Thread(target=submit_during_replan)
+            thread.start()
+
+            original_admit = svc._admit
+
+            def admit_with_pause(handle):
+                # The gate is closed here; let the submitter run into it.
+                release.set()
+                time.sleep(0.05)
+                return original_admit(handle)
+
+            svc._admit = admit_with_pause
+            try:
+                assert svc.replan("g", timeout=30.0) == "out_of_memory"
+            finally:
+                svc._admit = original_admit
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            assert routes == ["out_of_memory"]
+
+    def test_paused_intake_times_out_transient(self, graph):
+        """Submitters blocked past intake_pause_timeout_s fail transient
+        (the clients' retry machinery resubmits them)."""
+        from repro.service.server import ServiceError
+
+        with make_service(intake_pause_timeout_s=0.05) as svc:
+            svc.load_graph("g", graph)
+            svc._intake_gate.clear()  # simulate a wedged replan
+            try:
+                with pytest.raises(ServiceError) as info:
+                    svc.submit(SampleRequest(
+                        graph="g", algorithm="deepwalk", seeds=(1,),
+                    ))
+                assert info.value.transient
+            finally:
+                svc._intake_gate.set()
+
+    def test_replan_waits_for_submit_past_the_gate(self, graph):
+        """_intake_open > 0 keeps the drain busy: a submit that already
+        passed the gate finishes before re-admission proceeds."""
+        with make_service(memory_budget_bytes=graph.nbytes + 1) as svc:
+            svc.load_graph("g", graph)
+            with svc._lock:
+                svc._intake_open += 1  # a submit is past the gate right now
+            import threading
+            import time
+
+            def land_later():
+                time.sleep(0.1)
+                with svc._lock:
+                    svc._intake_open -= 1
+
+            thread = threading.Thread(target=land_later)
+            thread.start()
+            svc.memory_budget_bytes = 1024
+            started = time.perf_counter()
+            assert svc.replan("g", timeout=10.0) == "out_of_memory"
+            assert time.perf_counter() - started >= 0.09
+            thread.join()
+
+
 class TestResponsePlanMetadata:
     def test_response_carries_plan_and_explain(self, graph):
         with make_service(memory_budget_bytes=graph.nbytes + 1) as svc:

@@ -162,3 +162,68 @@ class TestPrometheus:
 
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().render_prometheus() == ""
+
+    def test_label_values_are_escaped(self):
+        # Prometheus text format: backslash, double quote and newline in a
+        # label value must be escaped or the exposition line is corrupt.
+        reg = MetricsRegistry()
+        reg.counter("hits", tenant='acme "prod"').inc()
+        reg.counter("hits", tenant="a\\b").inc(2)
+        reg.counter("hits", tenant="line1\nline2").inc(3)
+        text = reg.render_prometheus()
+        assert 'tenant="acme \\"prod\\""' in text
+        assert 'tenant="a\\\\b"' in text
+        assert 'tenant="line1\\nline2"' in text
+        # No raw newline inside any sample line.
+        for line in text.splitlines():
+            assert line.count('"') % 2 == 0
+
+    def test_escaping_order_backslash_first(self):
+        # A value ending in a backslash before a quote must not double-escape.
+        reg = MetricsRegistry()
+        reg.counter("hits", path='C:\\dir\\"x"').inc()
+        text = reg.render_prometheus()
+        assert 'path="C:\\\\dir\\\\\\"x\\""' in text
+
+    def test_snapshot_keys_escape_too(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", tenant='say "hi"').inc()
+        assert 'hits{tenant="say \\"hi\\""}' in reg.snapshot()
+
+
+class TestRegistryThreadSafety:
+    def test_concurrent_lazy_creation_yields_one_instrument(self):
+        import threading
+
+        reg = MetricsRegistry()
+        barrier = threading.Barrier(8)
+        seen = []
+
+        def create(i):
+            barrier.wait()
+            for n in range(200):
+                reg.counter("c", lane=n % 10).inc()
+                reg.histogram("h", lane=n % 10).observe(0.001)
+            seen.append(reg.counter("c", lane=0))
+
+        threads = [threading.Thread(target=create, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every thread resolved the SAME Counter object: no increment was
+        # lost to a racing check-then-insert creating duplicates.
+        assert all(c is seen[0] for c in seen)
+        total = sum(c.value for _, c in reg.find_counters("c"))
+        assert total == 8 * 200
+
+    def test_find_counters_mirrors_find_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("tenant_requests", tenant="a").inc(2)
+        reg.counter("tenant_requests", tenant="b").inc(3)
+        reg.counter("other").inc()
+        found = reg.find_counters("tenant_requests")
+        assert [labels for labels, _ in found] == [
+            {"tenant": "a"}, {"tenant": "b"}]
+        assert [c.value for _, c in found] == [2, 3]

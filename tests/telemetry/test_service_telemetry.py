@@ -43,12 +43,16 @@ def thread_service(graph):
 class TestKernelCacheStats:
     """Satellite: the response reports the run's kernel-cache traffic."""
 
-    def test_second_identical_request_reports_a_cache_hit(self, service):
+    def test_second_same_shape_request_reports_a_cache_hit(self, service):
         client = SamplingClient(service)
         clear_kernel_cache()
         first = client.sample("g", "simple_random_walk", [1, 2, 3],
                               depth=5, seed=3, timeout=30)
-        second = client.sample("g", "simple_random_walk", [1, 2, 3],
+        # Different seeds, same config: misses the gateway's result cache
+        # (which would answer an identical request without executing at
+        # all) but shares the first run's plan shape, so the compiled
+        # kernel is reused.
+        second = client.sample("g", "simple_random_walk", [4, 5, 6],
                                depth=5, seed=3, timeout=30)
         assert first.stats["step_tier"] == "compiled"
         assert first.stats["kernel_cache_misses"] >= 1
