@@ -7,11 +7,19 @@ read (``span()`` returns a shared no-op object).  The bound asserted here is
 instrumentation sites an enabled run actually hits, times the measured
 per-site disabled cost, must stay under 3% of the disabled run's wall time.
 
-The run also pins the zero-perturbation contract (telemetry on vs off is
-bit-identical -- spans observe control flow, never RNG coordinates) and
-records per-run latencies through :func:`planner_record`; the conftest
-plumbing summarises them into ``benchmarks/results/BENCH_telemetry.json``
-(p50/p99) for the perf gate's trend report.
+The diagnostics tier rides the same methodology: the continuous phase
+profiler's disabled sites (``clock()`` returning the shared null clock)
+must stay under the same 3% ceiling, and the **enabled** profiler plus a
+flight recorder absorbing a generous per-request event volume must stay
+under 5% -- per-site/per-event costs measured in microloops, multiplied by
+the site counts a real instrumented run produces.
+
+The run also pins the zero-perturbation contract (telemetry or profiler on
+vs off is bit-identical -- spans and laps observe control flow, never RNG
+coordinates) and records per-run latencies through :func:`planner_record`;
+the conftest plumbing summarises them into
+``benchmarks/results/BENCH_telemetry.json`` (p50/p99), which the perf gate
+compares against its baseline snapshot.
 
 Run it explicitly (wall-clock benchmarks are not part of the default
 pytest collection)::
@@ -29,12 +37,19 @@ from repro import telemetry as tel
 from repro.algorithms.registry import get_algorithm
 from repro.api.sampler import GraphSampler
 from repro.graph.generators import powerlaw_graph
+from repro.telemetry import profiler
 from repro.telemetry import trace
+from repro.telemetry.recorder import FlightRecorder
 
 OVERHEAD_CEILING = 0.03
+ENABLED_CEILING = 0.05
 NUM_VERTICES = 20_000
 NUM_INSTANCES = 1_000
 NULL_SPAN_CALLS = 100_000
+#: Events a chatty request leaves in the flight recorder (admit, claim,
+#: publish, cache bookkeeping...); a generous ceiling, the real service
+#: emits fewer.
+RECORDER_EVENTS_PER_RUN = 64
 
 
 @pytest.fixture(scope="module")
@@ -152,3 +167,152 @@ def test_enabled_telemetry_is_bit_identical(graph, seeds, telemetry_reset):
     finally:
         tel.disable()
     assert baseline == traced
+
+
+@pytest.fixture()
+def profiler_reset():
+    was_enabled = profiler.enabled()
+    profiler.disable()
+    profiler.clear()
+    yield
+    if was_enabled:
+        profiler.enable()
+    profiler.clear()
+
+
+def _lap_count():
+    """Laps (= instrumented profiler sites) the last enabled run hit."""
+    return sum(row["calls"] for row in profiler.stats())
+
+
+def test_profiler_disabled_under_3_percent(graph, seeds, report,
+                                           profiler_reset):
+    """Disabled profiler: null-clock laps must cost < 3% of the run."""
+    sampler = _sampler(graph)
+    sampler.run(seeds)  # warm the kernel cache and allocator
+    _, disabled_wall = _timed(lambda: sampler.run(seeds))
+
+    # Per-site cost when off: clock() returns the shared null clock whose
+    # lap() is a constant-return method.
+    null_clock = profiler.clock(0)
+
+    def null_laps():
+        for _ in range(NULL_SPAN_CALLS):
+            null_clock.lap("gather")
+
+    _, null_wall = _timed(null_laps)
+    per_site_s = null_wall / NULL_SPAN_CALLS
+
+    profiler.enable()
+    try:
+        profiler.clear()
+        sampler.run(seeds)
+        sites = _lap_count()
+    finally:
+        profiler.disable()
+    assert sites > 0
+
+    overhead_fraction = sites * per_site_s / disabled_wall
+    report("profiler_disabled_overhead", [{
+        "route": "in_memory",
+        "instances": NUM_INSTANCES,
+        "disabled_wall_s": disabled_wall,
+        "lap_sites": sites,
+        "per_site_s": per_site_s,
+        "overhead_fraction": overhead_fraction,
+    }])
+    assert overhead_fraction < OVERHEAD_CEILING, (
+        f"disabled profiler costs {overhead_fraction:.2%} of a "
+        f"{NUM_INSTANCES}-instance run (ceiling {OVERHEAD_CEILING:.0%}): "
+        f"{sites} laps x {per_site_s * 1e9:.0f} ns"
+    )
+
+
+def test_profiler_and_recorder_enabled_under_5_percent(
+        graph, seeds, report, planner_record, profiler_reset):
+    """Enabled profiler + flight recorder: < 5% of the run, end to end.
+
+    Accounted the same way as the disabled bound: the per-lap cost of a
+    live clock (perf_counter delta + dict accumulate) and the per-event
+    cost of ``FlightRecorder.record`` are measured in microloops, then
+    multiplied by the lap count a real run produces and a generous
+    per-request event volume.
+    """
+    sampler = _sampler(graph)
+    sampler.run(seeds)  # warm
+    _, disabled_wall = _timed(lambda: sampler.run(seeds))
+
+    profiler.enable()
+    try:
+        profiler.clear()
+        latencies = []
+        for _ in range(5):
+            _, wall = _timed(lambda: sampler.run(seeds))
+            latencies.append(wall)
+        sites = _lap_count() // 5
+
+        live_clock = profiler.clock(0)
+
+        def live_laps():
+            for _ in range(NULL_SPAN_CALLS):
+                live_clock.lap("gather")
+
+        _, live_wall = _timed(live_laps)
+        per_lap_s = live_wall / NULL_SPAN_CALLS
+    finally:
+        profiler.disable()
+        profiler.clear()
+    assert sites > 0
+
+    recorder = FlightRecorder(capacity=RECORDER_EVENTS_PER_RUN)
+
+    def record_events():
+        for i in range(NULL_SPAN_CALLS):
+            recorder.record("admit", trace_id="bench", request_id=i)
+
+    _, record_wall = _timed(record_events)
+    per_event_s = record_wall / NULL_SPAN_CALLS
+
+    overhead_s = sites * per_lap_s + RECORDER_EVENTS_PER_RUN * per_event_s
+    overhead_fraction = overhead_s / disabled_wall
+    report("profiler_enabled_overhead", [{
+        "route": "in_memory",
+        "instances": NUM_INSTANCES,
+        "disabled_wall_s": disabled_wall,
+        "lap_sites": sites,
+        "per_lap_s": per_lap_s,
+        "recorder_events": RECORDER_EVENTS_PER_RUN,
+        "per_event_s": per_event_s,
+        "overhead_fraction": overhead_fraction,
+    }])
+    planner_record(
+        "profiler_enabled_overhead",
+        route="in_memory",
+        num_instances=NUM_INSTANCES,
+        wall_time_s=disabled_wall,
+        lap_sites=sites,
+        overhead_fraction=overhead_fraction,
+        latencies_s=latencies,
+    )
+    assert overhead_fraction < ENABLED_CEILING, (
+        f"enabled profiler+recorder cost {overhead_fraction:.2%} of a "
+        f"{NUM_INSTANCES}-instance run (ceiling {ENABLED_CEILING:.0%}): "
+        f"{sites} laps x {per_lap_s * 1e9:.0f} ns + "
+        f"{RECORDER_EVENTS_PER_RUN} events x {per_event_s * 1e9:.0f} ns"
+    )
+
+
+def test_profiler_and_recorder_are_bit_identical(graph, seeds,
+                                                 profiler_reset):
+    """Diagnostics on vs off: sample coordinates never move."""
+    baseline = _fingerprint(_sampler(graph).run(seeds))
+    recorder = FlightRecorder(capacity=16)
+    profiler.enable()
+    try:
+        recorder.record("admit", trace_id="bench")
+        profiled = _fingerprint(_sampler(graph).run(seeds))
+        assert profiler.stats(), "enabled run recorded no phase stats"
+    finally:
+        profiler.disable()
+        profiler.clear()
+    assert baseline == profiled

@@ -12,14 +12,19 @@ reported but never fail the gate -- a smoke run of one benchmark must not
 trip on the records it did not produce.
 
 When ``BENCH_telemetry.json`` snapshots exist next to the results (written
-by the conftest from ``latencies_s`` benchmark records), the report also
-prints per-benchmark latency p50/p99 trend lines; those are informational
-and never fail the gate.
+by the conftest from ``latencies_s`` benchmark records), the per-route
+latency percentiles are gated too: a record whose key exists in **both**
+the baseline and the current snapshot fails the gate when its p50 or p99
+regressed beyond the latency tolerance (default 50% -- percentiles of
+five-run samples are noisier than single wall times, so the band is
+wider).  One-sided records stay report-only, and ``--update`` persists the
+current snapshot as the new latency baseline alongside the wall-time one.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/gate.py                 # compare
     PYTHONPATH=src python benchmarks/gate.py --tolerance 0.4 # looser gate
+    PYTHONPATH=src python benchmarks/gate.py --latency-tolerance 1.0
     PYTHONPATH=src python benchmarks/gate.py --update        # accept current
 
 Exit codes: 0 within tolerance, 1 regression detected, 2 usage error
@@ -39,8 +44,10 @@ BENCH_DIR = Path(__file__).resolve().parent
 DEFAULT_RESULTS = BENCH_DIR / "results" / "BENCH_planner.json"
 DEFAULT_BASELINE = BENCH_DIR / "baselines" / "BENCH_planner.json"
 DEFAULT_TOLERANCE = 0.25
+DEFAULT_LATENCY_TOLERANCE = 0.5
 DEFAULT_METRIC = "wall_time_s"
 TELEMETRY_JSON = "BENCH_telemetry.json"
+LATENCY_METRICS = ("p50_s", "p99_s")
 
 Key = Tuple[str, str]
 
@@ -103,11 +110,20 @@ def load_telemetry(path: Path) -> Dict[Key, dict]:
     return {(str(r.get("bench")), str(r.get("route"))): r for r in rows}
 
 
-def telemetry_lines(
-    current: Dict[Key, dict], baseline: Dict[Key, dict]
-) -> List[str]:
-    """Latency-percentile trend lines (report-only, never gate)."""
+def compare_telemetry(
+    current: Dict[Key, dict],
+    baseline: Dict[Key, dict],
+    *,
+    tolerance: float = DEFAULT_LATENCY_TOLERANCE,
+) -> Tuple[List[str], List[str]]:
+    """Latency-percentile trends plus regressions beyond the tolerance.
+
+    Only records present on both sides gate: a fresh benchmark (no
+    baseline yet) or a partial run (baseline only) is reported, never
+    failed -- the baseline appears once ``--update`` persists a snapshot.
+    """
     lines: List[str] = []
+    regressions: List[str] = []
     for key in sorted(set(current) | set(baseline), key=str):
         bench, route = key
         cur = current.get(key)
@@ -123,12 +139,26 @@ def telemetry_lines(
                 f"  {label:44s} p50 {p50:10.4g}s  p99 {p99:10.4g}s  (new)"
             )
             continue
+        verdict = "ok"
+        for metric in LATENCY_METRICS:
+            cur_v = float(cur.get(metric, 0.0))
+            base_v = float(base.get(metric, 0.0))
+            if base_v <= 0.0:
+                continue
+            ratio = cur_v / base_v
+            if ratio > 1.0 + tolerance:
+                verdict = "REGRESSION"
+                regressions.append(
+                    f"{label}: {metric} {cur_v:.4g}s vs baseline "
+                    f"{base_v:.4g}s ({(ratio - 1.0) * 100:+.1f}% > "
+                    f"+{tolerance * 100:.0f}% latency tolerance)"
+                )
         lines.append(
             f"  {label:44s} p50 {float(base.get('p50_s', 0.0)):10.4g}s "
             f"-> {p50:10.4g}s  p99 {float(base.get('p99_s', 0.0)):10.4g}s "
-            f"-> {p99:10.4g}s"
+            f"-> {p99:10.4g}s  {verdict}"
         )
-    return lines
+    return lines, regressions
 
 
 def main(argv=None) -> int:
@@ -148,6 +178,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--metric", default=DEFAULT_METRIC,
         help="record field to compare (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--latency-tolerance", type=float,
+        default=DEFAULT_LATENCY_TOLERANCE,
+        help="allowed fractional p50/p99 increase for telemetry latency "
+             "snapshots (default: %(default)s)",
     )
     parser.add_argument(
         "--update", action="store_true",
@@ -190,9 +226,17 @@ def main(argv=None) -> int:
     current_telemetry = load_telemetry(args.results.parent / TELEMETRY_JSON)
     baseline_telemetry = load_telemetry(args.baseline.parent / TELEMETRY_JSON)
     if current_telemetry or baseline_telemetry:
-        print("telemetry latency percentiles (report-only):")
-        for line in telemetry_lines(current_telemetry, baseline_telemetry):
+        print(
+            f"telemetry latency percentiles (p50/p99, tolerance "
+            f"+{args.latency_tolerance * 100:.0f}%):"
+        )
+        lat_lines, lat_regressions = compare_telemetry(
+            current_telemetry, baseline_telemetry,
+            tolerance=args.latency_tolerance,
+        )
+        for line in lat_lines:
             print(line)
+        regressions.extend(lat_regressions)
     if regressions:
         for regression in regressions:
             print("FAIL:", regression)

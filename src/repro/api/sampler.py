@@ -64,6 +64,7 @@ class GraphSampler:
         *,
         use_engine: bool = True,
         use_compiled: Optional[bool] = None,
+        algorithm: Optional[str] = None,
     ):
         from repro.graph.delta import as_csr
 
@@ -73,6 +74,9 @@ class GraphSampler:
         self.graph = graph
         self.program = program
         self.config = config
+        # Advisory label only (plan attribution / profiler keys); execution
+        # is driven entirely by the program object.
+        self.algorithm = algorithm
         self.device = device if device is not None else make_device("gpu")
         self.rng = CounterRNG(config.seed)
         self.use_engine = use_engine
@@ -91,6 +95,7 @@ class GraphSampler:
             graph=self.graph,
             program=self.program,
             config=self.config,
+            algorithm=self.algorithm,
             instances=instances,
             force_route="in_memory",
             allow_compiled=self.use_compiled,

@@ -50,6 +50,7 @@ from repro.selection.segmented import (
     segmented_warp_select,
     take_segments,
 )
+from repro.telemetry import profiler as _profiler
 from repro.telemetry import trace as _trace
 
 __all__ = ["CompiledWalkKernel", "uniform_local_search"]
@@ -175,6 +176,7 @@ class CompiledWalkKernel:
             act = np.nonzero(~finished)[0]
             if act.size == 0:
                 break
+            prof = _profiler.clock(depth)
             step_cost = CostModel()
             counts_a = pool_counts[act]
             seg_owner = np.repeat(act, counts_a)
@@ -190,6 +192,7 @@ class CompiledWalkKernel:
             neighbors = offsets = biases = None
             if self.kind == "uniform":
                 positive = lengths
+                prof.lap("gather")
             else:
                 offsets = np.zeros(K + 1, dtype=np.int64)
                 np.cumsum(lengths, out=offsets[1:])
@@ -199,6 +202,7 @@ class CompiledWalkKernel:
                     + np.arange(total_pool, dtype=np.int64)
                 )
                 neighbors = graph.col_idx[flat_idx]
+                prof.lap("gather")
                 biases = self._compute_biases(
                     neighbors, flat_idx, lengths, offsets, seg_owner, prevs
                 )
@@ -207,6 +211,7 @@ class CompiledWalkKernel:
                         "edge_bias must return finite, non-negative biases"
                     )
                 positive = segment_positive_counts(biases, offsets)
+                prof.lap("bias")
 
             alloc = (lengths > 0) & (positive > 0)
             warp_full = self._alloc_warps(alloc, seg_owner, group_of_rank)
@@ -257,6 +262,7 @@ class CompiledWalkKernel:
             else:
                 dst = _EMPTY
                 new_counts = np.zeros(num, dtype=np.int64)
+            prof.lap("select")
 
             # Walk bookkeeping: prev_vertex tracks single-vertex frontiers,
             # updated from the *pre-step* pool (biases at depth d + 1 see it).
@@ -280,12 +286,15 @@ class CompiledWalkKernel:
                 )
             )
             total.merge(step_cost)
+            prof.lap("update")
 
+        prof = _profiler.clock(-1)
         self._finalize(
             instances, sink, prevs, finished, entry_finished, stepped_any,
             last_depth, iter_totals, pool_flat, pool_counts,
             edge_owner_parts, edge_src_parts, edge_dst_parts,
         )
+        prof.lap("update")
         return kernels, total
 
     # ------------------------------------------------------------------ #

@@ -55,6 +55,7 @@ from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.prng import CounterRNG, splitmix64
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import range_owners, uniform_stride
+from repro.telemetry import profiler as _profiler
 from repro.telemetry import trace as _trace
 
 __all__ = ["ShardReport", "ShardRuntime", "walker_program_seed"]
@@ -90,6 +91,7 @@ class ShardReport:
         admitted: int,
         emigrated: int,
         spans: Optional[list] = None,
+        profile: Optional[dict] = None,
     ):
         self.shard_index = shard_index
         #: Every walker resident at collection (finished and active alike).
@@ -106,6 +108,9 @@ class ShardReport:
         #: home with the report (empty for in-process shards, whose spans
         #: land directly in the coordinator's buffer).
         self.spans = spans if spans is not None else []
+        #: Profiler accumulators drained from the shard's process (same
+        #: shipping contract as ``spans``; empty for in-process shards).
+        self.profile = profile if profile is not None else {}
 
 
 class _WalkerRecord:
@@ -146,6 +151,7 @@ class ShardRuntime:
                 f"({self.bounds.size - 1} shards)"
             )
         self.config = config
+        self.algorithm = algorithm
         self._kwargs = dict(program_kwargs or {})
         self._factory = get_algorithm(algorithm).program_factory
         probe = self._factory(**self._kwargs)
@@ -254,7 +260,12 @@ class ShardRuntime:
         # Adopt the envelope-carried context only when no ambient one exists
         # (shard processes); in-process shards nest under the epoch span.
         ctx = self._trace_ctx if _trace.current() is None else None
-        with _trace.activated(ctx), _trace.span(
+        # Shard processes have no ambient profiling context, so pin the
+        # attribution here; on the coordinator thread this restates the
+        # Executor's identical context.
+        with _trace.activated(ctx), _profiler.profiled(
+            "sharded", self.algorithm, "interpreted"
+        ), _trace.span(
             "shard_step",
             shard=self.shard_index,
             depth=depth,
@@ -264,17 +275,20 @@ class ShardRuntime:
                 tasks = self._step_fused(active, depth, step_cost)
             else:
                 tasks = self._step_private(active, depth, step_cost)
-        self.cost.merge(step_cost)
-        self.steps += 1
-        if tasks:
-            self.kernels.append(
-                KernelLaunch(
-                    name=f"kernel:shard{self.shard_index}:depth{depth}",
-                    cost=step_cost.copy(),
-                    num_warp_tasks=max(tasks, 1),
+            self.cost.merge(step_cost)
+            self.steps += 1
+            if tasks:
+                self.kernels.append(
+                    KernelLaunch(
+                        name=f"kernel:shard{self.shard_index}:depth{depth}",
+                        cost=step_cost.copy(),
+                        num_warp_tasks=max(tasks, 1),
+                    )
                 )
-            )
-        return self._emigrate(active)
+            prof = _profiler.clock(depth)
+            outboxes = self._emigrate(active)
+            prof.lap("migrate")
+        return outboxes
 
     def _step_fused(
         self, active: List[_WalkerRecord], depth: int, cost: CostModel

@@ -29,6 +29,7 @@ from repro.distributed.router import WalkerEnvelope
 from repro.distributed.shard import ShardReport, ShardRuntime
 from repro.graph.csr import CSRGraph
 from repro.service.store import SharedGraphHandle, SharedGraphStore, attach
+from repro.telemetry import profiler as _profiler
 from repro.telemetry import trace as _trace
 
 __all__ = ["ClusterTransportError", "InProcessTransport", "MultiprocessTransport"]
@@ -90,11 +91,18 @@ def _shard_main(
     program_kwargs: Optional[dict],
     config: SamplingConfig,
     handle: SharedGraphHandle,
+    profile: bool = False,
 ) -> None:
     """Shard process: map the shared graph, loop on pipe commands."""
     # A forked shard inherits the coordinator's span buffer; those records
     # belong to the parent and must not ship home again as duplicates.
     _trace.clear()
+    # The profiler's runtime switch does not survive a spawn, so the
+    # coordinator ships its state explicitly; inherited accumulators (fork
+    # contexts) belong to the parent and must not ship home again.
+    _profiler.clear()
+    if profile:
+        _profiler.enable()
     mapping = None
     try:
         try:
@@ -118,10 +126,11 @@ def _shard_main(
                     conn.send(("ok", (outbox, runtime.active_count())))
                 elif command == "collect":
                     report = runtime.collect()
-                    # Ship this process's finished spans home with the
-                    # report; the coordinator re-ingests them so the
-                    # request's span tree stays in one buffer.
+                    # Ship this process's finished spans and profile home
+                    # with the report; the coordinator re-ingests them so
+                    # the request's telemetry stays in one buffer.
                     report.spans = _trace.drain()
+                    report.profile = _profiler.drain()
                     conn.send(("ok", report))
                 elif command == "stop":
                     conn.send(("ok", None))
@@ -195,6 +204,7 @@ class MultiprocessTransport:
                         dict(program_kwargs or {}),
                         config,
                         handle,
+                        _profiler.enabled(),
                     ),
                     daemon=True,
                 )
@@ -266,6 +276,9 @@ class MultiprocessTransport:
             if report.spans:
                 _trace.ingest(report.spans)
                 report.spans = []
+            if report.profile:
+                _profiler.ingest(report.profile)
+                report.profile = {}
         return reports
 
     def close(self) -> None:

@@ -112,6 +112,7 @@ def run_coalesced(
     members: Sequence[Sequence[InstanceState]],
     *,
     use_compiled: Optional[bool] = None,
+    algorithm: Optional[str] = None,
 ) -> List[SampleResult]:
     """Run several members of one ``(program, config)`` as a single batch.
 
@@ -129,6 +130,7 @@ def run_coalesced(
         graph=graph,
         program=program,
         config=config,
+        algorithm=algorithm,
         members=members,
         force_route="coalesced",
         allow_compiled=use_compiled,

@@ -45,6 +45,7 @@ from repro.gpusim.prng import CounterRNG
 from repro.gpusim.warp import WarpExecutor
 from repro.graph.csr import CSRGraph
 from repro.telemetry import metrics as _metrics
+from repro.telemetry import profiler as _profiler
 from repro.telemetry import trace as _trace
 from repro.selection.segmented import (
     concat_aranges,
@@ -257,6 +258,7 @@ class BatchedStepEngine:
     ) -> int:
         cfg = self.config
         tasks = 0
+        prof = _profiler.clock(depth)
         # Frontier selection allocates a warp *between* the previous and next
         # instance's per-vertex warps, so when any instance actually selects
         # this step the preparation must walk instances in order; otherwise
@@ -283,6 +285,7 @@ class BatchedStepEngine:
             )
             seg_instances = [stepped[r][0] for r in seg_rank]
             pool = batch_gather_neighbors(self.graph, seg_vertices, seg_instances, cost)
+            prof.lap("gather")
             lengths = pool.lengths()
             biases, uniform = self._edge_biases(pool, validate_values=True)
             positive = lengths if uniform else segment_positive_counts(biases, pool.offsets)
@@ -295,16 +298,19 @@ class BatchedStepEngine:
                 0,
             )
             warp_ids = self._alloc_warp_block(seg_instances, alloc)
+            prof.lap("bias")
         else:
             parts: List[SegmentedEdgePool] = []
             seg_rank_parts, seg_slot_parts = [], []
             bias_parts, positive_parts = [], []
             requested_parts, alloc_parts, warp_parts = [], [], []
             vertex_biases = self._frontier_biases(active)
+            prof.lap("bias")
             for inst in active:
                 frontier, positions, tasks_inc = self._frontier_select(
                     inst, depth, cost, biases=vertex_biases.get(id(inst))
                 )
+                prof.lap("select")
                 tasks += tasks_inc
                 if frontier.size == 0:
                     inst.finished = True
@@ -314,6 +320,7 @@ class BatchedStepEngine:
                 part = batch_gather_neighbors(
                     self.graph, frontier, [inst] * int(frontier.size), cost
                 )
+                prof.lap("gather")
                 lengths = part.lengths()
                 biases, uniform = self._edge_biases(part, validate_values=True)
                 positive = lengths if uniform else segment_positive_counts(biases, part.offsets)
@@ -328,6 +335,7 @@ class BatchedStepEngine:
                 requested_parts.append(requested)
                 alloc_parts.append(alloc)
                 warp_parts.append(warp_ids)
+                prof.lap("bias")
             if not stepped:
                 return tasks
             pool = _concat_pools(parts, self.graph)
@@ -344,6 +352,7 @@ class BatchedStepEngine:
                 else np.minimum(requested, positive),
                 0,
             )
+            prof.lap("gather")
 
         allocated = np.nonzero(alloc)[0]
         tasks += int(allocated.size)
@@ -372,6 +381,7 @@ class BatchedStepEngine:
                 validate=False,  # validated by _edge_biases above
                 positive_counts=positive[allocated],
             )
+        prof.lap("select")
 
         # UPDATE phase: per allocated segment in scalar call order.
         inserted: List[List[np.ndarray]] = [[] for _ in stepped]
@@ -405,6 +415,7 @@ class BatchedStepEngine:
 
         for rank, (inst, frontier, positions) in enumerate(stepped):
             self._finish_instance(inst, frontier, positions, inserted[rank], depth)
+        prof.lap("update")
         return tasks
 
     # ------------------------------------------------------------------ #
@@ -417,13 +428,16 @@ class BatchedStepEngine:
     ) -> int:
         cfg = self.config
         tasks = 0
+        prof = _profiler.clock(depth)
         stepped: List[Tuple[InstanceState, np.ndarray, np.ndarray]] = []
         layer: List[Optional[Tuple[SegmentedEdgePool, np.ndarray, int, int]]] = []
         vertex_biases = self._frontier_biases(active)
+        prof.lap("bias")
         for inst in active:
             frontier, positions, tasks_inc = self._frontier_select(
                 inst, depth, cost, biases=vertex_biases.get(id(inst))
             )
+            prof.lap("select")
             tasks += tasks_inc
             if frontier.size == 0:
                 inst.finished = True
@@ -432,10 +446,12 @@ class BatchedStepEngine:
             part = batch_gather_neighbors(
                 self.graph, frontier, [inst] * int(frontier.size), cost
             )
+            prof.lap("gather")
             biases, uniform = self._edge_biases(part, validate_values=True)
             positive = part.size if uniform else int(np.count_nonzero(biases > 0))
             if part.size == 0 or positive == 0:
                 layer.append(None)
+                prof.lap("bias")
                 continue
             count = (
                 cfg.neighbor_size
@@ -445,6 +461,7 @@ class BatchedStepEngine:
             warp_id = self._alloc_warp(inst)
             tasks += 1
             layer.append((part, biases, count, warp_id))
+            prof.lap("bias")
 
         segments = [(rank, info) for rank, info in enumerate(layer) if info is not None]
         if segments:
@@ -472,6 +489,7 @@ class BatchedStepEngine:
                 cost=cost,
                 validate=False,  # validated by _edge_biases above
             )
+        prof.lap("select")
         inserted: List[List[np.ndarray]] = [[] for _ in stepped]
         for j, (rank, (part, _, _, _)) in enumerate(segments or []):
             idx, iters = selection.segment(j)
@@ -505,6 +523,7 @@ class BatchedStepEngine:
 
         for rank, (inst, frontier, positions) in enumerate(stepped):
             self._finish_instance(inst, frontier, positions, inserted[rank], depth)
+        prof.lap("update")
         return tasks
 
     # ================================================================== #
@@ -535,8 +554,12 @@ class BatchedStepEngine:
         )
         if vertices.size == 0:
             return _EMPTY, _EMPTY, _EMPTY
+        # Entries in one batched group can sit at different depths, so the
+        # profile attributes the whole expansion to the undepthed bucket.
+        prof = _profiler.clock(-1)
         seg_instances = [instance_map[int(i)] for i in instance_ids]
         pool = batch_gather_neighbors(self.graph, vertices, seg_instances, cost)
+        prof.lap("gather")
         lengths = pool.lengths()
         biases, uniform = self._edge_biases(pool, validate_values=False)
         positive = lengths if uniform else segment_positive_counts(biases, pool.offsets)
@@ -549,6 +572,7 @@ class BatchedStepEngine:
             requested if cfg.with_replacement else np.minimum(requested, positive),
             0,
         )
+        prof.lap("bias")
         allocated = np.nonzero(alloc)[0]
         selection = None
         if allocated.size:
@@ -573,6 +597,7 @@ class BatchedStepEngine:
                 validate=not uniform,
                 positive_counts=positive[allocated],
             )
+        prof.lap("select")
 
         succ_v: List[np.ndarray] = []
         succ_i: List[int] = []
@@ -609,6 +634,7 @@ class BatchedStepEngine:
             succ_v.append(new_vertices)
             succ_i.append(int(instance_ids[k]))
             succ_d.append(next_depth)
+        prof.lap("update")
         if not succ_v:
             return _EMPTY, _EMPTY, _EMPTY
         sizes = np.asarray([v.size for v in succ_v], dtype=np.int64)

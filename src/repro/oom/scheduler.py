@@ -44,6 +44,7 @@ from repro.gpusim.prng import CounterRNG
 from repro.gpusim.warp import WarpExecutor
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import PartitionSet, partition_graph
+from repro.telemetry import profiler as _profiler
 
 __all__ = ["OutOfMemoryConfig", "OutOfMemoryResult", "OutOfMemorySampler"]
 
@@ -155,6 +156,7 @@ class OutOfMemorySampler:
         device: Optional[Device] = None,
         partitions: Optional[PartitionSet] = None,
         use_engine: bool = True,
+        algorithm: Optional[str] = None,
     ):
         from repro.graph.delta import as_csr
 
@@ -162,6 +164,8 @@ class OutOfMemorySampler:
         self.graph = graph
         self.program = program
         self.config = config
+        # Advisory label only (plan attribution / profiler keys).
+        self.algorithm = algorithm
         self.oom = oom_config or OutOfMemoryConfig()
         self.device = device if device is not None else make_device("gpu")
         self.partitions = (
@@ -196,6 +200,7 @@ class OutOfMemorySampler:
             graph=self.graph,
             program=self.program,
             config=self.config,
+            algorithm=self.algorithm,
             instances=instances,
             oom_config=self.oom,
             force_route="out_of_memory",
@@ -237,13 +242,16 @@ class OutOfMemorySampler:
         cfg = self.config
         if depth >= cfg.depth:
             return
+        prof = _profiler.clock(depth)
         edges = gather_neighbors(self.graph, vertex, instance, cost)
+        prof.lap("gather")
         if edges.size == 0:
             return
         biases = np.asarray(self.program.edge_bias(edges), dtype=np.float64).reshape(-1)
         if biases.size != edges.size:
             raise ValueError("edge_bias must return one bias per neighbor")
         positive = int(np.count_nonzero(biases > 0))
+        prof.lap("bias")
         if positive == 0:
             return
         requested = self.program.neighbor_count(edges, cfg.neighbor_size)
@@ -263,6 +271,7 @@ class OutOfMemorySampler:
             strategy=cfg.strategy,
             detector=cfg.detector,
         )
+        prof.lap("select")
         iteration_counts.extend(int(i) for i in result.iterations)
         sampled = edges.neighbors[result.indices]
         accepted = np.asarray(self.program.accept(edges, sampled), dtype=np.int64).reshape(-1)
@@ -281,3 +290,4 @@ class OutOfMemorySampler:
         owners = self.partitions.owner(new_vertices) if new_vertices.size else ()
         for new_vertex, owner in zip(new_vertices, owners):
             queues[int(owner)].push(int(new_vertex), instance.instance_id, next_depth)
+        prof.lap("update")

@@ -42,6 +42,7 @@ from repro.oom.batching import group_entries_by_instance, single_batch
 from repro.oom.transfer import PartitionResidency
 from repro.planner.plan import ExecutionPlan
 from repro.telemetry import metrics as _metrics
+from repro.telemetry import profiler as _profiler
 from repro.telemetry import trace as _trace
 from repro.telemetry.feedback import FEEDBACK
 
@@ -97,15 +98,29 @@ class Executor:
 
         When telemetry is active the execution is wrapped in an
         ``execute`` span and the plan's predicted-vs-actual wall time is
-        recorded into the plan-cost feedback sink.
+        recorded into the plan-cost feedback sink.  When the continuous
+        profiler is on, the plan's (route, algorithm, step_tier) becomes
+        the attribution context for every phase clock below this frame.
         """
-        if not _trace.active():
-            return self._execute(instances, members)
         plan = self.plan
-        with _trace.span(
+        # Unnamed plans (direct GraphSampler/OutOfMemorySampler use without
+        # an advisory algorithm label) fall back to the program class so
+        # profiler keys never read "None".
+        algorithm = plan.algorithm or (
+            type(self.program).__name__ if self.program is not None
+            else "unknown"
+        )
+        if not _trace.active():
+            if not _profiler.enabled():
+                return self._execute(instances, members)
+            with _profiler.profiled(plan.route, algorithm, plan.step_tier):
+                return self._execute(instances, members)
+        with _profiler.profiled(
+            plan.route, algorithm, plan.step_tier
+        ), _trace.span(
             "execute",
             route=plan.route,
-            algorithm=plan.algorithm,
+            algorithm=algorithm,
             step_tier=plan.step_tier,
             num_instances=plan.num_instances,
         ):
@@ -432,9 +447,12 @@ class Executor:
             transport.close()
         if _trace.active():
             _metrics.REGISTRY.counter("walker_migrations").inc(router.migrations)
-        return self._reassemble_shards(
+        prof = _profiler.clock(-1)
+        result = self._reassemble_shards(
             reports, len(instances), epochs, router.migrations, num_shards
         )
+        prof.lap("reassemble")
+        return result
 
     def _reassemble_shards(
         self,

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import collections
 import itertools
+import os
 import queue
 import threading
 import time
@@ -56,9 +57,12 @@ from repro.service.gateway import Gateway, GatewayConfig
 from repro.service.qos import AdmissionRejected, TenantQuota
 from repro.service.store import SharedGraphStore
 from repro.service.workers import RequestSpec, UnitResult, WorkUnit, WorkerPool
+from repro.telemetry import profiler as _profiler
 from repro.telemetry import trace as _trace
 from repro.telemetry.feedback import FEEDBACK
+from repro.telemetry.health import HealthMonitor, LatencyObjective
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.recorder import FlightRecorder
 
 __all__ = ["ServiceError", "ServiceStats", "SamplingService"]
 
@@ -211,6 +215,9 @@ class SamplingService:
         quotas: Optional[Dict[str, TenantQuota]] = None,
         max_pending: Optional[int] = None,
         intake_pause_timeout_s: float = 60.0,
+        recorder_capacity: int = 2048,
+        diagnostics_dir: Optional[str] = None,
+        objectives: Optional[Dict[str, LatencyObjective]] = None,
     ):
         """``batch_window_s=0`` with ``max_batch_requests=1`` disables
         coalescing entirely (every request runs alone) -- the benchmark's
@@ -235,6 +242,12 @@ class SamplingService:
         control off); ``max_pending`` is a service-wide pending ceiling.
         ``intake_pause_timeout_s`` bounds how long :meth:`submit` waits
         while :meth:`replan` has intake paused before failing transient.
+
+        Diagnostics (see ``docs/telemetry.md``): ``recorder_capacity``
+        sizes the flight recorder's event ring; ``diagnostics_dir`` is
+        where crash/timeout snapshots are auto-dumped (``None`` disables
+        the dump, :meth:`diagnose` still works); ``objectives`` overrides
+        the per-route latency SLOs of :meth:`health`.
         """
         if max_batch_requests < 1:
             raise ValueError("max_batch_requests must be >= 1")
@@ -291,6 +304,21 @@ class SamplingService:
         #: Service-local metrics registry (latencies, queue waits, cache
         #: hit counters ...); dump with :meth:`metrics_text`.
         self.metrics = MetricsRegistry()
+        #: Flight recorder: bounded ring of operational events feeding
+        #: :meth:`diagnose` and the crash/timeout auto-dump.
+        self.recorder = FlightRecorder(capacity=recorder_capacity)
+        #: Rolling-window SLO accounting behind :meth:`health`.
+        self.health_monitor = HealthMonitor(self.metrics, objectives=objectives)
+        self.diagnostics_dir = diagnostics_dir
+        self._dump_seq = itertools.count()
+        #: Cache evictions already turned into recorder events.
+        self._evictions_seen = 0
+        #: Periodic load samples from the monitor thread: ``(wall ts,
+        #: track name, {series: value})`` tuples ready for
+        #: :func:`repro.telemetry.export.chrome_counter_events`.
+        self._load_samples: Deque[Tuple[float, str, Dict[str, float]]] = (
+            collections.deque(maxlen=4096)
+        )
         #: The multi-tenant front door: deterministic result cache plus
         #: cost-based per-tenant admission control (docs/service.md).
         self.gateway = Gateway(
@@ -410,6 +438,10 @@ class SamplingService:
             self._plans = {
                 k: v for k, v in self._plans.items() if k[:2] != key
             }
+        self.recorder.record(
+            "epoch_publish", graph=handle.name, epoch=handle.epoch,
+            route=route, nbytes=handle.nbytes,
+        )
         return route
 
     def route_of(self, name: str, epoch: Optional[int] = None) -> str:
@@ -467,6 +499,7 @@ class SamplingService:
                         )
                     time.sleep(0.002)
                 handle = self.store.handle(name, self.store.latest_epoch(name))
+                self.recorder.record("replan_drain", graph=name)
                 route = self._admit(handle)
                 # Cached results carry the plan/route they ran under; a
                 # re-admission makes them stale metadata-wise even though
@@ -646,6 +679,10 @@ class SamplingService:
             except AdmissionRejected:
                 with self._lock:
                     self.stats.requests_shed += 1
+                self.recorder.record(
+                    "shed", trace_id=pending.trace_id,
+                    request_id=request.request_id, tenant=request.tenant,
+                )
                 self._note_resolved(pending)
                 raise
         with self._lock:
@@ -653,6 +690,11 @@ class SamplingService:
             self.metrics.counter("requests_submitted").inc()
             self.metrics.counter("tenant_requests", tenant=request.tenant).inc()
             self._pending[request.request_id] = pending
+        self.recorder.record(
+            "admit", trace_id=pending.trace_id,
+            request_id=request.request_id, tenant=request.tenant,
+            priority=request.priority,
+        )
         self._enqueue(pending, request.priority)
         return pending.future
 
@@ -664,6 +706,10 @@ class SamplingService:
         """Resolve a request from the cache: no dispatch, no worker, no plan."""
         request = pending.request
         latency = time.perf_counter() - pending.enqueued_at
+        self.recorder.record(
+            "cache_hit", trace_id=pending.trace_id,
+            request_id=request.request_id, tenant=request.tenant,
+        )
         response.stats["latency_s"] = latency
         if pending.trace_id is not None:
             response.stats["trace_id"] = pending.trace_id
@@ -812,6 +858,9 @@ class SamplingService:
             ),
             plan=unit_plan,
             trace_ctx=trace_ctx,
+            # Thread/inline workers accumulate straight into this process's
+            # profiler; only process workers need the per-unit mirror+ship.
+            profile=(self._pool.mode == "process" and _profiler.enabled()),
         )
         plan_summary = unit_plan.summary()
         dispatched_perf = time.perf_counter()
@@ -861,17 +910,47 @@ class SamplingService:
             with self._lock:
                 if unit_id in self._inflight:
                     self._claims[unit_id] = pid
+            self.recorder.record(
+                "worker_claim", trace_id=self._head_trace_id(unit_id),
+                unit_id=unit_id, worker_pid=pid,
+            )
             return
         self._finish_unit(message)
 
     def _monitor_loop(self) -> None:
         while not self._shutdown.is_set():
             time.sleep(0.1)
+            self._sample_load()
             if self._inflight:
                 # Never drains here: draining means reading the result pipe,
                 # the very operation that can wedge after a worker crash.
                 self._reap_dead_workers(drain=False)
                 self._expire_stale_units()
+
+    def _sample_load(self) -> None:
+        """One periodic load sample (monitor thread): queue + cache + units."""
+        now = time.time()
+        with self._lock:
+            pending = len(self._pending)
+            inflight = len(self._inflight)
+        self._load_samples.append((now, "service_load", {
+            "pending": float(pending),
+            "inflight_units": float(inflight),
+        }))
+        cache = self.gateway.cache
+        if cache is not None:
+            self._load_samples.append((now, "result_cache_bytes", {
+                "bytes": float(cache.stats()["current_bytes"]),
+            }))
+
+    def load_samples(self) -> List[Tuple[float, str, Dict[str, float]]]:
+        """The monitor thread's periodic load samples, oldest first.
+
+        Each is ``(wall ts, track name, {series: value})`` -- exactly the
+        shape :func:`repro.telemetry.export.chrome_counter_events` turns
+        into ``ph:"C"`` counter tracks alongside a trace dump.
+        """
+        return list(self._load_samples)
 
     def _reap_dead_workers(self, *, drain: bool) -> None:
         """Fail units whose worker died; leave healthy workers' work alone."""
@@ -900,7 +979,18 @@ class SamplingService:
                     unit_id for unit_id in self._inflight
                     if unit_id not in stuck
                 )
+            victim_pids = {
+                unit_id: self._claims.get(unit_id, 0) for unit_id in stuck
+            }
         for unit_id in stuck:
+            # Record + dump BEFORE failing the unit: the victims' trace
+            # ids are still resolvable through _pending.
+            self.recorder.record(
+                "worker_crash", trace_id=self._head_trace_id(unit_id),
+                unit_id=unit_id, worker_pid=victim_pids.get(unit_id, 0),
+            )
+            self._dump_diagnostics("worker_crash", unit_id,
+                                   "worker process died")
             self._finish_unit(UnitResult(
                 unit_id=unit_id, error="worker process died", transient=True
             ))
@@ -916,6 +1006,14 @@ class SamplingService:
                 if started < cutoff and unit_id in self._inflight
             ]
         for unit_id in expired:
+            self.recorder.record(
+                "unit_timeout", trace_id=self._head_trace_id(unit_id),
+                unit_id=unit_id, timeout_s=self.unit_timeout_s,
+            )
+            self._dump_diagnostics(
+                "unit_timeout", unit_id,
+                f"unit unanswered after {self.unit_timeout_s}s",
+            )
             self._finish_unit(UnitResult(
                 unit_id=unit_id,
                 error=f"unit unanswered after {self.unit_timeout_s}s",
@@ -927,11 +1025,14 @@ class SamplingService:
             request_ids = self._inflight.pop(result.unit_id, [])
             self._claims.pop(result.unit_id, None)
             self._dispatched_at.pop(result.unit_id, None)
-        # Spans/feedback minted in a process worker ride home on the result.
+        # Spans/feedback/profile minted in a process worker ride home on
+        # the result.
         if getattr(result, "spans", None):
             _trace.ingest(result.spans)
         if getattr(result, "feedback", None):
             FEEDBACK.ingest(result.feedback)
+        if getattr(result, "profile", None):
+            _profiler.ingest(result.profile)
         if result.error is not None:
             for request_id in request_ids:
                 self._fail(request_id, result.error,
@@ -1024,6 +1125,12 @@ class SamplingService:
             migrations = payload.stats.get("migrations")
             if migrations:
                 self.metrics.counter("walker_migrations").inc(int(migrations))
+                self.recorder.record(
+                    "shard_migration", trace_id=pending.trace_id,
+                    request_id=payload.request_id,
+                    migrations=int(migrations),
+                    num_shards=int(payload.stats.get("num_shards", 0)),
+                )
             self.metrics.counter(
                 "tenant_completed", tenant=pending.request.tenant
             ).inc()
@@ -1043,6 +1150,7 @@ class SamplingService:
                     plan=pending.plan,
                 ),
             )
+            self._note_cache_evictions()
             self._set_future(pending.future, result=response)
             self._note_resolved(pending)
         for request_id in request_ids:
@@ -1113,13 +1221,200 @@ class SamplingService:
         # Retirement is the cache's invalidation signal: evict exactly this
         # epoch's cached results (newer/pinned epochs' entries stay).
         self.gateway.invalidate_epoch(name, epoch)
+        self.recorder.record("epoch_retire", graph=name, epoch=epoch)
+        self._note_cache_evictions()
 
     # ------------------------------------------------------------------ #
-    # Telemetry
+    # Telemetry and diagnostics
     # ------------------------------------------------------------------ #
     def metrics_text(self) -> str:
-        """Prometheus-style text dump of the service's metrics registry."""
+        """Prometheus-style text dump of the service's metrics registry.
+
+        Point-in-time operational gauges (queue depth, in-flight units,
+        live workers, recorder occupancy, store bytes) and the SLO burn
+        rates are refreshed right before rendering, so a scrape always
+        sees current values.
+        """
+        self._refresh_gauges()
         return self.metrics.render_prometheus()
+
+    def _head_trace_id(self, unit_id: int) -> Optional[str]:
+        """The trace id of a unit's head request (None = tracing off)."""
+        with self._lock:
+            for request_id in self._inflight.get(unit_id, []):
+                pending = self._pending.get(request_id)
+                if pending is not None and pending.trace_id is not None:
+                    return pending.trace_id
+        return None
+
+    def _note_cache_evictions(self) -> None:
+        """Turn new result-cache evictions/invalidations into events."""
+        cache = self.gateway.cache
+        if cache is None:
+            return
+        stats = cache.stats()
+        total = int(stats["evictions"]) + int(stats["invalidations"])
+        if total > self._evictions_seen:
+            self.recorder.record(
+                "cache_evict", evicted=total - self._evictions_seen,
+                entries=int(stats["entries"]),
+                current_bytes=int(stats["current_bytes"]),
+            )
+            self._evictions_seen = total
+
+    def _worker_state(self) -> Dict[str, object]:
+        """Live worker census shared by :meth:`diagnose` and :meth:`health`."""
+        dead = self._pool.dead_worker_pids()
+        if not self._pool.any_workers_alive():
+            alive = 0
+        else:
+            alive = max(0, self._pool.num_workers - len(dead))
+        with self._lock:
+            claims = dict(self._claims)
+            inflight = len(self._inflight)
+        return {
+            "mode": self._pool.mode,
+            "num_workers": self._pool.num_workers,
+            "alive": alive,
+            "dead_pids": list(dead),
+            "claimed_units": {str(uid): pid for uid, pid in claims.items()},
+            "inflight_units": inflight,
+            # In-flight units per worker, capped at 1.0: the pool has no
+            # per-worker busy flag, so claimed+queued work is the proxy.
+            "utilization": min(
+                1.0, inflight / max(1, self._pool.num_workers)
+            ),
+        }
+
+    def diagnose(self, last: int = 64) -> Dict[str, object]:
+        """JSON-ready snapshot of what the service is doing right now.
+
+        The post-mortem view: the flight recorder's last ``last`` events,
+        per-priority-lane queue depths, worker liveness/utilization,
+        shared-memory store and result-cache occupancy, and per-tenant
+        quota bucket levels.  Safe to call from any thread at any time.
+        """
+        # Lane census first (its own mutex) to keep lock scopes disjoint.
+        lanes: Dict[str, int] = {}
+        with self._queue.mutex:
+            for neg_priority, _, item in list(self._queue.queue):
+                if item is None:
+                    continue
+                lane = f"{-neg_priority:g}"
+                lanes[lane] = lanes.get(lane, 0) + 1
+        with self._lock:
+            pending = len(self._pending)
+            retiring = sorted(
+                f"{name}@{epoch}" for name, epoch in self._retiring
+            )
+        graphs: Dict[str, object] = {}
+        total_bytes = 0
+        for name in self.store.names():
+            epochs = {}
+            for epoch in self.store.epochs(name):
+                try:
+                    handle = self.store.handle(name, epoch)
+                except KeyError:  # released between epochs() and here
+                    continue
+                epochs[str(epoch)] = int(handle.nbytes)
+                total_bytes += int(handle.nbytes)
+            graphs[name] = epochs
+        gateway_stats = self.gateway.stats()
+        return {
+            "generated_at": time.time(),
+            "events": self.recorder.snapshot(last),
+            "events_dropped": self.recorder.dropped,
+            "event_counts": self.recorder.counts(),
+            "queue": {"pending_requests": pending, "lanes": lanes},
+            "workers": self._worker_state(),
+            "store": {"graphs": graphs, "total_bytes": total_bytes,
+                      "retiring": retiring},
+            "result_cache": gateway_stats.get("cache"),
+            "tenants": gateway_stats.get("tenants", {}),
+            "stats": self.stats.snapshot(),
+        }
+
+    def health(self) -> Dict[str, object]:
+        """Current service health: ``ok`` / ``degraded`` / ``unhealthy``.
+
+        Per-route SLO burn rates from the latency histograms plus hard
+        operational signals (worker liveness, pending-queue saturation);
+        every non-ok verdict carries machine-readable ``reasons``.
+        """
+        workers = self._worker_state()
+        with self._lock:
+            queue_depth = len(self._pending)
+        signals: Dict[str, object] = {
+            "workers_alive": workers["alive"],
+            "num_workers": workers["num_workers"],
+            "queue_depth": queue_depth,
+        }
+        if self.gateway.config.max_pending is not None:
+            signals["max_pending"] = self.gateway.config.max_pending
+        return self.health_monitor.evaluate(signals)
+
+    def _dump_diagnostics(self, reason: str, unit_id: int,
+                          error: str) -> Optional[str]:
+        """Auto-dump a diagnose() snapshot on a crash/timeout; best-effort."""
+        directory = self.diagnostics_dir
+        if directory is None:
+            return None
+        with self._lock:
+            trace_ids = [
+                p.trace_id
+                for request_id in self._inflight.get(unit_id, [])
+                for p in (self._pending.get(request_id),)
+                if p is not None and p.trace_id is not None
+            ]
+        path = os.path.join(
+            directory, f"diagnostics-{reason}-unit{unit_id}-"
+            f"{next(self._dump_seq)}.json",
+        )
+        try:
+            self.recorder.record(
+                "snapshot_dump", trace_id=trace_ids[0] if trace_ids else None,
+                unit_id=unit_id, reason=reason, path=path,
+            )
+            self.recorder.dump(path, extra={
+                "failure": {
+                    "reason": reason,
+                    "unit_id": unit_id,
+                    "error": error,
+                    "trace_ids": trace_ids,
+                },
+                "service": self.diagnose(),
+            })
+        except Exception:  # pragma: no cover - diagnostics must not kill
+            return None
+        return path
+
+    def _refresh_gauges(self) -> None:
+        """Mirror point-in-time operational state into Prometheus gauges."""
+        with self._lock:
+            pending = len(self._pending)
+            inflight = len(self._inflight)
+        self.metrics.gauge("queue_depth").set(pending)
+        self.metrics.gauge("inflight_units").set(inflight)
+        workers = self._worker_state()
+        self.metrics.gauge("workers_alive").set(workers["alive"])
+        self.metrics.gauge("recorder_events").set(len(self.recorder))
+        self.metrics.gauge("recorder_dropped").set(self.recorder.dropped)
+        total_bytes = 0
+        for name in self.store.names():
+            for epoch in self.store.epochs(name):
+                try:
+                    total_bytes += int(self.store.handle(name, epoch).nbytes)
+                except KeyError:  # released between epochs() and here
+                    continue
+        self.metrics.gauge("store_bytes").set(total_bytes)
+        cache = self.gateway.cache
+        if cache is not None:
+            self.metrics.gauge("result_cache_bytes").set(
+                cache.stats()["current_bytes"]
+            )
+        # evaluate() refreshes the slo_* burn/violation gauges and
+        # health_status as a side effect of the verdict.
+        self.health()
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -40,6 +40,7 @@ from repro.graph.csr import CSRGraph
 from repro.compiled.compiler import kernel_cache_stats
 from repro.oom.scheduler import OutOfMemoryConfig, OutOfMemorySampler
 from repro.service.store import SharedGraphHandle, attach
+from repro.telemetry import profiler as _profiler
 from repro.telemetry import trace as _trace
 from repro.telemetry.feedback import FEEDBACK
 
@@ -87,6 +88,10 @@ class WorkUnit:
     #: Telemetry trace context of the (head) request this unit serves, so
     #: worker-side spans join the request's trace; ``None`` = tracing off.
     trace_ctx: Optional[tuple] = None
+    #: Whether the front-end's continuous profiler is on: a process worker
+    #: enables its local profiler for this unit and ships the accumulators
+    #: home on the result (thread workers share the front-end's profiler).
+    profile: bool = False
 
 
 @dataclass
@@ -122,6 +127,9 @@ class UnitResult:
     spans: List = field(default_factory=list)
     #: Plan-cost feedback records drained alongside the spans.
     feedback: List = field(default_factory=list)
+    #: Profiler accumulators drained from a process worker (empty for
+    #: thread/inline workers, which accumulate into the front-end's).
+    profile: Dict = field(default_factory=dict)
 
 
 # --------------------------------------------------------------------------- #
@@ -244,7 +252,7 @@ def _execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
             try:
                 sampler = OutOfMemorySampler(
                     graph, info.program_factory(**kwargs), unit.config,
-                    oom_config,
+                    oom_config, algorithm=unit.algorithm,
                 )
                 oom_result = sampler.run(
                     list(spec.seeds), num_instances=spec.num_instances
@@ -272,7 +280,8 @@ def _execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
                 for spec in unit.requests
             ]
             cache_before = kernel_cache_stats()
-            results = run_coalesced(graph, probe, unit.config, members)
+            results = run_coalesced(graph, probe, unit.config, members,
+                                    algorithm=unit.algorithm)
             cache_after = kernel_cache_stats()
             for spec, result in zip(unit.requests, results):
                 payload = _payload_from_result(
@@ -307,7 +316,8 @@ def _execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
     for spec in unit.requests:
         try:
             sampler = GraphSampler(
-                graph, info.program_factory(**kwargs), unit.config
+                graph, info.program_factory(**kwargs), unit.config,
+                algorithm=unit.algorithm,
             )
             cache_before = kernel_cache_stats()
             result = sampler.run(list(spec.seeds), num_instances=spec.num_instances)
@@ -337,10 +347,12 @@ def _process_worker_main(task_queue, result_queue) -> None:
     """Process-mode worker: attach shared graphs lazily, loop until sentinel."""
     import os
 
-    # A forked worker inherits the front-end's span/feedback buffers; those
-    # records belong to the parent and must not ship home again.
+    # A forked worker inherits the front-end's span/feedback buffers and
+    # profiler accumulators; those records belong to the parent and must
+    # not ship home again.
     _trace.clear()
     FEEDBACK.clear()
+    _profiler.clear()
     attached: Dict[str, object] = {}
     try:
         while True:
@@ -360,12 +372,18 @@ def _process_worker_main(task_queue, result_queue) -> None:
                         mapping.close()
                     mapping = attach(unit.handle)
                     attached[unit.handle.name] = mapping
+                # The profiler's runtime switch lives in the front-end;
+                # mirror it here per unit (spawned workers start disabled).
+                if unit.profile:
+                    _profiler.enable()
                 result = execute_unit(mapping.graph, unit)
                 if unit.trace_ctx is not None:
                     # Process boundary: spans and plan-cost feedback minted
                     # here must travel home inside the result message.
                     result.spans = _trace.drain()
                     result.feedback = FEEDBACK.drain()
+                if unit.profile:
+                    result.profile = _profiler.drain()
             except Exception:
                 result = UnitResult(
                     unit_id=unit.unit_id, error=traceback.format_exc(limit=8)

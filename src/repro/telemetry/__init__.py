@@ -17,7 +17,18 @@ One zero-dependency subsystem observes every layer of the stack:
   (viewable in ``chrome://tracing`` / Perfetto) plus span-tree helpers;
 * :mod:`repro.telemetry.feedback` -- every executed plan records predicted
   vs actual cost, so :func:`repro.planner.calibration.fit_from_telemetry`
-  can refresh the host calibration from live traffic.
+  can refresh the host calibration from live traffic;
+* :mod:`repro.telemetry.profiler` -- continuous phase-level profiler
+  (gather / bias / select / update / migrate / reassemble) keyed by
+  (route, algorithm, step_tier) with per-depth totals and a
+  collapsed-stack flamegraph exporter (``python -m
+  repro.telemetry.profiler dump``);
+* :mod:`repro.telemetry.recorder` -- flight recorder: a bounded lock-free
+  ring of trace-id-correlated operational events behind
+  ``SamplingService.diagnose()`` and crash auto-dumps;
+* :mod:`repro.telemetry.health` -- rolling-window per-route latency
+  objectives with error-budget burn rates behind
+  ``SamplingService.health()``.
 
 **Overhead contract.**  Telemetry is disabled by default and the disabled
 mode costs near zero: every instrumented hot path is guarded by a no-op
@@ -54,11 +65,13 @@ from repro.telemetry.trace import (
 )
 from repro.telemetry.metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     REGISTRY,
 )
 from repro.telemetry.export import (
+    chrome_counter_events,
     chrome_trace_events,
     format_tree,
     is_connected,
@@ -67,19 +80,29 @@ from repro.telemetry.export import (
     write_json,
 )
 from repro.telemetry.feedback import FEEDBACK, PlanFeedbackSink
+from repro.telemetry.health import HealthMonitor, LatencyObjective
+from repro.telemetry.recorder import FlightRecorder, RecorderEvent
+from repro.telemetry import profiler
 
 __all__ = [
     "Counter",
     "FEEDBACK",
+    "FlightRecorder",
+    "Gauge",
+    "HealthMonitor",
     "Histogram",
+    "LatencyObjective",
     "MetricsRegistry",
     "PlanFeedbackSink",
     "REGISTRY",
+    "RecorderEvent",
+    "profiler",
     "Span",
     "SpanRecord",
     "TraceContext",
     "activated",
     "active",
+    "chrome_counter_events",
     "chrome_trace_events",
     "clear",
     "current",

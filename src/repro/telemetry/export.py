@@ -4,6 +4,12 @@
 https://ui.perfetto.dev -- each span becomes a complete ("ph": "X") event
 with microsecond timestamps, laid out per process/thread, with trace and
 span ids in ``args`` for cross-referencing.
+
+Alongside spans, ``chrome_counter_events`` turns time-stamped load
+samples (queue depth, cache bytes, in-flight units -- the service's
+monitor thread records them; see ``SamplingService.load_samples``) into
+counter ("ph": "C") events, so Perfetto draws the service's load curves
+on the same time axis as the request spans.
 """
 
 from __future__ import annotations
@@ -15,6 +21,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.telemetry.trace import SpanRecord
 
 __all__ = [
+    "CounterSample",
+    "chrome_counter_events",
     "chrome_trace_events",
     "format_tree",
     "is_connected",
@@ -22,6 +30,10 @@ __all__ = [
     "write_chrome_trace",
     "write_json",
 ]
+
+#: One load sample: (ts_s, counter_name, {series: value}).  Values must be
+#: numbers; each series becomes one stacked band in the counter track.
+CounterSample = Tuple[float, str, Dict[str, float]]
 
 
 def _record_dict(record: SpanRecord) -> Dict[str, object]:
@@ -80,12 +92,39 @@ def chrome_trace_events(records: Sequence[SpanRecord]) -> List[Dict[str, object]
     return events
 
 
+def chrome_counter_events(samples: Sequence[CounterSample],
+                          pid: int = 0) -> List[Dict[str, object]]:
+    """Load samples as Chrome ``trace_event`` counter ("ph": "C") events.
+
+    Each distinct counter name becomes one track; the values dict's keys
+    become stacked series within it.  Timestamps share the spans' wall
+    clock epoch axis, so the resulting events can be concatenated with
+    :func:`chrome_trace_events` output directly.
+    """
+    events: List[Dict[str, object]] = []
+    for ts_s, name, values in samples:
+        events.append({
+            "ph": "C",
+            "name": name,
+            "cat": "repro",
+            "ts": float(ts_s) * 1e6,
+            "pid": pid,
+            "args": {k: float(v) for k, v in values.items()},
+        })
+    return events
+
+
 def write_chrome_trace(records: Sequence[SpanRecord],
-                       path: Union[str, Path]) -> Path:
-    """Write spans as a ``{"traceEvents": [...]}`` Chrome trace file."""
+                       path: Union[str, Path],
+                       counters: Optional[Sequence[CounterSample]] = None
+                       ) -> Path:
+    """Write spans (plus optional load counters) as a Chrome trace file."""
+    events = chrome_trace_events(records)
+    if counters:
+        events.extend(chrome_counter_events(counters))
     path = Path(path)
     path.write_text(json.dumps(
-        {"traceEvents": chrome_trace_events(records),
+        {"traceEvents": events,
          "displayTimeUnit": "ms"},
         default=str))
     return path

@@ -1,0 +1,233 @@
+"""Health / SLO monitor: rolling-window latency objectives per route.
+
+Builds on what PR 7 already collects -- the service's per-route
+``request_latency_s`` histograms are cumulative, so this module never
+adds hot-path instrumentation.  :meth:`HealthMonitor.evaluate` diffs the
+cumulative (count, violations) pair against the previous evaluation,
+keeps the deltas in a rolling window, and derives classic SLO numbers:
+
+* **violation rate** -- fraction of windowed requests slower than the
+  route's latency objective (counted from the histogram buckets above
+  the bound, so accuracy is bucket resolution -- same contract as the
+  p50/p99 estimates);
+* **burn rate** -- violation rate divided by the error budget.  Burn 1.0
+  means the budget is being consumed exactly as fast as allowed; above
+  that the route is eating into future headroom.
+
+Routes degrade at ``DEGRADED_BURN`` and go unhealthy at
+``UNHEALTHY_BURN``.  Hard operational signals (dead workers, a saturated
+pending queue) short-circuit the verdict regardless of latency, because
+a service with no live workers is unhealthy even while its window is
+empty.  Every verdict carries machine-readable reason dicts, and the
+monitor mirrors its numbers into gauges on the bound registry so they
+land in the Prometheus dump.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+import collections
+
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "DEGRADED_BURN",
+    "UNHEALTHY_BURN",
+    "HealthMonitor",
+    "LatencyObjective",
+    "STATUS_LEVELS",
+]
+
+#: Burn-rate thresholds: budget consumed exactly on schedule is 1.0.
+DEGRADED_BURN = 1.0
+UNHEALTHY_BURN = 10.0
+
+#: Ordered severity; index doubles as the ``health_status`` gauge value.
+STATUS_LEVELS = ("ok", "degraded", "unhealthy")
+
+
+@dataclass(frozen=True)
+class LatencyObjective:
+    """A route's SLO: ``error_budget`` of requests may exceed ``latency_s``."""
+
+    latency_s: float
+    error_budget: float = 0.01
+    window_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s <= 0:
+            raise ValueError("latency_s must be > 0")
+        if not 0 < self.error_budget < 1:
+            raise ValueError("error_budget must be in (0, 1)")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be > 0")
+
+
+#: Conservative single-host defaults; services override per deployment.
+DEFAULT_OBJECTIVES: Dict[str, LatencyObjective] = {
+    "in_memory": LatencyObjective(latency_s=2.0),
+    "coalesced": LatencyObjective(latency_s=4.0),
+    "out_of_memory": LatencyObjective(latency_s=30.0),
+    "sharded": LatencyObjective(latency_s=30.0),
+}
+
+
+def _violations_above(hist: Histogram, bound_s: float) -> int:
+    """Observations strictly above ``bound_s``, to bucket resolution.
+
+    Undercounts by at most the bucket straddling the bound -- a
+    violation the histogram itself cannot resolve.
+    """
+    start = bisect.bisect_left(hist.bounds, bound_s) + 1
+    return sum(hist.bucket_counts[start:])
+
+
+class HealthMonitor:
+    """Rolling-window SLO accounting over a registry's latency histograms."""
+
+    def __init__(self, metrics: MetricsRegistry,
+                 objectives: Optional[Dict[str, LatencyObjective]] = None,
+                 latency_metric: str = "request_latency_s"):
+        self.metrics = metrics
+        self.objectives = dict(
+            DEFAULT_OBJECTIVES if objectives is None else objectives)
+        self.latency_metric = latency_metric
+        # route -> cumulative (count, violations) at the last evaluation
+        self._last: Dict[str, Tuple[int, int]] = {}
+        # route -> deque of (ts, requests_delta, violations_delta)
+        self._windows: Dict[str, Deque[Tuple[float, int, int]]] = {}
+
+    # ------------------------------------------------------------------ #
+    def _route_histograms(self) -> Dict[str, Histogram]:
+        out: Dict[str, Histogram] = {}
+        for labels, hist in self.metrics.find_histograms(self.latency_metric):
+            route = labels.get("route")
+            if route is not None:
+                out[route] = hist
+        return out
+
+    def _advance(self, route: str, objective: LatencyObjective,
+                 hist: Histogram, now: float) -> Tuple[int, int]:
+        """Fold new observations into the route's window; return totals."""
+        cum = (hist.count, _violations_above(hist, objective.latency_s))
+        prev = self._last.get(route, (0, 0))
+        self._last[route] = cum
+        window = self._windows.setdefault(route, collections.deque())
+        d_count = cum[0] - prev[0]
+        d_viol = cum[1] - prev[1]
+        if d_count < 0 or d_viol < 0:
+            # Histogram was cleared (tests, registry reset): start over.
+            window.clear()
+            d_count, d_viol = cum
+        if d_count > 0:
+            window.append((now, d_count, d_viol))
+        horizon = now - objective.window_s
+        while window and window[0][0] < horizon:
+            window.popleft()
+        return (sum(w[1] for w in window), sum(w[2] for w in window))
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, signals: Optional[Dict[str, object]] = None,
+                 now: Optional[float] = None) -> Dict[str, object]:
+        """One health verdict: status, per-route SLO numbers, reasons.
+
+        ``signals`` carries hard operational facts the latency window
+        cannot see -- ``workers_alive`` / ``num_workers``,
+        ``queue_depth`` / ``max_pending`` -- and participates in the
+        verdict; anything else passes through for display.
+        """
+        now = time.time() if now is None else now
+        reasons: List[Dict[str, object]] = []
+        routes: Dict[str, Dict[str, object]] = {}
+        severity = 0
+
+        hists = self._route_histograms()
+        for route, objective in sorted(self.objectives.items()):
+            hist = hists.get(route)
+            if hist is None:
+                continue
+            total, violations = self._advance(route, objective, hist, now)
+            rate = violations / total if total else 0.0
+            burn = rate / objective.error_budget
+            if burn >= UNHEALTHY_BURN:
+                route_status = "unhealthy"
+            elif burn >= DEGRADED_BURN:
+                route_status = "degraded"
+            else:
+                route_status = "ok"
+            route_severity = STATUS_LEVELS.index(route_status)
+            if route_severity:
+                reasons.append({
+                    "code": "latency_burn",
+                    "route": route,
+                    "severity": route_status,
+                    "burn_rate": burn,
+                    "violation_rate": rate,
+                    "objective_s": objective.latency_s,
+                    "error_budget": objective.error_budget,
+                })
+                severity = max(severity, route_severity)
+            routes[route] = {
+                "status": route_status,
+                "objective_s": objective.latency_s,
+                "error_budget": objective.error_budget,
+                "window_s": objective.window_s,
+                "window_requests": total,
+                "window_violations": violations,
+                "violation_rate": rate,
+                "burn_rate": burn,
+            }
+            self.metrics.gauge("slo_burn_rate", route=route).set(burn)
+            self.metrics.gauge("slo_violation_rate", route=route).set(rate)
+
+        signals = dict(signals or {})
+        severity = max(severity, self._judge_signals(signals, reasons))
+
+        status = STATUS_LEVELS[severity]
+        self.metrics.gauge("health_status").set(severity)
+        return {
+            "status": status,
+            "checked_at": now,
+            "reasons": reasons,
+            "routes": routes,
+            "signals": signals,
+        }
+
+    @staticmethod
+    def _judge_signals(signals: Dict[str, object],
+                       reasons: List[Dict[str, object]]) -> int:
+        severity = 0
+        alive = signals.get("workers_alive")
+        total = signals.get("num_workers")
+        if alive is not None and total:
+            if int(alive) == 0:
+                reasons.append({
+                    "code": "no_live_workers", "severity": "unhealthy",
+                    "workers_alive": 0, "num_workers": int(total),
+                })
+                severity = max(severity, 2)
+            elif int(alive) < int(total):
+                reasons.append({
+                    "code": "dead_workers", "severity": "degraded",
+                    "workers_alive": int(alive), "num_workers": int(total),
+                })
+                severity = max(severity, 1)
+        depth = signals.get("queue_depth")
+        ceiling = signals.get("max_pending")
+        if depth is not None and ceiling:
+            if int(depth) >= int(ceiling):
+                reasons.append({
+                    "code": "queue_saturated", "severity": "degraded",
+                    "queue_depth": int(depth), "max_pending": int(ceiling),
+                })
+                severity = max(severity, 1)
+        return severity
+
+    def reset(self) -> None:
+        """Forget all window state (tests)."""
+        self._last.clear()
+        self._windows.clear()

@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
@@ -46,6 +47,31 @@ class Counter:
         self.value += amount
 
     def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, occupancy, levels).
+
+    Merging sums values: a gauge split across worker registries (e.g.
+    per-worker in-flight units) reads as the cluster total after merge.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def merge(self, other: "Gauge") -> None:
         self.value += other.value
 
 
@@ -159,6 +185,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._counters: Dict[_LabelKey, Counter] = {}
+        self._gauges: Dict[_LabelKey, Gauge] = {}
         self._histograms: Dict[_LabelKey, Histogram] = {}
         self._create_lock = threading.Lock()
 
@@ -170,6 +197,16 @@ class MetricsRegistry:
                 instrument = self._counters.get(key)
                 if instrument is None:
                     instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = _label_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            with self._create_lock:
+                instrument = self._gauges.get(key)
+                if instrument is None:
+                    instrument = self._gauges[key] = Gauge()
         return instrument
 
     def histogram(self, name: str, buckets: Optional[Iterable[float]] = None,
@@ -193,6 +230,16 @@ class MetricsRegistry:
             if metric == name
         ]
 
+    def find_gauges(self, name: str) -> List[Tuple[Dict[str, str], Gauge]]:
+        """Every gauge registered under ``name``, with its label dict."""
+        with self._create_lock:
+            items = sorted(self._gauges.items())
+        return [
+            (dict(labels), gauge)
+            for (metric, labels), gauge in items
+            if metric == name
+        ]
+
     def find_histograms(
         self, name: str
     ) -> List[Tuple[Dict[str, str], Histogram]]:
@@ -210,6 +257,8 @@ class MetricsRegistry:
         with self._create_lock:
             for (name, labels), counter in other._counters.items():
                 self._counters.setdefault((name, labels), Counter()).merge(counter)
+            for (name, labels), gauge in other._gauges.items():
+                self._gauges.setdefault((name, labels), Gauge()).merge(gauge)
             for (name, labels), histogram in other._histograms.items():
                 mine = self._histograms.get((name, labels))
                 if mine is None:
@@ -223,9 +272,12 @@ class MetricsRegistry:
         # another thread creates an instrument must not see a dict resize.
         with self._create_lock:
             counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
             histograms = sorted(self._histograms.items())
         for (name, labels), counter in counters:
             out[name + _format_labels(labels)] = counter.value
+        for (name, labels), gauge in gauges:
+            out[name + _format_labels(labels)] = gauge.value
         for (name, labels), histogram in histograms:
             out[name + _format_labels(labels)] = histogram.summary()
         return out
@@ -235,11 +287,16 @@ class MetricsRegistry:
         lines: List[str] = []
         with self._create_lock:
             counter_items = sorted(self._counters.items())
+            gauge_items = sorted(self._gauges.items())
             histogram_items = sorted(self._histograms.items())
         for (name, labels), counter in counter_items:
             full = prefix + name
             lines.append("# TYPE %s counter" % full)
             lines.append("%s%s %d" % (full, _format_labels(labels), counter.value))
+        for (name, labels), gauge in gauge_items:
+            full = prefix + name
+            lines.append("# TYPE %s gauge" % full)
+            lines.append("%s%s %g" % (full, _format_labels(labels), gauge.value))
         for (name, labels), histogram in histogram_items:
             full = prefix + name
             lines.append("# TYPE %s histogram" % full)
@@ -265,6 +322,7 @@ class MetricsRegistry:
     def clear(self) -> None:
         with self._create_lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()
 
 

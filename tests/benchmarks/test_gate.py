@@ -11,6 +11,7 @@ import gate
 REPO = Path(__file__).resolve().parents[2]
 SHIPPED_RESULTS = REPO / "benchmarks" / "results" / "BENCH_planner.json"
 SHIPPED_BASELINE = REPO / "benchmarks" / "baselines" / "BENCH_planner.json"
+SHIPPED_TELEMETRY = REPO / "benchmarks" / "results" / "BENCH_telemetry.json"
 
 
 def slowed_copy(src: Path, dst: Path, factor: float, metric: str = "wall_time_s"):
@@ -64,6 +65,55 @@ class TestGate:
     def test_missing_files_are_usage_errors(self, tmp_path):
         assert gate.main(["--results", str(tmp_path / "none.json")]) == 2
         assert gate.main(["--baseline", str(tmp_path / "none.json")]) == 2
+
+    def _latency_workdir(self, tmp_path, factor):
+        """Results + baseline dirs where only the latency snapshot moved."""
+        results = tmp_path / "results"
+        baselines = tmp_path / "baselines"
+        results.mkdir()
+        baselines.mkdir()
+        shutil.copyfile(SHIPPED_RESULTS, results / "BENCH_planner.json")
+        shutil.copyfile(SHIPPED_BASELINE, baselines / "BENCH_planner.json")
+        shutil.copyfile(SHIPPED_TELEMETRY, baselines / "BENCH_telemetry.json")
+        rows = json.loads(SHIPPED_TELEMETRY.read_text())
+        for row in rows:
+            row["p50_s"] *= factor
+            row["p99_s"] *= factor
+        (results / "BENCH_telemetry.json").write_text(json.dumps(rows))
+        return ["--results", str(results / "BENCH_planner.json"),
+                "--baseline", str(baselines / "BENCH_planner.json")]
+
+    def test_latency_percentiles_gate_when_baselined(self, tmp_path, capsys):
+        args = self._latency_workdir(tmp_path, 2.0)
+        assert gate.main(args) == 1
+        out = capsys.readouterr().out
+        assert "p99_s" in out and "FAIL" in out
+
+    def test_latency_tolerance_is_wider_than_wall_time(self, tmp_path):
+        # +40% p50/p99 passes the default 50% latency band even though it
+        # would trip the 25% wall-time tolerance.
+        args = self._latency_workdir(tmp_path, 1.4)
+        assert gate.main(args) == 0
+        assert gate.main(args + ["--latency-tolerance", "0.2"]) == 1
+
+    def test_latency_without_baseline_never_fails(self, tmp_path, capsys):
+        args = self._latency_workdir(tmp_path, 5.0)
+        # Drop the latency baseline: the snapshot is new, so it reports
+        # but cannot gate until --update persists one.
+        (tmp_path / "baselines" / "BENCH_telemetry.json").unlink()
+        assert gate.main(args) == 0
+        assert "(new)" in capsys.readouterr().out
+
+    def test_update_persists_the_latency_baseline(self, tmp_path):
+        args = self._latency_workdir(tmp_path, 3.0)
+        assert gate.main(args) == 1
+        assert gate.main(args + ["--update"]) == 0
+        baseline = json.loads(
+            (tmp_path / "baselines" / "BENCH_telemetry.json").read_text())
+        current = json.loads(
+            (tmp_path / "results" / "BENCH_telemetry.json").read_text())
+        assert baseline == current
+        assert gate.main(args) == 0  # accepted: now the baseline itself
 
     def test_shipped_baseline_matches_results_snapshot(self):
         # The baseline is a real snapshot of the trajectory file, not an

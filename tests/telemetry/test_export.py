@@ -5,6 +5,7 @@ from __future__ import annotations
 import json
 
 from repro.telemetry.export import (
+    chrome_counter_events,
     chrome_trace_events,
     format_tree,
     is_connected,
@@ -74,6 +75,38 @@ class TestChromeTrace:
         payload = json.loads(path.read_text())
         assert payload["displayTimeUnit"] == "ms"
         assert len(payload["traceEvents"]) == 5  # 4 spans + 1 process meta
+
+
+class TestChromeCounterEvents:
+    def test_counter_events_shape(self):
+        samples = [
+            (1.0, "service_load", {"pending": 3, "inflight_units": 1}),
+            (2.0, "service_load", {"pending": 0, "inflight_units": 0}),
+        ]
+        events = chrome_counter_events(samples)
+        assert len(events) == 2
+        first = events[0]
+        assert first["ph"] == "C"
+        assert first["name"] == "service_load"
+        assert first["cat"] == "repro"
+        assert first["ts"] == 1.0 * 1e6
+        # Stacked series values must be numeric, not stringified.
+        assert first["args"] == {"pending": 3.0, "inflight_units": 1.0}
+
+    def test_pid_is_settable(self):
+        (event,) = chrome_counter_events([(0.5, "c", {"v": 1})], pid=42)
+        assert event["pid"] == 42
+
+    def test_counters_ride_along_in_trace_file(self, tmp_path):
+        samples = [(1.5, "queue", {"depth": 2.0})]
+        path = write_chrome_trace(_tree(), tmp_path / "trace.json",
+                                  counters=samples)
+        payload = json.loads(path.read_text())
+        counters = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["args"] == {"depth": 2.0}
+        # Counter timestamps share the spans' wall-clock microsecond axis.
+        assert counters[0]["ts"] == 1.5 * 1e6
 
 
 class TestSpanTree:

@@ -1,0 +1,182 @@
+"""Unit tests of the health/SLO monitor: burn rates, windows, signals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.health import (
+    DEGRADED_BURN,
+    UNHEALTHY_BURN,
+    HealthMonitor,
+    LatencyObjective,
+    STATUS_LEVELS,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _monitor(objective=None, **kwargs):
+    registry = MetricsRegistry()
+    objectives = {"in_memory": objective or LatencyObjective(latency_s=0.1)}
+    return registry, HealthMonitor(registry, objectives=objectives, **kwargs)
+
+
+def _observe(registry, route, values):
+    hist = registry.histogram("request_latency_s", route=route)
+    for v in values:
+        hist.observe(v)
+
+
+class TestLatencyObjective:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyObjective(latency_s=0)
+        with pytest.raises(ValueError):
+            LatencyObjective(latency_s=1, error_budget=0.0)
+        with pytest.raises(ValueError):
+            LatencyObjective(latency_s=1, error_budget=1.0)
+        with pytest.raises(ValueError):
+            LatencyObjective(latency_s=1, window_s=0)
+
+    def test_thresholds_are_ordered(self):
+        assert 0 < DEGRADED_BURN < UNHEALTHY_BURN
+        assert STATUS_LEVELS == ("ok", "degraded", "unhealthy")
+
+
+class TestEvaluate:
+    def test_empty_registry_is_ok(self):
+        _, monitor = _monitor()
+        verdict = monitor.evaluate()
+        assert verdict["status"] == "ok"
+        assert verdict["reasons"] == []
+        assert verdict["routes"] == {}
+
+    def test_fast_requests_keep_route_ok(self):
+        registry, monitor = _monitor()
+        _observe(registry, "in_memory", [0.001] * 50)
+        verdict = monitor.evaluate(now=100.0)
+        route = verdict["routes"]["in_memory"]
+        assert verdict["status"] == "ok"
+        assert route["window_requests"] == 50
+        assert route["window_violations"] == 0
+        assert route["burn_rate"] == 0.0
+
+    def test_violations_burn_the_budget(self):
+        # 10% of requests over the objective against a 1% budget: burn 10x
+        # crosses UNHEALTHY_BURN.
+        registry, monitor = _monitor(LatencyObjective(
+            latency_s=0.1, error_budget=0.01))
+        _observe(registry, "in_memory", [0.001] * 90 + [10.0] * 10)
+        verdict = monitor.evaluate(now=100.0)
+        route = verdict["routes"]["in_memory"]
+        assert route["window_violations"] == 10
+        assert route["burn_rate"] == pytest.approx(10.0)
+        assert verdict["status"] == "unhealthy"
+        (reason,) = verdict["reasons"]
+        assert reason["code"] == "latency_burn"
+        assert reason["route"] == "in_memory"
+
+    def test_moderate_burn_degrades(self):
+        # 2% violations on a 1% budget: burn 2.0, between the thresholds.
+        registry, monitor = _monitor(LatencyObjective(
+            latency_s=0.1, error_budget=0.01))
+        _observe(registry, "in_memory", [0.001] * 98 + [10.0] * 2)
+        verdict = monitor.evaluate(now=100.0)
+        assert verdict["status"] == "degraded"
+        assert verdict["routes"]["in_memory"]["status"] == "degraded"
+
+    def test_evaluate_diffs_cumulative_histograms(self):
+        registry, monitor = _monitor(LatencyObjective(
+            latency_s=0.1, error_budget=0.01))
+        _observe(registry, "in_memory", [10.0] * 5)
+        monitor.evaluate(now=100.0)
+        # No new observations: the second evaluation adds a zero delta.
+        verdict = monitor.evaluate(now=101.0)
+        assert verdict["routes"]["in_memory"]["window_requests"] == 5
+
+    def test_window_prunes_old_violations(self):
+        registry, monitor = _monitor(LatencyObjective(
+            latency_s=0.1, error_budget=0.01, window_s=60.0))
+        _observe(registry, "in_memory", [10.0] * 10)
+        assert monitor.evaluate(now=100.0)["status"] == "unhealthy"
+        # 61 simulated seconds later the bad minute has aged out.
+        verdict = monitor.evaluate(now=161.0)
+        route = verdict["routes"]["in_memory"]
+        assert route["window_requests"] == 0
+        assert verdict["status"] == "ok"
+
+    def test_histogram_reset_restarts_the_window(self):
+        registry, monitor = _monitor()
+        _observe(registry, "in_memory", [0.001] * 10)
+        monitor.evaluate(now=100.0)
+        registry.clear()
+        _observe(registry, "in_memory", [0.001] * 3)
+        verdict = monitor.evaluate(now=101.0)
+        assert verdict["routes"]["in_memory"]["window_requests"] == 3
+
+    def test_routes_without_objectives_are_ignored(self):
+        registry, monitor = _monitor()
+        _observe(registry, "mystery", [10.0] * 50)
+        verdict = monitor.evaluate(now=100.0)
+        assert verdict["status"] == "ok"
+        assert "mystery" not in verdict["routes"]
+
+
+class TestSignals:
+    def test_no_live_workers_is_unhealthy(self):
+        _, monitor = _monitor()
+        verdict = monitor.evaluate(
+            {"workers_alive": 0, "num_workers": 2})
+        assert verdict["status"] == "unhealthy"
+        (reason,) = verdict["reasons"]
+        assert reason["code"] == "no_live_workers"
+
+    def test_partial_worker_loss_degrades(self):
+        _, monitor = _monitor()
+        verdict = monitor.evaluate(
+            {"workers_alive": 1, "num_workers": 2})
+        assert verdict["status"] == "degraded"
+        assert verdict["reasons"][0]["code"] == "dead_workers"
+
+    def test_saturated_queue_degrades(self):
+        _, monitor = _monitor()
+        verdict = monitor.evaluate(
+            {"queue_depth": 100, "max_pending": 100})
+        assert verdict["status"] == "degraded"
+        assert verdict["reasons"][0]["code"] == "queue_saturated"
+
+    def test_unknown_signals_pass_through(self):
+        _, monitor = _monitor()
+        verdict = monitor.evaluate({"uptime_s": 12.5})
+        assert verdict["status"] == "ok"
+        assert verdict["signals"]["uptime_s"] == 12.5
+
+    def test_no_ceiling_means_no_saturation(self):
+        _, monitor = _monitor()
+        verdict = monitor.evaluate({"queue_depth": 10_000})
+        assert verdict["status"] == "ok"
+
+
+class TestGauges:
+    def test_evaluate_mirrors_numbers_into_gauges(self):
+        registry, monitor = _monitor(LatencyObjective(
+            latency_s=0.1, error_budget=0.01))
+        _observe(registry, "in_memory", [0.001] * 90 + [10.0] * 10)
+        monitor.evaluate(now=100.0)
+        assert registry.gauge(
+            "slo_burn_rate", route="in_memory").value == pytest.approx(10.0)
+        assert registry.gauge(
+            "slo_violation_rate", route="in_memory").value == (
+            pytest.approx(0.1))
+        assert registry.gauge("health_status").value == 2.0  # unhealthy
+        text = registry.render_prometheus()
+        assert "# TYPE repro_slo_burn_rate gauge" in text
+        assert "repro_health_status 2" in text
+
+    def test_reset_forgets_window_state(self):
+        registry, monitor = _monitor()
+        _observe(registry, "in_memory", [10.0] * 5)
+        monitor.evaluate(now=100.0)
+        monitor.reset()
+        # After reset the full cumulative count re-enters the window.
+        verdict = monitor.evaluate(now=200.0)
+        assert verdict["routes"]["in_memory"]["window_requests"] == 5

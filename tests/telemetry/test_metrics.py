@@ -7,6 +7,7 @@ import pytest
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
 )
@@ -21,6 +22,32 @@ class TestCounter:
         a.merge(b)
         assert a.value == 7
         assert b.value == 2
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        assert g.value == 0.0
+        g.set(7)
+        assert g.value == 7.0
+        g.inc()
+        g.inc(2.5)
+        g.dec(0.5)
+        assert g.value == pytest.approx(10.0)
+
+    def test_set_overwrites_not_accumulates(self):
+        g = Gauge()
+        g.set(5)
+        g.set(3)
+        assert g.value == 3.0
+
+    def test_merge_sums(self):
+        a, b = Gauge(), Gauge()
+        a.set(2)
+        b.set(5)
+        a.merge(b)
+        assert a.value == 7.0
+        assert b.value == 5.0
 
 
 class TestHistogram:
@@ -107,16 +134,34 @@ class TestRegistry:
         assert [labels for labels, _ in found] == [
             {"route": "in_memory"}, {"route": "sharded"}]
 
+    def test_gauges_are_cached_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        assert reg.gauge("depth") is reg.gauge("depth")
+        assert reg.gauge("depth", route="a") is not reg.gauge("depth", route="b")
+
+    def test_find_gauges_returns_label_dicts(self):
+        reg = MetricsRegistry()
+        reg.gauge("slo_burn_rate", route="in_memory").set(0.5)
+        reg.gauge("slo_burn_rate", route="sharded").set(2.0)
+        reg.gauge("other").set(1.0)
+        found = reg.find_gauges("slo_burn_rate")
+        assert [labels for labels, _ in found] == [
+            {"route": "in_memory"}, {"route": "sharded"}]
+        assert [g.value for _, g in found] == [0.5, 2.0]
+
     def test_merge_folds_worker_registry_into_frontend(self):
         front, worker = MetricsRegistry(), MetricsRegistry()
         front.counter("units").inc(1)
         worker.counter("units").inc(2)
         worker.counter("worker_only").inc(5)
         worker.histogram("lat").observe(0.5)
+        front.gauge("depth").set(1)
+        worker.gauge("depth").set(2)
         front.merge(worker)
         assert front.counter("units").value == 3
         assert front.counter("worker_only").value == 5
         assert front.histogram("lat").count == 1
+        assert front.gauge("depth").value == 3.0
 
     def test_snapshot_flattens_with_label_suffixes(self):
         reg = MetricsRegistry()
@@ -127,9 +172,15 @@ class TestRegistry:
         assert snap['lat{route="x"}']["count"] == 1
         assert snap['lat{route="x"}']["p50_s"] == 0.25
 
+    def test_snapshot_includes_gauges(self):
+        reg = MetricsRegistry()
+        reg.gauge("queue_depth").set(11)
+        assert reg.snapshot()["queue_depth"] == 11.0
+
     def test_clear(self):
         reg = MetricsRegistry()
         reg.counter("hits").inc()
+        reg.gauge("depth").set(1)
         reg.clear()
         assert reg.snapshot() == {}
 
@@ -159,6 +210,26 @@ class TestPrometheus:
         assert 'repro_lat_bucket{le="0.1"} 1' in text
         assert 'repro_lat_bucket{le="1"} 2' in text
         assert 'repro_lat_bucket{le="+Inf"} 3' in text
+
+    def test_gauge_exposition(self):
+        reg = MetricsRegistry()
+        reg.gauge("health_status").set(1)
+        reg.gauge("slo_burn_rate", route="in_memory").set(2.5)
+        text = reg.render_prometheus()
+        assert "# TYPE repro_health_status gauge" in text
+        assert "repro_health_status 1" in text
+        assert "# TYPE repro_slo_burn_rate gauge" in text
+        assert 'repro_slo_burn_rate{route="in_memory"} 2.5' in text
+
+    def test_gauge_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", lane='fast "prio"').set(1)
+        reg.gauge("depth", lane="a\\b\nc").set(2)
+        text = reg.render_prometheus()
+        assert 'lane="fast \\"prio\\""' in text
+        assert 'lane="a\\\\b\\nc"' in text
+        for line in text.splitlines():
+            assert line.count('"') % 2 == 0
 
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().render_prometheus() == ""
@@ -217,6 +288,29 @@ class TestRegistryThreadSafety:
         assert all(c is seen[0] for c in seen)
         total = sum(c.value for _, c in reg.find_counters("c"))
         assert total == 8 * 200
+
+    def test_concurrent_gauge_creation_yields_one_instrument(self):
+        import threading
+
+        reg = MetricsRegistry()
+        barrier = threading.Barrier(8)
+        seen = []
+
+        def create(i):
+            barrier.wait()
+            for n in range(200):
+                reg.gauge("g", lane=n % 10).inc()
+            seen.append(reg.gauge("g", lane=0))
+
+        threads = [threading.Thread(target=create, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every thread resolved the SAME Gauge: a racing check-then-insert
+        # creating duplicates would shear increments across instances.
+        assert all(g is seen[0] for g in seen)
 
     def test_find_counters_mirrors_find_histograms(self):
         reg = MetricsRegistry()

@@ -1,0 +1,257 @@
+"""Unit tests of the continuous phase profiler: clocks, shipping, export."""
+
+from __future__ import annotations
+
+import json
+import pickle
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.telemetry import profiler
+
+
+@pytest.fixture()
+def prof():
+    """Profiler enabled with empty accumulators; fully restored afterwards."""
+    was_enabled = profiler.enabled()
+    profiler.clear()
+    profiler.enable()
+    yield profiler
+    if not was_enabled:
+        profiler.disable()
+    profiler.clear()
+
+
+@pytest.fixture()
+def prof_off():
+    was_enabled = profiler.enabled()
+    profiler.clear()
+    profiler.disable()
+    yield profiler
+    if was_enabled:
+        profiler.enable()
+    profiler.clear()
+
+
+class TestDisabledPath:
+    def test_clock_returns_shared_null_singleton(self, prof_off):
+        a = prof_off.clock(0)
+        b = prof_off.clock(3)
+        assert a is b  # no per-call allocation when off
+
+    def test_null_clock_records_nothing(self, prof_off):
+        prof_off.clock(0).lap("gather").lap("select").restart()
+        assert prof_off.stats() == []
+        assert prof_off.total_s() == 0.0
+
+    def test_profiled_context_is_harmless_when_off(self, prof_off):
+        with prof_off.profiled("in_memory", "deepwalk", "compiled"):
+            prof_off.clock(1).lap("gather")
+        assert prof_off.stats() == []
+
+
+class TestLapTiming:
+    def test_laps_tile_the_interval(self, prof):
+        clock = prof.clock(0)
+        time.sleep(0.002)
+        clock.lap("gather")
+        time.sleep(0.002)
+        clock.lap("select")
+        rows = prof.stats()
+        assert [r["phase"] for r in rows] == ["gather", "select"]
+        for row in rows:
+            assert row["total_s"] >= 0.002
+            assert row["calls"] == 1
+        # Consecutive laps must not double-charge: the sum stays close to
+        # the instrumented region's wall time.
+        assert prof.total_s() < 0.1
+
+    def test_default_attribution_context(self, prof):
+        prof.clock(0).lap("gather")
+        (row,) = prof.stats()
+        assert (row["route"], row["algorithm"], row["step_tier"]) == (
+            "direct", "unknown", "interpreted")
+
+    def test_profiled_context_attributes_laps(self, prof):
+        with prof.profiled("in_memory", "deepwalk", "compiled"):
+            prof.clock(2).lap("select")
+        (row,) = prof.stats()
+        assert row["route"] == "in_memory"
+        assert row["algorithm"] == "deepwalk"
+        assert row["step_tier"] == "compiled"
+        assert row["by_depth"] == {
+            "2": {"total_s": row["total_s"], "calls": 1}}
+
+    def test_profiled_context_nests_and_restores(self, prof):
+        with prof.profiled("a", "x", "t"):
+            with prof.profiled("b", "y", "u"):
+                prof.clock(0).lap("gather")
+            prof.clock(0).lap("bias")
+        routes = {r["phase"]: r["route"] for r in prof.stats()}
+        assert routes == {"gather": "b", "bias": "a"}
+
+    def test_restart_discards_the_interval(self, prof):
+        clock = prof.clock(0)
+        time.sleep(0.002)
+        clock.restart()
+        clock.lap("gather")
+        (row,) = prof.stats()
+        assert row["total_s"] < 0.002
+
+    def test_by_depth_accumulates_per_depth(self, prof):
+        for depth in (0, 0, 1):
+            prof.clock(depth).lap("gather")
+        (row,) = prof.stats()
+        assert row["by_depth"]["0"]["calls"] == 2
+        assert row["by_depth"]["1"]["calls"] == 1
+        assert row["calls"] == 3
+
+
+class TestShipping:
+    def test_drain_empties_and_ingest_merges(self, prof):
+        with prof.profiled("in_memory", "deepwalk", "compiled"):
+            prof.clock(0).lap("gather")
+        shipped = prof.drain()
+        assert prof.stats() == []
+        with prof.profiled("in_memory", "deepwalk", "compiled"):
+            prof.clock(0).lap("gather")
+        prof.ingest(shipped)
+        (row,) = prof.stats()
+        assert row["calls"] == 2
+
+    def test_phase_stat_pickles_across_the_result_pipe(self, prof):
+        with prof.profiled("sharded", "ppr", "interpreted"):
+            prof.clock(1).lap("migrate")
+        shipped = prof.drain()
+        thawed = pickle.loads(pickle.dumps(shipped))
+        prof.ingest(thawed)
+        (row,) = prof.stats()
+        assert row["phase"] == "migrate"
+        assert row["calls"] == 1
+        assert row["by_depth"]["1"]["calls"] == 1
+
+    def test_ingest_tolerates_list_keys(self, prof):
+        # JSON round trips turn tuple keys into lists; ingest re-tuples.
+        with prof.profiled("a", "b", "c"):
+            prof.clock(0).lap("update")
+        shipped = {tuple(k): v for k, v in prof.drain().items()}
+        relisted = {k: v for k, v in shipped.items()}
+        prof.ingest(relisted)
+        assert prof.stats()[0]["calls"] == 1
+
+
+class TestReporting:
+    def _populate(self, prof):
+        with prof.profiled("in_memory", "deepwalk", "compiled"):
+            clock = prof.clock(0)
+            time.sleep(0.001)
+            clock.lap("gather")
+            time.sleep(0.001)
+            clock.lap("select")
+            clock.lap("update")
+
+    def test_rows_follow_pipeline_phase_order(self, prof):
+        self._populate(prof)
+        phases = [r["phase"] for r in prof.stats()]
+        assert phases == ["gather", "select", "update"]
+
+    def test_collapsed_stack_format(self, prof):
+        self._populate(prof)
+        text = prof.collapsed()
+        lines = [l for l in text.strip().splitlines() if l]
+        assert lines, "no collapsed lines produced"
+        for line in lines:
+            frames, weight = line.rsplit(" ", 1)
+            # flamegraph.pl input: semicolon frames + positive int weight
+            assert frames.count(";") == 3
+            assert int(weight) > 0
+        assert lines[0].startswith("in_memory;deepwalk;compiled;gather ")
+
+    def test_collapsed_drops_zero_weight_cells(self, prof):
+        prof.clock(0).lap("gather")  # sub-microsecond: rounds to 0
+        rows = prof.stats()
+        rows[0]["total_s"] = 0.0
+        assert prof.collapsed(rows) == ""
+
+    def test_total_s_filters_by_route(self, prof):
+        with prof.profiled("in_memory", "a", "t"):
+            c = prof.clock(0)
+            time.sleep(0.001)
+            c.lap("gather")
+        with prof.profiled("sharded", "a", "t"):
+            c = prof.clock(0)
+            time.sleep(0.001)
+            c.lap("migrate")
+        assert prof.total_s("in_memory") < prof.total_s()
+        assert prof.total_s("in_memory") + prof.total_s("sharded") == (
+            pytest.approx(prof.total_s()))
+
+    def test_save_load_round_trip(self, prof, tmp_path):
+        self._populate(prof)
+        path = tmp_path / "profile.json"
+        prof.save(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        rows = prof.load(str(path))
+        assert [r["phase"] for r in rows] == ["gather", "select", "update"]
+        assert prof.collapsed(rows) == prof.collapsed()
+
+    def test_cli_dump_renders_collapsed_stacks(self, prof, tmp_path):
+        self._populate(prof)
+        path = tmp_path / "profile.json"
+        prof.save(str(path))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.telemetry.profiler", "dump",
+             str(path)],
+            capture_output=True, text=True, check=True,
+        )
+        assert proc.stdout == prof.collapsed()
+        out = tmp_path / "stacks.txt"
+        subprocess.run(
+            [sys.executable, "-m", "repro.telemetry.profiler", "dump",
+             str(path), "-o", str(out)],
+            capture_output=True, text=True, check=True,
+        )
+        assert out.read_text() == prof.collapsed()
+
+
+class TestEngineIntegration:
+    def _run(self, seed=11):
+        from repro.algorithms.registry import get_algorithm
+        from repro.api.sampler import GraphSampler
+        from repro.graph import ring_graph
+
+        info = get_algorithm("deepwalk")
+        sampler = GraphSampler(
+            ring_graph(64), info.program_factory(),
+            info.config_factory(depth=6, seed=seed),
+        )
+        return sampler.run(list(range(16)))
+
+    def test_engine_run_populates_phase_stats(self, prof):
+        self._run()
+        rows = prof.stats()
+        assert rows, "instrumented engine produced no phase stats"
+        phases = {r["phase"] for r in rows}
+        assert "gather" in phases
+        assert all(r["total_s"] >= 0 for r in rows)
+        # Per-depth attribution reaches the engine's real depths.
+        depths = set()
+        for r in rows:
+            depths.update(r["by_depth"])
+        assert any(d != "-1" for d in depths)
+
+    def test_profiling_never_perturbs_samples(self, prof_off):
+        baseline = self._run()
+        profiler.enable()
+        try:
+            profiled_run = self._run()
+        finally:
+            profiler.disable()
+        for a, b in zip(baseline.samples, profiled_run.samples):
+            assert np.array_equal(a.edges, b.edges)
+            assert np.array_equal(a.seeds, b.seeds)

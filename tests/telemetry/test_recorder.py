@@ -1,0 +1,135 @@
+"""Unit tests of the flight recorder: ring semantics, filters, dumps."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.telemetry.recorder import EVENT_KINDS, FlightRecorder, RecorderEvent
+
+
+class TestRecord:
+    def test_events_carry_ts_pid_and_attrs(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record("admit", trace_id="t1", request_id=7, tenant="acme")
+        (event,) = rec.events()
+        assert event.kind == "admit"
+        assert event.trace_id == "t1"
+        assert event.pid == os.getpid()
+        assert event.ts > 0
+        assert event.attrs == {"request_id": 7, "tenant": "acme"}
+
+    def test_len_and_counts(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record("admit")
+        rec.record("admit")
+        rec.record("shed")
+        assert len(rec) == 3
+        assert rec.counts() == {"admit": 2, "shed": 1}
+
+    def test_disabled_recorder_is_a_noop(self):
+        rec = FlightRecorder(capacity=8, enabled=False)
+        rec.record("admit")
+        assert len(rec) == 0
+        assert rec.counts() == {}
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_taxonomy_covers_the_service_lifecycle(self):
+        # The documented kinds the service emits; record() accepting any
+        # string is forward compatibility, not an excuse to drift.
+        for kind in ("admit", "shed", "cache_hit", "cache_evict",
+                     "epoch_publish", "epoch_retire", "replan_drain",
+                     "worker_claim", "worker_crash", "unit_timeout",
+                     "shard_migration", "snapshot_dump"):
+            assert kind in EVENT_KINDS
+
+
+class TestRing:
+    def test_overflow_drops_oldest_and_counts(self):
+        rec = FlightRecorder(capacity=3)
+        for i in range(5):
+            rec.record("admit", request_id=i)
+        assert len(rec) == 3
+        assert rec.dropped == 2
+        assert [e.attrs["request_id"] for e in rec.events()] == [2, 3, 4]
+
+    def test_clear_resets_buffer_and_dropped(self):
+        rec = FlightRecorder(capacity=1)
+        rec.record("admit")
+        rec.record("admit")
+        assert rec.dropped == 1
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.dropped == 0
+
+
+class TestQueries:
+    def _populated(self):
+        rec = FlightRecorder(capacity=16)
+        rec.record("admit", trace_id="t1")
+        rec.record("worker_claim", trace_id="t1", unit_id=0)
+        rec.record("admit", trace_id="t2")
+        rec.record("worker_crash", trace_id="t2", unit_id=1)
+        return rec
+
+    def test_filter_by_kind(self):
+        rec = self._populated()
+        assert [e.trace_id for e in rec.events(kind="admit")] == ["t1", "t2"]
+
+    def test_filter_by_trace_id(self):
+        rec = self._populated()
+        kinds = [e.kind for e in rec.events(trace_id="t2")]
+        assert kinds == ["admit", "worker_crash"]
+
+    def test_last_n_keeps_newest(self):
+        rec = self._populated()
+        assert [e.kind for e in rec.events(last=2)] == [
+            "admit", "worker_crash"]
+
+    def test_snapshot_is_json_ready(self):
+        rec = self._populated()
+        snap = rec.snapshot(last=1)
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap[0]["kind"] == "worker_crash"
+        assert snap[0]["trace_id"] == "t2"
+
+
+class TestDump:
+    def test_dump_writes_events_and_extra(self, tmp_path):
+        rec = FlightRecorder(capacity=4)
+        rec.record("unit_timeout", trace_id="t9", unit_id=3)
+        path = tmp_path / "deep" / "dump.json"  # parent dirs get created
+        returned = rec.dump(str(path), extra={
+            "failure": {"reason": "unit_timeout", "trace_ids": ["t9"]},
+        })
+        assert returned == str(path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert payload["dropped"] == 0
+        assert payload["dumped_at"] > 0
+        assert payload["failure"]["trace_ids"] == ["t9"]
+        (event,) = payload["events"]
+        assert event["kind"] == "unit_timeout"
+        assert event["trace_id"] == "t9"
+
+    def test_dump_stringifies_unjsonable_attrs(self, tmp_path):
+        rec = FlightRecorder(capacity=4)
+        rec.record("admit", weird=object())
+        rec.dump(str(tmp_path / "d.json"))
+        payload = json.loads((tmp_path / "d.json").read_text())
+        assert isinstance(payload["events"][0]["attrs"]["weird"], str)
+
+
+class TestEventDataclass:
+    def test_as_dict_round_trips(self):
+        event = RecorderEvent(ts=1.5, kind="shed", trace_id="t",
+                              pid=42, attrs={"tenant": "a"})
+        assert event.as_dict() == {
+            "ts": 1.5, "kind": "shed", "trace_id": "t", "pid": 42,
+            "attrs": {"tenant": "a"},
+        }
