@@ -1,11 +1,14 @@
 """Compiled-tier speedup over the interpreted batched engine.
 
 Acceptance benchmark for the compiled step kernels (:mod:`repro.compiled`):
-on a 100k-vertex generated graph with 1,000 sampling instances, at least one
-walk workload must run >= 3x faster on the compiled tier (best available
-backend) than on the interpreted engine, the pure-numpy backend must never
-be slower than interpretation, and every compiled run must be bit-identical
-to its interpreted twin (samples, iteration counts and cost totals).
+on a 100k-vertex generated graph with 1,000 sampling instances, **every**
+walk workload below must run >= 3x faster on the compiled tier (best
+available backend) than on the interpreted engine, the pure-numpy backend
+must never be slower than interpretation, and every compiled run must be
+bit-identical to its interpreted twin (samples, iteration counts and cost
+totals).  The out-of-memory and sharded routes are measured too: their
+compiled drains must plan ``step_tier=compiled`` and match their
+interpreted twins bit for bit.
 
 Run standalone (it is intentionally not a pytest file -- it measures wall
 clock, which the simulated-time benchmarks never do):
@@ -13,17 +16,23 @@ clock, which the simulated-time benchmarks never do):
     PYTHONPATH=src python benchmarks/bench_compiled_speedup.py            # full
     PYTHONPATH=src python benchmarks/bench_compiled_speedup.py --quick    # CI smoke
 
-The uniform-bias walks carry the assertion: their compiled kernel skips
-neighbor materialisation and the segmented CTPS build entirely (degrees +
-closed-form charges + one fused binary search per draw).  The non-uniform
-kinds reuse the segmented numpy SELECT verbatim, so their win is limited to
-hook-dispatch and warp-bookkeeping removal -- they are reported, and held to
-"no slower", but not to the 3x floor.
+The uniform-bias walks win by skipping neighbor materialisation and the
+segmented CTPS build entirely (degrees + closed-form charges + one fused
+binary search per draw).  The non-uniform kinds win through per-vertex
+structure reuse (:mod:`repro.compiled.structures`): the flat bias table and
+segmented CTPS prefix are built once per (graph, bias kind) and reused
+across every depth step, request and route, so their per-step cost
+collapses to the fused SELECT itself.
+
+Full runs append machine-readable rows to
+``benchmarks/results/BENCH_planner.json`` (keyed ``(bench, route)``), which
+``benchmarks/gate.py`` compares against the saved baselines.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import time
 
 import numpy as np
@@ -33,15 +42,23 @@ from repro.api.sampler import GraphSampler
 from repro.compiled import available_backends, force_backend
 from repro.graph.generators import powerlaw_graph
 
-#: (algorithm, config overrides, part of the >= 3x assertion)
+#: (algorithm, config overrides); every workload carries the >= 3x assertion
+#: now that structure reuse covers the non-uniform bias kinds.
 WORKLOADS = [
-    ("simple_random_walk", dict(depth=8), True),
-    ("deepwalk", dict(depth=8), True),
-    ("biased_random_walk", dict(depth=8), False),
-    ("node2vec", dict(depth=8), False),
+    ("simple_random_walk", dict(depth=8)),
+    ("deepwalk", dict(depth=8)),
+    ("biased_random_walk", dict(depth=8)),
+    ("node2vec", dict(depth=8)),
 ]
 
 SPEEDUP_FLOOR = 3.0
+
+#: Routes measured beyond the in-memory engine (both on biased_random_walk,
+#: the structure-reuse showcase).  Held to bit-identity and a planned
+#: compiled step tier, and recorded, but not to the 3x floor: both routes
+#: spend real time in partition scheduling / walker migration that the
+#: compiled tier does not touch.
+ROUTE_ALGORITHM = "biased_random_walk"
 
 
 def _identical(a, b) -> bool:
@@ -85,18 +102,93 @@ def run_workload(graph, seeds, num_instances, name, overrides):
     return t_interp, timings, identical
 
 
+# --------------------------------------------------------------------------- #
+# Route coverage: the compiled kernel inside the OOM and sharded drains
+# --------------------------------------------------------------------------- #
+
+def _best_of(runner, repeats=2):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = runner()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_oom_route(graph, seeds, num_instances, overrides):
+    """Interpreted vs compiled partition drains of the OOM scheduler."""
+    from repro.oom.scheduler import OutOfMemoryConfig, OutOfMemorySampler
+
+    info = ALGORITHM_REGISTRY[ROUTE_ALGORITHM]
+    config = info.config_factory(seed=1, **overrides)
+    oom = OutOfMemoryConfig.fully_optimized(num_partitions=3)
+
+    def one(use_compiled):
+        sampler = OutOfMemorySampler(
+            graph, info.program_factory(), config, oom,
+            use_compiled=use_compiled,
+        )
+        return sampler, _best_of(
+            lambda: sampler.run(seeds, num_instances=num_instances)
+        )
+
+    _, (t_interp, r_interp) = one(False)
+    compiled_sampler, (t_comp, r_comp) = one(None)
+    plan = compiled_sampler.plan(seeds, num_instances=num_instances)
+    assert plan.step_tier == "compiled", plan.compiled_fallback
+    identical = _identical(r_interp.sample, r_comp.sample)
+    return t_interp, t_comp, identical
+
+
+def run_sharded_route(graph, seeds, num_instances, overrides):
+    """Interpreted vs compiled per-shard engines of the sharded cluster."""
+    from repro.distributed import ShardedSamplingCluster
+
+    info = ALGORITHM_REGISTRY[ROUTE_ALGORITHM]
+    config = info.config_factory(seed=1, **overrides)
+
+    def one(disable):
+        previous = os.environ.get("REPRO_COMPILED")
+        if disable:
+            os.environ["REPRO_COMPILED"] = "0"
+        try:
+            cluster = ShardedSamplingCluster(
+                graph, ROUTE_ALGORITHM, config, num_shards=3
+            )
+            if not disable:
+                plan = cluster.plan(seeds, num_instances=num_instances)
+                assert plan.step_tier == "compiled", plan.compiled_fallback
+            return _best_of(
+                lambda: cluster.run(seeds, num_instances=num_instances)
+            )
+        finally:
+            if disable:
+                if previous is None:
+                    os.environ.pop("REPRO_COMPILED", None)
+                else:
+                    os.environ["REPRO_COMPILED"] = previous
+
+    t_interp, r_interp = one(disable=True)
+    t_comp, r_comp = one(disable=False)
+    identical = _identical(r_interp.result, r_comp.result)
+    return t_interp, t_comp, identical
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick", action="store_true",
-        help="reduced sizes for CI smoke runs (no speedup assertion)",
+        help="reduced sizes for CI smoke runs (no speedup assertion, "
+             "no record keeping)",
     )
     args = parser.parse_args()
 
     if args.quick:
         num_vertices, num_instances = 5_000, 100
+        route_instances = 30
     else:
         num_vertices, num_instances = 100_000, 1_000
+        route_instances = 200
     graph = powerlaw_graph(num_vertices, avg_degree=8, seed=1)
     seeds = list(range(0, num_vertices, max(1, num_vertices // 1031)))
     backends = available_backends()
@@ -107,8 +199,8 @@ def main() -> int:
     print(header + f" {'best':>8s}  identical")
 
     failures = []
-    best_asserted_speedup = 0.0
-    for name, overrides, asserted in WORKLOADS:
+    records = []
+    for name, overrides in WORKLOADS:
         t_interp, timings, identical = run_workload(
             graph, seeds, num_instances, name, overrides
         )
@@ -120,25 +212,81 @@ def main() -> int:
         print(line + f" {speedup:7.2f}x  {identical}")
         if not identical:
             failures.append(f"{name}: compiled result diverged from interpreted")
-        if asserted:
-            best_asserted_speedup = max(best_asserted_speedup, speedup)
-        if not args.quick and timings["numpy"] > t_interp * 1.10:
-            failures.append(
-                f"{name}: numpy backend slower than interpretation "
-                f"({timings['numpy']:.2f}s vs {t_interp:.2f}s)"
-            )
-    if not args.quick and best_asserted_speedup < SPEEDUP_FLOOR:
-        failures.append(
-            f"no asserted workload reached the {SPEEDUP_FLOOR}x floor "
-            f"(best {best_asserted_speedup:.2f}x)"
+        if not args.quick:
+            if speedup < SPEEDUP_FLOOR:
+                failures.append(
+                    f"{name}: compiled speedup {speedup:.2f}x below the "
+                    f"{SPEEDUP_FLOOR}x floor"
+                )
+            if timings["numpy"] > t_interp * 1.10:
+                failures.append(
+                    f"{name}: numpy backend slower than interpretation "
+                    f"({timings['numpy']:.2f}s vs {t_interp:.2f}s)"
+                )
+            records.append({
+                "bench": f"compiled_{name}",
+                "route": "in_memory",
+                "wall_time_s": t_best,
+                "interp_time_s": t_interp,
+                "speedup": speedup,
+                "identical": identical,
+                "num_instances": num_instances,
+            })
+
+    route_seeds = seeds[:route_instances]
+    for route, runner in (
+        ("out_of_memory", run_oom_route),
+        ("sharded", run_sharded_route),
+    ):
+        t_interp, t_comp, identical = runner(
+            graph, route_seeds, route_instances, dict(depth=8)
         )
+        speedup = t_interp / t_comp if t_comp > 0 else float("inf")
+        label = f"{ROUTE_ALGORITHM}/{route}"
+        print(
+            f"{label:24s} {t_interp:8.2f}s {t_comp:8.2f}s"
+            + " " * 10 * (len(backends) - 1)
+            + f" {speedup:7.2f}x  {identical}"
+        )
+        if not identical:
+            failures.append(
+                f"{label}: compiled result diverged from interpreted"
+            )
+        if not args.quick:
+            if t_comp > t_interp * 1.10:
+                failures.append(
+                    f"{label}: compiled drain slower than interpretation "
+                    f"({t_comp:.2f}s vs {t_interp:.2f}s)"
+                )
+            records.append({
+                "bench": f"compiled_{ROUTE_ALGORITHM}",
+                "route": route,
+                "wall_time_s": t_comp,
+                "interp_time_s": t_interp,
+                "speedup": speedup,
+                "identical": identical,
+                "num_instances": route_instances,
+            })
+
+    if records:
+        # Running as a script puts benchmarks/ on sys.path, so the pytest
+        # conftest's merge helper is importable directly.
+        from conftest import RESULTS_DIR, write_planner_records
+
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = write_planner_records(RESULTS_DIR, records)
+        print(f"recorded {len(records)} rows -> {path}")
 
     if failures:
         for failure in failures:
             print("FAIL:", failure)
         return 1
-    print("OK" + ("" if args.quick else
-                  f": best asserted speedup {best_asserted_speedup:.2f}x"))
+    if not args.quick:
+        worst = min(r["speedup"] for r in records if r["route"] == "in_memory")
+        print(f"OK: every asserted workload >= {SPEEDUP_FLOOR}x "
+              f"(worst {worst:.2f}x)")
+    else:
+        print("OK")
     return 0
 
 

@@ -25,6 +25,9 @@ class ForestFireSampling(SamplingProgram):
     #: The geometric draws consume ``self._rng`` in hook call order, so runs
     #: cannot share an engine batch (see SamplingProgram.supports_coalescing).
     supports_coalescing = False
+    #: Burning picks neighbors uniformly; the stateful geometric
+    #: ``neighbor_count`` draw is what keeps the program interpreted.
+    compiled_bias = "uniform"
 
     def __init__(self, burning_probability: float = 0.7, seed: int = 0):
         if not (0.0 < burning_probability < 1.0):

@@ -31,6 +31,9 @@ class RandomWalkWithJump(SamplingProgram):
     #: Teleport draws consume ``self._rng`` in hook call order, so runs
     #: cannot share an engine batch (see SamplingProgram.supports_coalescing).
     supports_coalescing = False
+    #: The selection itself is unbiased; only the stateful ``update`` teleport
+    #: keeps this program off the compiled tier (the recorded fallback reason).
+    compiled_bias = "uniform"
 
     def __init__(self, jump_probability: float = 0.15, seed: int = 0):
         if not (0.0 <= jump_probability <= 1.0):

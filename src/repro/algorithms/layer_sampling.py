@@ -23,9 +23,14 @@ class LayerSampling(SamplingProgram):
 
     name = "layer_sampling"
     supports_coalescing = True  # hooks are pure functions of their arguments
+    compiled_bias = "weight_or_uniform"
+    compiled_update = "unvisited"
 
     def __init__(self, *, weighted_bias: bool = True):
         self.weighted_bias = weighted_bias
+
+    def compiled_cache_token(self) -> object:
+        return (self.weighted_bias,)
 
     def edge_bias(self, edges: EdgePool) -> np.ndarray:
         if self.weighted_bias and edges.graph.is_weighted:

@@ -27,6 +27,9 @@ class MetropolisHastingsWalk(SamplingProgram):
     #: Acceptance draws consume ``self._rng`` in hook call order, so runs
     #: cannot share an engine batch (see SamplingProgram.supports_coalescing).
     supports_coalescing = False
+    #: The proposal is uniform; the stateful ``accept`` rejection draw is
+    #: what keeps the program interpreted.
+    compiled_bias = "uniform"
 
     def __init__(self, seed: int = 0):
         self._rng = np.random.default_rng(seed)

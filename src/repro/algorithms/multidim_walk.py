@@ -25,6 +25,9 @@ class MultiDimensionalRandomWalk(SamplingProgram):
 
     name = "multidimensional_random_walk"
     supports_coalescing = True  # hooks are pure functions of their arguments
+    compiled_bias = "uniform"
+    compiled_update = "keep_src_on_dead_end"
+    compiled_vertex_bias = "degree_plus_one"
 
     def vertex_bias(self, pool: FrontierPoolView) -> np.ndarray:
         # Degree as the pool-selection bias (Fig. 3(b)); add-one so isolated

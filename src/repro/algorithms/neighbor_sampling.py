@@ -22,6 +22,8 @@ class UnbiasedNeighborSampling(SamplingProgram):
 
     name = "unbiased_neighbor_sampling"
     supports_coalescing = True  # hooks are pure functions of their arguments
+    compiled_bias = "uniform"
+    compiled_update = "unvisited"
 
     def edge_bias(self, edges: EdgePool) -> np.ndarray:
         return np.ones(edges.size, dtype=np.float64)
@@ -54,6 +56,7 @@ class BiasedNeighborSampling(UnbiasedNeighborSampling):
     """Neighbor sampling biased by edge weight (degree on unweighted graphs)."""
 
     name = "biased_neighbor_sampling"
+    compiled_bias = "weight_or_degree"  # overrides the inherited "uniform"
 
     def edge_bias(self, edges: EdgePool) -> np.ndarray:
         if edges.graph.is_weighted:

@@ -24,11 +24,17 @@ class SnowballSampling(SamplingProgram):
 
     name = "snowball_sampling"
     supports_coalescing = True  # hooks are pure functions of their arguments
+    compiled_bias = "uniform"
+    compiled_update = "unvisited"
+    compiled_neighbor_count = "pool_capped"
 
     def __init__(self, max_per_vertex: int | None = None):
         if max_per_vertex is not None and max_per_vertex < 1:
             raise ValueError("max_per_vertex must be >= 1")
         self.max_per_vertex = max_per_vertex
+
+    def compiled_cache_token(self) -> object:
+        return (self.max_per_vertex,)
 
     def edge_bias(self, edges: EdgePool) -> np.ndarray:
         return np.ones(edges.size, dtype=np.float64)

@@ -198,9 +198,30 @@ class SamplingProgram:
     #: is a promise that ``edge_bias`` / ``edge_bias_batch`` compute exactly
     #: that formula: ``"uniform"`` (all ones), ``"weight_or_degree"`` (edge
     #: weight on weighted graphs, neighbor degree + 1 otherwise) or
-    #: ``"node2vec"`` (the p/q second-order bias).  The compiler additionally
-    #: verifies the other hooks are the defaults before fusing.
+    #: ``"node2vec"`` (the p/q second-order bias), or ``"weight_or_uniform"``
+    #: (edge weight on weighted graphs, all ones otherwise).  The compiler
+    #: additionally verifies the other hooks are the defaults -- or carry a
+    #: matching ``compiled_*`` declaration below -- before fusing.
     compiled_bias: Optional[str] = None
+
+    #: Declared shape of an overridden :meth:`update` hook, or ``None``
+    #: (the default) when the hook is the inherited identity.  Recognised
+    #: values: ``"unvisited"`` (keep only vertices the instance has not
+    #: visited; the program must also run with ``track_visited=True``) and
+    #: ``"keep_src_on_dead_end"`` (re-insert the pool's source vertex when
+    #: nothing was accepted, as the multi-dimensional walk does).
+    compiled_update: Optional[str] = None
+
+    #: Declared shape of an overridden :meth:`neighbor_count` hook, or
+    #: ``None`` for the config's fixed ``neighbor_size``.  Recognised value:
+    #: ``"pool_capped"`` (the segment's full pool size, optionally capped by
+    #: the program's ``max_per_vertex`` -- snowball sampling's take-all).
+    compiled_neighbor_count: Optional[str] = None
+
+    #: Declared shape of an overridden :meth:`vertex_bias` hook, or ``None``
+    #: for the inherited all-ones.  Recognised value: ``"degree_plus_one"``
+    #: (frontier candidates weighted by out-degree + 1).
+    compiled_vertex_bias: Optional[str] = None
 
     def compiled_cache_token(self) -> object:
         """Hashable instance parameters the compiled kernel depends on.

@@ -83,7 +83,11 @@ class GraphSampler:
         # The compiled tier replaces the engine depth loop, so it is only
         # meaningful when the engine path is active.
         self.use_compiled = use_compiled if use_engine else False
-        self.engine = BatchedStepEngine(graph, program, config, self.rng)
+        from repro.compiled.step_engine import make_step_engine
+
+        self.engine = make_step_engine(
+            graph, program, config, self.rng, use_compiled=self.use_compiled
+        )
         self._warp_counter = 0
 
     # ------------------------------------------------------------------ #

@@ -2,25 +2,35 @@
 
 The interpreted engine (:mod:`repro.engine.step`) re-decides everything per
 step: which hooks a program overrides, how biases are evaluated, whether the
-dedup detector is needed, how warp cursors advance.  For the plans that
-dominate real workloads -- walk-shaped configs whose programs declare a
-recognised bias kind -- all of those decisions are already fixed at plan
-time, so this package compiles them *out*: a
-:class:`~repro.compiled.compiler.KernelCompiler` inspects ``(algorithm,
-config, plan)`` once and emits a fused per-depth callable
-(:class:`~repro.compiled.walk_kernel.CompiledWalkKernel`) that keeps every
-walker in flat arrays across depths, skips program-hook dispatch entirely,
-and -- for uniform-bias walks -- never materialises biases or gathered
-neighbor pools at all.
+dedup detector is needed, how warp cursors advance.  For plans whose programs
+*declare* their hook shapes (``compiled_bias`` / ``compiled_update`` /
+``compiled_neighbor_count`` / ``compiled_vertex_bias``) all of those
+decisions are fixed at plan time, so this package compiles them out through
+two kernels:
+
+* the **fused walk kernel** (:class:`~repro.compiled.walk_kernel.
+  CompiledWalkKernel`) for walk-shaped plans on the in-memory and coalesced
+  routes: every walker stays in flat arrays across depths, hook dispatch
+  disappears, and the biased kinds answer selection from per-graph cached
+  structures (:mod:`repro.compiled.structures`) -- flat CTPS prefixes for
+  weight/degree biases, per-traversed-edge prefix rows for node2vec -- built
+  once per (graph, epoch) and reused across depth steps and requests;
+* the **compiled step engine** (:class:`~repro.compiled.step_engine.
+  CompiledStepEngine`) for every other eligible shape (without-replacement,
+  frontier and per-layer selection, visited tracking) and for the
+  out-of-memory and sharded routes, which step through the engine's own
+  methods: hook dispatch and per-step bias revalidation are replaced by the
+  declared shapes.
 
 Two backends sit behind one interface:
 
 * ``"numpy"`` -- the always-available fused ndarray program;
-* ``"numba"`` -- an optional ``@njit`` inner loop for the uniform-bias
-  select, auto-detected at import (:data:`NUMBA_AVAILABLE`) and exercised by
-  the CI ``compiled-smoke`` job's with-numba leg.
+* ``"numba"`` -- optional ``@njit`` inner loops for the walk kernel's
+  uniform select and cached-prefix searches, auto-detected at import
+  (:data:`NUMBA_AVAILABLE`) and exercised by the CI ``compiled-smoke`` job's
+  with-numba leg.
 
-Bit-compatibility is the contract: the compiled kernel draws the same
+Bit-compatibility is the contract: the compiled tier draws the same
 ``(instance, depth, slot, warp, lane, attempt)`` RNG keys and charges the
 same per-segment cost-model counters as the interpreted engine, so samples,
 iteration counts, per-kernel records and simulated times are identical
@@ -47,6 +57,17 @@ from repro.compiled.compiler import (
     plan_shape,
     plan_step_tier,
 )
+from repro.compiled.step_engine import CompiledStepEngine, make_step_engine
+from repro.compiled.structures import (
+    GraphStructures,
+    Node2VecPrefixTable,
+    bind_structures,
+    clear_structure_cache,
+    evict_graph,
+    get_structures,
+    structure_cache_stats,
+    update_structures,
+)
 
 __all__ = [
     "NUMBA_AVAILABLE",
@@ -64,4 +85,14 @@ __all__ = [
     "kernel_cache_stats",
     "plan_shape",
     "plan_step_tier",
+    "CompiledStepEngine",
+    "make_step_engine",
+    "GraphStructures",
+    "Node2VecPrefixTable",
+    "bind_structures",
+    "clear_structure_cache",
+    "evict_graph",
+    "get_structures",
+    "structure_cache_stats",
+    "update_structures",
 ]

@@ -2,19 +2,34 @@
 
 ``compile_decision`` is the static eligibility check: a program compiles when
 it *declares* a recognised bias kind (``SamplingProgram.compiled_bias``) and
-the (program, config) pair proves every interpreted fallback unused -- default
-accept/update/neighbor-count hooks, per-vertex scope, whole-pool frontiers
-(``frontier_size == 0``), with-replacement selection, ``NEXT_LAYER`` pools and
-no visited tracking.  Eligibility deliberately never inspects instances: the
-service plans without them, and the fused kernel handles ragged multi-vertex
-pools generally.
+every hook it overrides is covered by a recognised declared shape
+(``compiled_update`` / ``compiled_neighbor_count`` / ``compiled_vertex_bias``)
+-- an overridden hook with no declaration (or an ``accept`` override, which is
+inherently stateful) keeps the program interpreted with an explicit reason.
+Eligibility deliberately never inspects instances or routes: the service plans
+without instances, and route selection happens later in ``get_kernel_spec`` /
+``plan_step_tier``.
 
-``plan_step_tier`` is the planner's entry point: it combines the eligibility
-check with the route (only the in-memory and coalesced routes drive the
-engine's depth loop directly), the process-wide enable switch, and the
-calibrated cost comparison from :mod:`repro.planner.calibration` -- falling
-back to interpretation with a recorded reason whenever any gate fails, so
-``ExecutionPlan.explain()`` can say *why* a plan interprets.
+Eligible plans map onto one of two kernels:
+
+* ``"walk"`` -- the fused depth-loop kernel
+  (:class:`~repro.compiled.walk_kernel.CompiledWalkKernel`) for walk-shaped
+  plans (single-neighbor-ish per-vertex selection with replacement, no
+  frontier sub-selection, no visited tracking, no declared hook shapes) on
+  the routes whose executor drives the depth loop directly.
+* ``"engine"`` -- the compiled step engine
+  (:class:`~repro.compiled.step_engine.CompiledStepEngine`), which replaces
+  hook dispatch inside the batched engine and therefore covers every other
+  eligible shape *and* every route (the OOM scheduler steps through
+  ``expand_entries``, the sharded route through per-shard engines).
+
+``plan_step_tier`` is the planner's entry point: it combines eligibility with
+the process-wide enable switch and -- for walk kernels only, where the fused
+loop has real specialisation overhead worth weighing -- the calibrated cost
+comparison from :mod:`repro.planner.calibration`.  Engine-kind plans compile
+whenever eligible: the compiled engine is strictly-less-work per step.  Every
+refusal records a reason so ``ExecutionPlan.explain()`` can say *why* a plan
+interprets.
 
 Compiled kernels are cached per ``(program identity + cache token, config,
 plan shape, backend fingerprint)`` so compilation cost amortises across
@@ -47,11 +62,26 @@ __all__ = [
     "plan_step_tier",
 ]
 
-#: Bias kinds the fused walk kernel implements.
-KNOWN_KINDS = ("uniform", "weight_or_degree", "node2vec")
+#: Bias kinds the compiled tier implements.
+KNOWN_KINDS = (
+    "uniform",
+    "weight_or_degree",
+    "node2vec",
+    "weight_or_uniform",
+)
 
-#: Routes whose executor drives the engine depth loop directly (the sharded
-#: route steps through shard workers, the OOM route through expand_entries).
+#: Bias kinds the fused walk kernel implements (the walk kernel has no
+#: weight-or-uniform specialisation; those plans run on the compiled engine).
+WALK_KINDS = ("uniform", "weight_or_degree", "node2vec")
+
+#: Declared hook shapes the compiled engine implements.
+KNOWN_UPDATE_SHAPES = ("unvisited", "keep_src_on_dead_end")
+KNOWN_NEIGHBOR_COUNT_SHAPES = ("pool_capped",)
+KNOWN_VERTEX_BIAS_SHAPES = ("degree_plus_one",)
+
+#: Routes whose executor drives the engine depth loop directly, i.e. where
+#: the fused walk kernel can take over whole steps.  The OOM and sharded
+#: routes still compile -- through the engine kernel.
 COMPILABLE_ROUTES = ("in_memory", "coalesced")
 
 
@@ -64,6 +94,9 @@ class CompileDecision:
     kind: Optional[str] = None
     #: Why compilation was refused (``explain()`` surfaces it).
     reason: Optional[str] = None
+    #: True when the plan can run on the fused walk kernel (route permitting);
+    #: eligible non-walk shapes run on the compiled step engine.
+    walk_shape: bool = False
 
 
 @dataclass(frozen=True)
@@ -72,6 +105,9 @@ class CompiledKernelSpec:
 
     kind: str
     backend: str
+    #: ``"walk"`` (fused depth-loop kernel) or ``"engine"`` (compiled step
+    #: engine drives the step; no separate kernel object is instantiated).
+    kernel: str = "walk"
 
 
 # --------------------------------------------------------------------------- #
@@ -80,7 +116,7 @@ class CompiledKernelSpec:
 def compile_decision(
     program: SamplingProgram, config: SamplingConfig
 ) -> CompileDecision:
-    """Static check: can this (program, config) run on the fused walk kernel?"""
+    """Static check: can this (program, config) run on the compiled tier?"""
     cls = type(program)
     kind = getattr(program, "compiled_bias", None)
     if kind is None:
@@ -92,28 +128,66 @@ def compile_decision(
             False, reason=f"unknown compiled bias kind {kind!r}"
         )
     if cls.accept is not SamplingProgram.accept:
-        return CompileDecision(False, reason="program overrides accept")
-    if cls.update is not SamplingProgram.update:
-        return CompileDecision(False, reason="program overrides update")
-    if cls.neighbor_count is not SamplingProgram.neighbor_count:
         return CompileDecision(
-            False, reason="program overrides neighbor_count"
+            False, reason="program overrides accept (stateful hook)"
         )
-    if config.scope is not SelectionScope.PER_VERTEX:
-        return CompileDecision(False, reason="per-layer selection scope")
-    if config.frontier_size != 0:
+
+    update_shape = getattr(program, "compiled_update", None)
+    if update_shape is not None and update_shape not in KNOWN_UPDATE_SHAPES:
         return CompileDecision(
-            False, reason="frontier selection enabled (frontier_size > 0)"
+            False, reason=f"unknown compiled update shape {update_shape!r}"
         )
-    if not config.with_replacement:
+    if cls.update is not SamplingProgram.update and update_shape is None:
         return CompileDecision(
-            False, reason="selection without replacement (dedup detector)"
+            False,
+            reason="program overrides update without a declared shape",
         )
-    if config.pool_policy is not PoolPolicy.NEXT_LAYER:
-        return CompileDecision(False, reason="non-NEXT_LAYER pool policy")
-    if config.track_visited:
-        return CompileDecision(False, reason="visited tracking enabled")
-    return CompileDecision(True, kind=kind)
+
+    ncount_shape = getattr(program, "compiled_neighbor_count", None)
+    if (
+        ncount_shape is not None
+        and ncount_shape not in KNOWN_NEIGHBOR_COUNT_SHAPES
+    ):
+        return CompileDecision(
+            False,
+            reason=f"unknown compiled neighbor-count shape {ncount_shape!r}",
+        )
+    if (
+        cls.neighbor_count is not SamplingProgram.neighbor_count
+        and ncount_shape is None
+    ):
+        return CompileDecision(
+            False,
+            reason="program overrides neighbor_count without a declared shape",
+        )
+
+    vbias_shape = getattr(program, "compiled_vertex_bias", None)
+    if vbias_shape is not None and vbias_shape not in KNOWN_VERTEX_BIAS_SHAPES:
+        return CompileDecision(
+            False,
+            reason=f"unknown compiled vertex-bias shape {vbias_shape!r}",
+        )
+    if (
+        cls.vertex_bias is not SamplingProgram.vertex_bias
+        or cls.vertex_bias_batch is not SamplingProgram.vertex_bias_batch
+    ) and vbias_shape is None:
+        return CompileDecision(
+            False,
+            reason="program overrides vertex_bias without a declared shape",
+        )
+
+    walk_shape = (
+        kind in WALK_KINDS
+        and update_shape is None
+        and ncount_shape is None
+        and vbias_shape is None
+        and config.scope is SelectionScope.PER_VERTEX
+        and config.frontier_size == 0
+        and config.with_replacement
+        and config.pool_policy is PoolPolicy.NEXT_LAYER
+        and not config.track_visited
+    )
+    return CompileDecision(True, kind=kind, walk_shape=walk_shape)
 
 
 # --------------------------------------------------------------------------- #
@@ -163,17 +237,29 @@ def get_kernel_spec(
     decision = compile_decision(program, config)
     if not decision.eligible:
         raise ValueError(f"plan is not compilable: {decision.reason}")
-    # Only the uniform kind has a fused scalar inner loop worth jitting; the
-    # non-uniform kinds reuse the segmented numpy SELECT verbatim.
-    backend = select_backend() if decision.kind == "uniform" else "numpy"
-    spec = CompiledKernelSpec(kind=decision.kind, backend=backend)
+    walk = decision.walk_shape and plan.route in COMPILABLE_ROUTES
+    # The fused walk loop has a jittable scalar inner loop on every kind
+    # (uniform draw + prefix search); the engine kernel reuses the segmented
+    # numpy SELECT verbatim.
+    backend = select_backend() if walk else "numpy"
+    spec = CompiledKernelSpec(
+        kind=decision.kind,
+        backend=backend,
+        kernel="walk" if walk else "engine",
+    )
     _KERNEL_CACHE[key] = spec
     _CACHE_MISSES += 1
     return spec
 
 
 def instantiate_kernel(spec: CompiledKernelSpec, engine):
-    """Bind a cached spec to a live engine (RNG + warp cursors shared)."""
+    """Bind a cached spec to a live engine (RNG + warp cursors shared).
+
+    Engine-kind specs return ``None``: the compiled step engine *is* the
+    kernel, so the executor keeps driving the engine's own step methods.
+    """
+    if spec.kernel == "engine":
+        return None
     from repro.compiled.walk_kernel import CompiledWalkKernel
 
     return CompiledWalkKernel(engine, kind=spec.kind, backend=spec.backend)
@@ -227,19 +313,15 @@ def plan_step_tier(
 
     ``allow_compiled`` is the request knob: ``False`` disables the tier,
     ``True`` forces it for eligible plans (skipping the cost comparison),
-    ``None`` lets the calibrated cost model decide.  The returned fallback
-    reason is ``None`` exactly when the tier is ``"compiled"``.
+    ``None`` lets the calibrated cost model decide -- the comparison only
+    applies to walk-kernel plans; engine-kind plans compile whenever eligible
+    since the compiled engine does strictly less work per step.  The returned
+    fallback reason is ``None`` exactly when the tier is ``"compiled"``.
     """
     if allow_compiled is False:
         return "interpreted", None, "compiled tier disabled by request"
     if not compiled_enabled():
         return "interpreted", None, "compiled tier disabled (REPRO_COMPILED)"
-    if route not in COMPILABLE_ROUTES:
-        return (
-            "interpreted",
-            None,
-            f"route {route!r} does not drive the engine depth loop",
-        )
     if program is None and algorithm is not None:
         program = _probe_program(algorithm)
     if program is None:
@@ -247,8 +329,9 @@ def plan_step_tier(
     decision = compile_decision(program, config)
     if not decision.eligible:
         return "interpreted", None, decision.reason
-    backend = select_backend() if decision.kind == "uniform" else "numpy"
-    if allow_compiled is None:
+    walk = decision.walk_shape and route in COMPILABLE_ROUTES
+    backend = select_backend() if walk else "numpy"
+    if walk and allow_compiled is None:
         from repro.planner.calibration import load_calibration
 
         cal = load_calibration()

@@ -17,8 +17,14 @@ Bit-compat notes (why every constant below is ``np.uint64``):
 * the fold order and per-coordinate golden-ratio offsets replicate
   :meth:`CounterRNG._counter` for exactly five coordinates.
 
-The module never imports numba at module scope; :func:`get_uniform_select`
-builds (and caches) the jitted function on first use and raises if numba is
+:func:`get_prefix_search` is the biased counterpart used with the per-graph
+structure cache: the same five-coordinate fold, then a binary search of the
+draw against a cached unnormalised prefix (probe ``prefix[mid] / total``,
+one division per probe -- bitwise the comparisons
+:meth:`~repro.selection.segmented.SegmentedCTPS.search` performs).
+
+The module never imports numba at module scope; the ``get_*`` accessors
+build (and cache) the jitted functions on first use and raise if numba is
 unavailable, so importing :mod:`repro.compiled` stays dependency-free.
 """
 
@@ -28,7 +34,7 @@ import numpy as np
 
 from repro.compiled.backends import NUMBA_AVAILABLE
 
-__all__ = ["get_uniform_select"]
+__all__ = ["get_prefix_search", "get_uniform_select"]
 
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
@@ -105,3 +111,79 @@ def get_uniform_select():
 
     _FN = uniform_select
     return _FN
+
+
+_PREFIX_FN = None
+
+
+def get_prefix_search():
+    """The jitted cached-CTPS kernel (cached).
+
+    ``(seed, c1..c5, base, n, prefix, totals) -> local indices``: folds the
+    five stream coordinates exactly like :func:`get_uniform_select`, then
+    binary-searches the draw against the graph-wide unnormalised prefix
+    slice ``prefix[base : base + n]`` with probe ``prefix[mid] / total``.
+    """
+    global _PREFIX_FN
+    if _PREFIX_FN is not None:
+        return _PREFIX_FN
+    if not NUMBA_AVAILABLE:
+        raise RuntimeError("numba backend requested but numba is not importable")
+    from numba import njit
+
+    golden = _GOLDEN
+    mix1 = _MIX1
+    mix2 = _MIX2
+    denom = _DENOM
+    with np.errstate(over="ignore"):
+        g1 = np.uint64(1) * golden
+        g2 = np.uint64(2) * golden
+        g3 = np.uint64(3) * golden
+        g4 = np.uint64(4) * golden
+        g5 = np.uint64(5) * golden
+    s30 = np.uint64(30)
+    s27 = np.uint64(27)
+    s31 = np.uint64(31)
+
+    @njit(cache=False)
+    def prefix_search(seed, c1, c2, c3, c4, c5, base, n, prefix, totals):
+        out = np.empty(n.size, np.int64)
+        for j in range(n.size):
+            acc = seed
+            # splitmix64(acc ^ (c_i + (i+1) * GOLDEN)) for i = 1..5
+            z = (acc ^ (c1[j] + g1)) + golden
+            z = (z ^ (z >> s30)) * mix1
+            z = (z ^ (z >> s27)) * mix2
+            acc = z ^ (z >> s31)
+            z = (acc ^ (c2[j] + g2)) + golden
+            z = (z ^ (z >> s30)) * mix1
+            z = (z ^ (z >> s27)) * mix2
+            acc = z ^ (z >> s31)
+            z = (acc ^ (c3[j] + g3)) + golden
+            z = (z ^ (z >> s30)) * mix1
+            z = (z ^ (z >> s27)) * mix2
+            acc = z ^ (z >> s31)
+            z = (acc ^ (c4[j] + g4)) + golden
+            z = (z ^ (z >> s30)) * mix1
+            z = (z ^ (z >> s27)) * mix2
+            acc = z ^ (z >> s31)
+            z = (acc ^ (c5[j] + g5)) + golden
+            z = (z ^ (z >> s30)) * mix1
+            z = (z ^ (z >> s27)) * mix2
+            acc = z ^ (z >> s31)
+            r = np.float64(acc) / denom
+            # Binary search of the cached unnormalised prefix slice.
+            total = totals[j]
+            lo = base[j]
+            hi = base[j] + n[j] - np.int64(1)
+            while lo < hi:
+                mid = (lo + hi) >> np.int64(1)
+                if prefix[mid] / total <= r:
+                    lo = mid + np.int64(1)
+                else:
+                    hi = mid
+            out[j] = lo - base[j]
+        return out
+
+    _PREFIX_FN = prefix_search
+    return _PREFIX_FN

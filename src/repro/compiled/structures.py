@@ -1,0 +1,483 @@
+"""Per-graph sampling-structure cache for the compiled tier.
+
+C-SAW's biased walks spend most of every depth step rebuilding inverse-
+transform (CTPS) prefix tables over the frontier's neighbor pools --
+tables that depend only on the graph, never on the step.  This module
+caches the flat graph-wide analogue of the per-vertex structures in
+:mod:`repro.selection.incremental`, keyed by graph identity:
+
+* ``weight_or_degree`` -- one segmented Kogge-Stone prefix over every
+  adjacency row (the concatenation of every vertex's CTPS), wrapped in a
+  zero-copy :class:`~repro.selection.segmented.SegmentedCTPS` view whose
+  offsets *are* ``row_ptr``, so the compiled walk kernel can binary-search
+  any frontier's pools without materialising or rescanning them;
+* ``node2vec`` -- the sorted global edge-key array used to answer the
+  "is neighbor ``y`` adjacent to ``prev``" membership probes with one
+  vectorised binary search instead of a per-pool Python loop.
+
+Bit-compatibility: the segmented scan's arithmetic is per-segment (bucketed
+doubling gives every segment its own step schedule, and the integer fast
+path is exact below 2**53), so a row's cached prefix values are bitwise
+identical to the per-step scan over the same pools.  Cached selection
+therefore draws the same indices as the rebuild-every-step kernel, and the
+kernel charges the cost model the same closed forms either way.
+
+Lifecycle: entries evict when their graph is garbage-collected, when the
+service retires the owning epoch (:func:`evict_graph`), or explicitly
+(:func:`clear_structure_cache`).  :func:`bind_structures` chains onto a
+:class:`~repro.graph.delta.DeltaGraph`'s ``on_compact`` hook (preserving
+any hook already installed) so a compaction *patches* the touched rows
+instead of rebuilding the whole graph's tables.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.selection.segmented import (
+    SegmentedCTPS,
+    concat_aranges,
+    segment_positive_counts,
+    segmented_kogge_stone_inclusive,
+)
+from repro.telemetry import profiler as _profiler
+
+__all__ = [
+    "STRUCTURE_KINDS",
+    "GraphStructures",
+    "Node2VecPrefixTable",
+    "bind_structures",
+    "clear_structure_cache",
+    "evict_graph",
+    "get_structures",
+    "structure_cache_stats",
+    "update_structures",
+]
+
+#: Bias kinds that carry a cacheable per-graph structure.  Uniform kinds
+#: need none; per-pool weight slices are recomputed cheaply by the engine.
+STRUCTURE_KINDS = ("weight_or_degree", "node2vec")
+
+
+class Node2VecPrefixTable:
+    """Per-``(p, q)`` cache of second-order CTPS prefix rows.
+
+    A node2vec transition's bias vector depends only on the traversed edge
+    ``prev -> vertex`` (given the graph and ``(p, q)``), so each row's
+    unnormalised prefix is built once -- by the same segmented scan the
+    rebuild-every-step path runs -- and reused across depth steps, walkers
+    and requests.  Rows live back to back in one growing float64 buffer;
+    ``table`` maps the edge key (``prev * V + vertex``, or ``-(vertex+1)``
+    for the first, prev-less step) to ``(buffer offset, total)``.
+
+    When the buffer would exceed ``max_floats`` the table resets wholesale
+    (epoch-style) rather than tracking per-row recency -- the cache is an
+    accelerator, never a correctness dependency.
+    """
+
+    def __init__(self, max_floats: int = 1 << 24):
+        self.buffer = np.empty(0, dtype=np.float64)
+        self.used = 0
+        self.table: Dict[int, tuple] = {}
+        self.max_floats = int(max_floats)
+        self.hits = 0
+        self.misses = 0
+        self.resets = 0
+
+    def append(
+        self,
+        prefix: np.ndarray,
+        row_offsets: np.ndarray,
+        keys: np.ndarray,
+        totals: np.ndarray,
+    ) -> np.ndarray:
+        """Store freshly scanned rows; returns each row's buffer offset."""
+        n = int(prefix.size)
+        if self.used + n > self.buffer.size:
+            if self.used + n > self.max_floats:
+                self.table.clear()
+                self.used = 0
+                self.resets += 1
+            if self.used + n > self.buffer.size:
+                size = max(1024, 2 * self.buffer.size, self.used + n)
+                grown = np.empty(size, dtype=np.float64)
+                grown[: self.used] = self.buffer[: self.used]
+                self.buffer = grown
+        start = self.used
+        self.buffer[start : start + n] = prefix
+        offs = start + np.asarray(row_offsets[:-1], dtype=np.int64)
+        for key, off, tot in zip(
+            keys.tolist(), offs.tolist(), totals.tolist()
+        ):
+            self.table[int(key)] = (off, float(tot))
+        self.used += n
+        return offs
+
+
+@dataclass
+class GraphStructures:
+    """Cached selection structures of one graph, built lazily per kind."""
+
+    num_vertices: int
+    num_edges: int
+    #: Per-edge bias values in CSR order (``weight_or_degree``).
+    flat_bias: Optional[np.ndarray] = None
+    #: Zero-copy segmented CTPS whose segments are the adjacency rows.
+    ctps: Optional[SegmentedCTPS] = None
+    #: Per-vertex count of positive-bias neighbors (the alloc mask input).
+    positive_counts: Optional[np.ndarray] = None
+    #: Sorted ``src * V + dst`` edge keys (``node2vec``); ``None`` when the
+    #: key space would overflow int64 and membership must be recomputed.
+    sorted_edge_keys: Optional[np.ndarray] = None
+    _kinds: Set[str] = field(default_factory=set)
+    _n2v_tables: Dict[tuple, Node2VecPrefixTable] = field(default_factory=dict)
+
+    def has(self, kind: str) -> bool:
+        """Whether structures of ``kind`` have been built."""
+        return kind in self._kinds
+
+    def node2vec_table(self, p: float, q: float) -> Node2VecPrefixTable:
+        """The (lazily created) second-order prefix cache for ``(p, q)``."""
+        key = (float(p), float(q))
+        table = self._n2v_tables.get(key)
+        if table is None:
+            table = Node2VecPrefixTable()
+            self._n2v_tables[key] = table
+        return table
+
+
+class _Cache:
+    def __init__(self) -> None:
+        # RLock: GC may run a weakref finalizer while we hold the lock.
+        self.lock = threading.RLock()
+        self.entries: Dict[int, GraphStructures] = {}
+        self.finalizers: Dict[int, "weakref.finalize"] = {}
+        self.hits = 0
+        self.misses = 0
+        self.builds = 0
+        self.updates = 0
+        self.evictions = 0
+        self.rows_rebuilt = 0
+
+
+_CACHE = _Cache()
+
+
+def _forget(key: int) -> None:
+    with _CACHE.lock:
+        if _CACHE.entries.pop(key, None) is not None:
+            _CACHE.evictions += 1
+        _CACHE.finalizers.pop(key, None)
+
+
+def _watch(graph: CSRGraph, key: int) -> None:
+    try:
+        _CACHE.finalizers[key] = weakref.finalize(graph, _forget, key)
+    except TypeError:  # non-weakrefable stand-ins (tests)
+        pass
+
+
+# --------------------------------------------------------------------- #
+# Builders
+# --------------------------------------------------------------------- #
+def _weight_or_degree_bias(graph: CSRGraph) -> np.ndarray:
+    """Per-edge bias in CSR order: weights, or neighbor degree + 1."""
+    if graph.is_weighted:
+        return np.ascontiguousarray(graph.weights, dtype=np.float64)
+    # Same arithmetic as pool.neighbor_degrees() + 1.0 (int64 + 1.0).
+    return graph.degrees[graph.col_idx] + 1.0
+
+
+def _scan_rows(values: np.ndarray, graph: CSRGraph):
+    """Graph-wide segmented prefix and per-row totals (empty rows skipped).
+
+    Every edge belongs to a row of positive degree, so scanning only the
+    non-empty rows' compacted offsets still covers the whole flat array --
+    and each row's prefix values are bitwise identical to a per-step scan
+    over the same pool.
+    """
+    lengths = graph.degrees
+    totals = np.zeros(lengths.size, dtype=np.float64)
+    if values.size == 0:
+        return np.zeros(0, dtype=np.float64), totals
+    nz = np.nonzero(lengths > 0)[0]
+    comp_offsets = np.zeros(nz.size + 1, dtype=np.int64)
+    np.cumsum(lengths[nz], out=comp_offsets[1:])
+    prefix = segmented_kogge_stone_inclusive(values, comp_offsets, cost=None)
+    totals[nz] = prefix[comp_offsets[1:] - 1]
+    return prefix, totals
+
+
+def _edge_keys(graph: CSRGraph) -> Optional[np.ndarray]:
+    num_vertices = graph.num_vertices
+    if num_vertices and num_vertices * num_vertices > 2 ** 63:
+        return None
+    src = np.repeat(
+        np.arange(num_vertices, dtype=np.int64), graph.degrees
+    )
+    keys = src * np.int64(max(num_vertices, 1)) + graph.col_idx
+    keys.sort()
+    return keys
+
+
+def _build_kind(entry: GraphStructures, graph: CSRGraph, kind: str) -> None:
+    if kind == "weight_or_degree":
+        flat_bias = _weight_or_degree_bias(graph)
+        prefix, totals = _scan_rows(flat_bias, graph)
+        entry.flat_bias = flat_bias
+        # Direct construction: from_biases would reject all-zero rows, but
+        # empty/zero rows are never searched (the alloc mask excludes them).
+        entry.ctps = SegmentedCTPS(
+            prefix=prefix,
+            offsets=graph.row_ptr,
+            totals=totals,
+            lengths=graph.degrees,
+        )
+        entry.positive_counts = segment_positive_counts(
+            flat_bias, graph.row_ptr
+        )
+    elif kind == "node2vec":
+        entry.sorted_edge_keys = _edge_keys(graph)
+    else:  # pragma: no cover - guarded by get_structures
+        raise ValueError(f"unknown structure kind {kind!r}")
+    entry._kinds.add(kind)
+
+
+# --------------------------------------------------------------------- #
+# Public cache API
+# --------------------------------------------------------------------- #
+def get_structures(graph: CSRGraph, kind: str) -> GraphStructures:
+    """The cached structures of ``graph`` for ``kind``, building on miss.
+
+    The build is charged to wall-clock only (profiler lap ``bias_build``);
+    the kernel charges the cost model the same per-step closed forms the
+    rebuild-every-step path charges, keeping cost totals bit-identical.
+    """
+    if kind not in STRUCTURE_KINDS:
+        raise ValueError(f"unknown structure kind {kind!r}")
+    key = id(graph)
+    prof = _profiler.clock(-1)
+    with _CACHE.lock:
+        entry = _CACHE.entries.get(key)
+        if entry is not None and entry.has(kind):
+            _CACHE.hits += 1
+            prof.lap("structure_hit")
+            return entry
+        _CACHE.misses += 1
+        if entry is None:
+            entry = GraphStructures(
+                num_vertices=graph.num_vertices, num_edges=graph.num_edges
+            )
+            _CACHE.entries[key] = entry
+            _watch(graph, key)
+        _build_kind(entry, graph, kind)
+        _CACHE.builds += 1
+        prof.lap("bias_build")
+        return entry
+
+
+def evict_graph(graph) -> bool:
+    """Drop ``graph``'s cached structures (the epoch-retirement hook)."""
+    with _CACHE.lock:
+        entry = _CACHE.entries.pop(id(graph), None)
+        finalizer = _CACHE.finalizers.pop(id(graph), None)
+        if finalizer is not None:
+            finalizer.detach()
+        if entry is not None:
+            _CACHE.evictions += 1
+        return entry is not None
+
+
+def clear_structure_cache() -> None:
+    """Drop every entry and reset the counters (tests / process reuse)."""
+    with _CACHE.lock:
+        for finalizer in _CACHE.finalizers.values():
+            finalizer.detach()
+        _CACHE.entries.clear()
+        _CACHE.finalizers.clear()
+        _CACHE.hits = _CACHE.misses = _CACHE.builds = 0
+        _CACHE.updates = _CACHE.evictions = _CACHE.rows_rebuilt = 0
+
+
+def structure_cache_stats() -> Dict[str, int]:
+    """Counter snapshot: entries, hits, misses, builds, updates, evictions.
+
+    The ``table_*`` counters aggregate the node2vec prefix tables of every
+    live entry (per-row hits/misses and buffer floats in use); tables die
+    with their entry, so retiring an epoch also zeroes its table counters.
+    """
+    with _CACHE.lock:
+        table_hits = table_misses = table_resets = table_floats = 0
+        for entry in _CACHE.entries.values():
+            for table in entry._n2v_tables.values():
+                table_hits += table.hits
+                table_misses += table.misses
+                table_resets += table.resets
+                table_floats += table.used
+        return {
+            "entries": len(_CACHE.entries),
+            "hits": _CACHE.hits,
+            "misses": _CACHE.misses,
+            "builds": _CACHE.builds,
+            "updates": _CACHE.updates,
+            "evictions": _CACHE.evictions,
+            "rows_rebuilt": _CACHE.rows_rebuilt,
+            "table_hits": table_hits,
+            "table_misses": table_misses,
+            "table_resets": table_resets,
+            "table_floats": table_floats,
+        }
+
+
+# --------------------------------------------------------------------- #
+# Incremental updates (DeltaGraph compaction)
+# --------------------------------------------------------------------- #
+def _patch_weight_or_degree(
+    entry: GraphStructures,
+    old_graph: CSRGraph,
+    new_graph: CSRGraph,
+    touched: np.ndarray,
+    new_entry: GraphStructures,
+) -> int:
+    """Rebuild only the rows a compaction invalidated; copy the rest.
+
+    For weighted graphs the touched set is exactly the invalidation set.
+    For degree bias a touched vertex also invalidates every row that holds
+    it as a *neighbor* (its degree value appears in their bias slices), so
+    those in-neighbor rows join the rebuild set.
+    """
+    v_old, v_new = old_graph.num_vertices, new_graph.num_vertices
+    old_deg, new_deg = old_graph.degrees, new_graph.degrees
+    shared = min(v_old, v_new)
+
+    rebuild = np.zeros(v_new, dtype=bool)
+    rebuild[touched[touched < v_new]] = True
+    rebuild[shared:] = True
+    deg_changed = np.ones(v_new, dtype=bool)
+    deg_changed[:shared] = old_deg[:shared] != new_deg[:shared]
+    rebuild[:shared] |= deg_changed[:shared]
+    if not new_graph.is_weighted and new_graph.num_edges:
+        hit = deg_changed[new_graph.col_idx]
+        if hit.any():
+            rows = (
+                np.searchsorted(
+                    new_graph.row_ptr, np.nonzero(hit)[0], side="right"
+                )
+                - 1
+            )
+            rebuild[np.unique(rows)] = True
+
+    new_bias = np.empty(new_graph.num_edges, dtype=np.float64)
+    new_prefix = np.empty(new_graph.num_edges, dtype=np.float64)
+
+    keep = np.nonzero(~rebuild[:shared] & (new_deg[:shared] > 0))[0]
+    if keep.size:
+        lens = new_deg[keep]
+        local = concat_aranges(lens)
+        src_pos = np.repeat(old_graph.row_ptr[:-1][keep], lens) + local
+        dst_pos = np.repeat(new_graph.row_ptr[:-1][keep], lens) + local
+        new_bias[dst_pos] = entry.flat_bias[src_pos]
+        new_prefix[dst_pos] = entry.ctps.prefix[src_pos]
+
+    rebuild_rows = np.nonzero(rebuild & (new_deg > 0))[0]
+    if rebuild_rows.size:
+        lens = new_deg[rebuild_rows]
+        dst_pos = (
+            np.repeat(new_graph.row_ptr[:-1][rebuild_rows], lens)
+            + concat_aranges(lens)
+        )
+        if new_graph.is_weighted:
+            vals = np.ascontiguousarray(
+                new_graph.weights[dst_pos], dtype=np.float64
+            )
+        else:
+            vals = new_graph.degrees[new_graph.col_idx[dst_pos]] + 1.0
+        comp_offsets = np.zeros(rebuild_rows.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=comp_offsets[1:])
+        new_bias[dst_pos] = vals
+        new_prefix[dst_pos] = segmented_kogge_stone_inclusive(
+            vals, comp_offsets, cost=None
+        )
+
+    totals = np.zeros(v_new, dtype=np.float64)
+    nz = new_deg > 0
+    if new_graph.num_edges:
+        totals[nz] = new_prefix[new_graph.row_ptr[1:][nz] - 1]
+    new_entry.flat_bias = new_bias
+    new_entry.ctps = SegmentedCTPS(
+        prefix=new_prefix,
+        offsets=new_graph.row_ptr,
+        totals=totals,
+        lengths=new_deg,
+    )
+    new_entry.positive_counts = segment_positive_counts(
+        new_bias, new_graph.row_ptr
+    )
+    new_entry._kinds.add("weight_or_degree")
+    return int(rebuild_rows.size)
+
+
+def update_structures(old_graph, new_graph, touched) -> int:
+    """Patch ``old_graph``'s cached structures onto ``new_graph``.
+
+    Returns the number of ``weight_or_degree`` rows rebuilt (0 when the
+    old graph carried no cached structures -- the new graph then builds
+    lazily on first use).
+    """
+    with _CACHE.lock:
+        entry = _CACHE.entries.pop(id(old_graph), None)
+        finalizer = _CACHE.finalizers.pop(id(old_graph), None)
+        if finalizer is not None:
+            finalizer.detach()
+    if entry is None:
+        return 0
+    prof = _profiler.clock(-1)
+    touched = np.asarray(touched, dtype=np.int64).reshape(-1)
+    new_entry = GraphStructures(
+        num_vertices=new_graph.num_vertices, num_edges=new_graph.num_edges
+    )
+    rebuilt = 0
+    if entry.has("weight_or_degree"):
+        rebuilt = _patch_weight_or_degree(
+            entry, old_graph, new_graph, touched, new_entry
+        )
+    if entry.has("node2vec"):
+        # Sorted keys do not patch; the re-sort is cheap next to the scans.
+        new_entry.sorted_edge_keys = _edge_keys(new_graph)
+        new_entry._kinds.add("node2vec")
+    with _CACHE.lock:
+        _CACHE.entries[id(new_graph)] = new_entry
+        _watch(new_graph, id(new_graph))
+        _CACHE.updates += 1
+        _CACHE.rows_rebuilt += rebuilt
+    prof.lap("structure_update")
+    return rebuilt
+
+
+def bind_structures(delta) -> None:
+    """Patch this cache on every compaction of ``delta``.
+
+    Chains after any hook already installed (unlike
+    :func:`repro.selection.incremental.bind`, which replaces it), so alias/
+    ITS caches and this cache can both follow one graph.  Bind while the
+    overlay is empty (e.g. right after construction or a compaction) so the
+    captured base is the snapshot samplers actually run against.
+    """
+    from repro.graph.delta import as_csr
+
+    holder = {"base": as_csr(delta)}
+    previous = delta.on_compact
+
+    def _hook(new_base: CSRGraph, touched: np.ndarray) -> None:
+        if previous is not None:
+            previous(new_base, touched)
+        update_structures(holder["base"], new_base, touched)
+        holder["base"] = new_base
+
+    delta.on_compact = _hook

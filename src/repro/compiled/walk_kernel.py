@@ -19,10 +19,20 @@ Specialisations, by plan-proved properties:
   each draw against ``(mid + 1) / n`` -- bitwise the probes the interpreted
   :meth:`~repro.selection.segmented.SegmentedCTPS.search` computes on the
   ones-prefix.  The per-draw loop optionally runs in the numba backend.
-* ``kind="weight_or_degree"`` (BiasedRandomWalk) and ``kind="node2vec"``
-  (Node2Vec) -- the bias formula is inlined (no hook dispatch), then the
-  selection reuses the segmented SELECT kernels verbatim, so non-uniform
-  draws are identical by construction.
+* ``kind="weight_or_degree"`` (BiasedRandomWalk) -- the per-vertex CTPS
+  prefixes depend only on the graph, so they come from the per-graph
+  structure cache (:mod:`repro.compiled.structures`): the kernel never
+  materialises neighbor pools or bias arrays, charges the closed forms of
+  the scan/normalisation it skipped, and binary-searches the cached
+  graph-wide prefix directly (optionally in the numba backend).
+* ``kind="node2vec"`` (Node2Vec) -- a transition's bias vector depends only
+  on the traversed edge ``prev -> vertex`` (given ``(p, q)``), so the
+  structure cache keeps a per-edge table of scanned CTPS prefix rows
+  (:class:`~repro.compiled.structures.Node2VecPrefixTable`): cache hits
+  skip pool materialisation, the bias formula *and* the segmented scan
+  entirely, misses build their rows once with the same stamp-loop formula
+  and scan the interpreted hook runs, and every draw binary-searches the
+  cached rows with probes bitwise equal to the per-step CTPS.
 
 **Bit-compatibility contract.**  The kernel draws the same ``(instance,
 depth, slot, warp, lane)`` RNG keys, advances the engine's warp cursors in
@@ -47,13 +57,14 @@ from repro.selection.segmented import (
     _ceil_log2,
     concat_aranges,
     segment_positive_counts,
+    segmented_kogge_stone_inclusive,
     segmented_warp_select,
     take_segments,
 )
 from repro.telemetry import profiler as _profiler
 from repro.telemetry import trace as _trace
 
-__all__ = ["CompiledWalkKernel", "uniform_local_search"]
+__all__ = ["CompiledWalkKernel", "prefix_local_search", "uniform_local_search"]
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -82,6 +93,37 @@ def uniform_local_search(rs: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     return lo
 
 
+def prefix_local_search(
+    prefix: np.ndarray,
+    base: np.ndarray,
+    lengths: np.ndarray,
+    totals: np.ndarray,
+    rs: np.ndarray,
+) -> np.ndarray:
+    """Binary-search each draw against a cached unnormalised prefix row.
+
+    Operation-for-operation :meth:`SegmentedCTPS.search` with explicit
+    per-draw base offsets into one flat buffer: probe ``prefix[mid] /
+    total`` against the draw, identical float ops, so the local indices
+    are bitwise those the per-step CTPS over the same rows would return.
+    """
+    rs = np.asarray(rs, dtype=np.float64)
+    if rs.size and (float(rs.min()) < 0.0 or float(rs.max()) >= 1.0):
+        raise ValueError("random numbers for CTPS search must lie in [0, 1)")
+    lo = np.asarray(base, dtype=np.int64).copy()
+    hi = lo + lengths - 1
+    active = lo < hi
+    while np.any(active):
+        mid = (lo + hi) >> 1
+        probe = prefix[np.where(active, mid, 0)] / totals
+        go_right = active & (probe <= rs)
+        stay = active & ~go_right
+        lo[go_right] = mid[go_right] + 1
+        hi[stay] = mid[stay]
+        active = lo < hi
+    return lo - base
+
+
 class CompiledWalkKernel:
     """Plan-specialised fused per-depth callable for walk-shaped plans.
 
@@ -105,10 +147,32 @@ class CompiledWalkKernel:
         self.kind = kind
         self.backend = backend
         self._numba_select = None
+        self._numba_prefix_search = None
         if backend == "numba":
-            from repro.compiled.numba_backend import get_uniform_select
+            from repro.compiled.numba_backend import (
+                get_prefix_search,
+                get_uniform_select,
+            )
 
             self._numba_select = get_uniform_select()
+            if kind in ("weight_or_degree", "node2vec"):
+                self._numba_prefix_search = get_prefix_search()
+        self._structures = None
+        self._n2v_table = None
+        if kind in ("weight_or_degree", "node2vec"):
+            from repro.compiled.structures import get_structures
+
+            # Both biased kinds lean on the weight/degree structures: the
+            # flat CTPS answers first-order selection, and its positivity
+            # counts (bias > 0 iff weight > 0) equal node2vec's, whose
+            # positive scale factors never zero a bias.
+            self._structures = get_structures(self.graph, "weight_or_degree")
+            if kind == "node2vec":
+                nv = int(self.graph.num_vertices)
+                if nv * nv < 2**63:  # (prev, vertex) packs into one int64 key
+                    self._n2v_table = self._structures.node2vec_table(
+                        self.program.p, self.program.q
+                    )
 
     # ------------------------------------------------------------------ #
     def run(
@@ -193,6 +257,14 @@ class CompiledWalkKernel:
             if self.kind == "uniform":
                 positive = lengths
                 prof.lap("gather")
+            elif self.kind == "weight_or_degree" or self._n2v_table is not None:
+                # Structure reuse: cached structures answer every bias
+                # question, so the pool never materialises.  The graph
+                # constructor already validated the weights (finite, non-
+                # negative) and node2vec's scale factors are positive, which
+                # is what the per-step validation checks.
+                positive = self._structures.positive_counts[seg_vertices]
+                prof.lap("gather")
             else:
                 offsets = np.zeros(K + 1, dtype=np.int64)
                 np.cumsum(lengths, out=offsets[1:])
@@ -223,6 +295,18 @@ class CompiledWalkKernel:
                     idx = self._uniform_select(
                         allocated, lengths, ids, seg_owner, seg_slots,
                         warp_full, depth, step_cost,
+                    )
+                    dst = graph.col_idx[np.repeat(starts[allocated], ns) + idx]
+                elif self.kind == "weight_or_degree":
+                    idx = self._cached_biased_select(
+                        allocated, seg_vertices, lengths, ids, seg_owner,
+                        seg_slots, warp_full, depth, step_cost,
+                    )
+                    dst = graph.col_idx[np.repeat(starts[allocated], ns) + idx]
+                elif self._n2v_table is not None:
+                    idx = self._node2vec_select(
+                        allocated, seg_vertices, lengths, ids, seg_owner,
+                        seg_slots, warp_full, depth, prevs, step_cost, prof,
                     )
                     dst = graph.col_idx[np.repeat(starts[allocated], ns) + idx]
                 else:
@@ -386,6 +470,211 @@ class CompiledWalkKernel:
         return idx
 
     # ------------------------------------------------------------------ #
+    def _cached_biased_select(
+        self, allocated, seg_vertices, lengths, ids, seg_owner, seg_slots,
+        warp_full, depth, cost,
+    ) -> np.ndarray:
+        """Structure-reuse SELECT for weight/degree biases.
+
+        The interpreted path re-scans every allocated pool's biases into a
+        fresh :class:`SegmentedCTPS` each depth step; here the per-graph
+        cached prefix answers the same binary searches, so the kernel only
+        applies the *charges* of the scan and normalisation it skipped
+        (identical closed forms) and then searches the cached prefix with
+        the same draws -- bit-identical indices at O(draws) work per step.
+        """
+        ns = int(self.config.neighbor_size)
+        num_alloc = int(allocated.size)
+        len_a = lengths[allocated]
+        # Segmented Kogge-Stone scan over the allocated bias segments.
+        steps = _ceil_log2(len_a)
+        chunks = np.maximum(1, (len_a + 31) // 32)
+        cost.prefix_sum_steps += int((steps * chunks).sum())
+        cost.warp_steps += int(steps.sum())
+        cost.lane_ops += int((steps * np.minimum(len_a, 32)).sum())
+        cost.charge_global_bytes(int(len_a.sum()) * 8)
+        # CTPS normalisation: one warp step per segment.
+        cost.warp_steps += num_alloc
+        cost.lane_ops += int(np.minimum(len_a, 32).sum())
+        # Draw accounting (segmented ITS).
+        draws = num_alloc * ns
+        cost.rng_draws += draws
+        cost.selection_attempts += draws
+        # Per-draw coordinates: (instance, depth, slot + 1, warp, lane).
+        owners = seg_owner[allocated]
+        coord_inst = np.repeat(ids[owners], ns)
+        coord_slot = np.repeat(seg_slots[allocated] + 1, ns)
+        coord_warp = np.repeat(warp_full[allocated], ns)
+        lanes = np.tile(np.arange(ns, dtype=np.int64), num_alloc)
+        ctps = self._structures.ctps
+        verts = np.repeat(seg_vertices[allocated], ns)
+        if self._numba_prefix_search is not None:
+            n_draw = np.repeat(len_a, ns)
+            idx = self._numba_prefix_search(
+                np.uint64(self.rng.seed),
+                coord_inst.astype(np.uint64),
+                np.full(draws, depth, dtype=np.uint64),
+                coord_slot.astype(np.uint64),
+                coord_warp.astype(np.uint64),
+                lanes.astype(np.uint64),
+                self.graph.row_ptr[verts],
+                n_draw,
+                ctps.prefix,
+                ctps.totals[verts],
+            )
+            # Binary-search charges (as SegmentedCTPS.search applies them).
+            search_steps = int(np.maximum(1, _ceil_log2(n_draw + 1)).sum())
+            cost.binary_search_steps += search_steps
+            cost.charge_global_bytes(search_steps * 8)
+        else:
+            rs = np.atleast_1d(
+                self.rng.uniform(coord_inst, depth, coord_slot, coord_warp, lanes)
+            )
+            idx = ctps.search(rs, verts, cost)
+        # With-replacement warp wrapper: one lock-step instruction per warp.
+        cost.warp_steps += num_alloc
+        cost.lane_ops += min(ns, 32) * num_alloc
+        return idx
+
+    # ------------------------------------------------------------------ #
+    def _node2vec_select(
+        self, allocated, seg_vertices, lengths, ids, seg_owner, seg_slots,
+        warp_full, depth, prevs, cost, prof,
+    ) -> np.ndarray:
+        """Structure-reuse SELECT for second-order (node2vec) biases.
+
+        A transition's bias vector depends only on the traversed edge
+        ``prev -> vertex`` (and ``(p, q)``), so each vector's scanned CTPS
+        prefix is built at most once -- by the exact stamp-loop formula and
+        segmented scan the interpreted hook runs -- and cached in the
+        per-graph :class:`Node2VecPrefixTable`.  Hits cost a dict lookup;
+        only misses materialise their pools.  Either way the step charges
+        the closed forms of the full gather/scan/normalise work (identical
+        to the interpreted path) and searches with the same draws.
+        """
+        ns = int(self.config.neighbor_size)
+        num_alloc = int(allocated.size)
+        len_a = lengths[allocated]
+        # Segmented Kogge-Stone scan over the allocated bias segments.
+        steps = _ceil_log2(len_a)
+        chunks = np.maximum(1, (len_a + 31) // 32)
+        cost.prefix_sum_steps += int((steps * chunks).sum())
+        cost.warp_steps += int(steps.sum())
+        cost.lane_ops += int((steps * np.minimum(len_a, 32)).sum())
+        cost.charge_global_bytes(int(len_a.sum()) * 8)
+        # CTPS normalisation: one warp step per segment.
+        cost.warp_steps += num_alloc
+        cost.lane_ops += int(np.minimum(len_a, 32).sum())
+        # Draw accounting (segmented ITS).
+        draws = num_alloc * ns
+        cost.rng_draws += draws
+        cost.selection_attempts += draws
+        # Resolve the cached prefix row of each walker's traversed edge.
+        table = self._n2v_table
+        verts = seg_vertices[allocated]
+        pr = prevs[seg_owner[allocated]]
+        nv = np.int64(self.graph.num_vertices)
+        keys = np.where(pr >= 0, pr * nv + verts, -(verts + np.int64(1)))
+        row_off = np.empty(num_alloc, dtype=np.int64)
+        row_tot = np.empty(num_alloc, dtype=np.float64)
+        lookup = table.table.get
+        miss: List[int] = []
+        for i, key in enumerate(keys.tolist()):
+            entry = lookup(key)
+            if entry is None:
+                miss.append(i)
+            else:
+                row_off[i] = entry[0]
+                row_tot[i] = entry[1]
+        table.hits += num_alloc - len(miss)
+        table.misses += len(miss)
+        prof.lap("structure_hit")
+        if miss:
+            m = np.asarray(miss, dtype=np.int64)
+            pref, moff, tots = self._build_n2v_rows(verts[m], pr[m], len_a[m])
+            row_off[m] = table.append(pref, moff, keys[m], tots)
+            row_tot[m] = tots
+            prof.lap("bias_build")
+        # Per-draw coordinates: (instance, depth, slot + 1, warp, lane).
+        owners = seg_owner[allocated]
+        coord_inst = np.repeat(ids[owners], ns)
+        coord_slot = np.repeat(seg_slots[allocated] + 1, ns)
+        coord_warp = np.repeat(warp_full[allocated], ns)
+        lanes = np.tile(np.arange(ns, dtype=np.int64), num_alloc)
+        n_draw = np.repeat(len_a, ns)
+        if self._numba_prefix_search is not None:
+            idx = self._numba_prefix_search(
+                np.uint64(self.rng.seed),
+                coord_inst.astype(np.uint64),
+                np.full(draws, depth, dtype=np.uint64),
+                coord_slot.astype(np.uint64),
+                coord_warp.astype(np.uint64),
+                lanes.astype(np.uint64),
+                np.repeat(row_off, ns),
+                n_draw,
+                table.buffer,
+                np.repeat(row_tot, ns),
+            )
+        else:
+            rs = np.atleast_1d(
+                self.rng.uniform(coord_inst, depth, coord_slot, coord_warp, lanes)
+            )
+            idx = prefix_local_search(
+                table.buffer,
+                np.repeat(row_off, ns),
+                n_draw,
+                np.repeat(row_tot, ns),
+                rs,
+            )
+        # Binary-search charges (as SegmentedCTPS.search applies them).
+        search_steps = int(np.maximum(1, _ceil_log2(n_draw + 1)).sum())
+        cost.binary_search_steps += search_steps
+        cost.charge_global_bytes(search_steps * 8)
+        # With-replacement warp wrapper: one lock-step instruction per warp.
+        cost.warp_steps += num_alloc
+        cost.lane_ops += min(ns, 32) * num_alloc
+        return idx
+
+    def _build_n2v_rows(self, mv, mp, ml):
+        """Materialise, bias and scan the table-miss segments only.
+
+        Mirrors :meth:`Node2Vec.edge_bias_batch` restricted to the missing
+        ``prev -> vertex`` pairs -- elementwise bias arithmetic and the
+        per-segment scan are batch-independent, so the rows are bitwise
+        what a whole-pool rebuild would produce.
+        """
+        graph = self.graph
+        program = self.program
+        moff = np.zeros(mv.size + 1, dtype=np.int64)
+        np.cumsum(ml, out=moff[1:])
+        total = int(moff[-1])
+        flat = (
+            np.repeat(graph.row_ptr[mv] - moff[:-1], ml)
+            + np.arange(total, dtype=np.int64)
+        )
+        nbrs = graph.col_idx[flat]
+        weights = (
+            np.asarray(graph.weights[flat], dtype=np.float64)
+            if graph.weights is not None
+            else np.ones(total, dtype=np.float64)
+        )
+        prev_of_edge = np.repeat(mp, ml)
+        bias = weights / program.q
+        is_prev_neighbor = np.zeros(total, dtype=bool)
+        stamps = np.full(graph.num_vertices, -1, dtype=np.int64)
+        for k in np.nonzero(mp >= 0)[0]:
+            lo, hi = int(moff[k]), int(moff[k + 1])
+            stamps[graph.neighbors(int(mp[k]))] = k
+            is_prev_neighbor[lo:hi] = stamps[nbrs[lo:hi]] == k
+        is_prev = (nbrs == prev_of_edge) & (prev_of_edge >= 0)
+        bias[is_prev_neighbor] = weights[is_prev_neighbor]
+        bias[is_prev] = weights[is_prev] / program.p
+        first = prev_of_edge < 0
+        bias[first] = weights[first]
+        pref = segmented_kogge_stone_inclusive(bias, moff)
+        return pref, moff, pref[moff[1:] - 1]
+
+    # ------------------------------------------------------------------ #
     def _compute_biases(
         self, neighbors, flat_idx, lengths, offsets, seg_owner, prevs
     ) -> np.ndarray:
@@ -395,8 +684,10 @@ class CompiledWalkKernel:
             if graph.is_weighted:
                 return np.asarray(graph.weights[flat_idx], dtype=np.float64)
             return graph.degrees[neighbors].astype(np.float64) + 1.0
-        # node2vec: second-order bias, stamp-array prev-neighbor test --
-        # operation-for-operation the Node2Vec.edge_bias_batch formula.
+        # node2vec: second-order bias with the prev-neighbor membership test
+        # answered by the cached sorted edge keys in one vectorised binary
+        # search -- the same booleans the per-segment stamp loop computes,
+        # then operation-for-operation the Node2Vec.edge_bias_batch formula.
         program = self.program
         weights = (
             np.asarray(graph.weights[flat_idx], dtype=np.float64)
@@ -406,12 +697,27 @@ class CompiledWalkKernel:
         prevs_seg = prevs[seg_owner]
         prev_of_edge = np.repeat(prevs_seg, lengths)
         bias = weights / program.q
-        stamps = np.full(graph.num_vertices, -1, dtype=np.int64)
         is_prev_neighbor = np.zeros(neighbors.size, dtype=bool)
-        for k in np.nonzero(prevs_seg >= 0)[0]:
-            lo, hi = int(offsets[k]), int(offsets[k + 1])
-            stamps[graph.neighbors(int(prevs_seg[k]))] = k
-            is_prev_neighbor[lo:hi] = stamps[neighbors[lo:hi]] == k
+        keys = (
+            self._structures.sorted_edge_keys
+            if self._structures is not None
+            else None
+        )
+        valid = prev_of_edge >= 0
+        if keys is not None and keys.size and np.any(valid):
+            probe = (
+                prev_of_edge[valid] * np.int64(graph.num_vertices)
+                + neighbors[valid]
+            )
+            pos = np.minimum(np.searchsorted(keys, probe), keys.size - 1)
+            is_prev_neighbor[valid] = keys[pos] == probe
+        elif keys is None:
+            # Key space overflowed int64: per-segment stamp-array fallback.
+            stamps = np.full(graph.num_vertices, -1, dtype=np.int64)
+            for k in np.nonzero(prevs_seg >= 0)[0]:
+                lo, hi = int(offsets[k]), int(offsets[k + 1])
+                stamps[graph.neighbors(int(prevs_seg[k]))] = k
+                is_prev_neighbor[lo:hi] = stamps[neighbors[lo:hi]] == k
         is_prev = (neighbors == prev_of_edge) & (prev_of_edge >= 0)
         bias[is_prev_neighbor] = weights[is_prev_neighbor]
         bias[is_prev] = weights[is_prev] / program.p

@@ -47,8 +47,8 @@ import numpy as np
 
 from repro.api.config import SamplingConfig
 from repro.api.instance import InstanceState
+from repro.compiled.step_engine import CompiledStepEngine, make_step_engine
 from repro.engine.hetero import GroupedIterationSink, member_map
-from repro.engine.step import BatchedStepEngine
 from repro.distributed.router import WalkerEnvelope, routing_vertex
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.kernel import KernelLaunch
@@ -92,6 +92,7 @@ class ShardReport:
         emigrated: int,
         spans: Optional[list] = None,
         profile: Optional[dict] = None,
+        cache_stats: Optional[dict] = None,
     ):
         self.shard_index = shard_index
         #: Every walker resident at collection (finished and active alike).
@@ -111,6 +112,10 @@ class ShardReport:
         #: Profiler accumulators drained from the shard's process (same
         #: shipping contract as ``spans``; empty for in-process shards).
         self.profile = profile if profile is not None else {}
+        #: Compiled-tier cache counters of the process that ran the shard
+        #: (kernel cache + structure cache), shipped home with the report so
+        #: the coordinator can aggregate per-worker cache effectiveness.
+        self.cache_stats = cache_stats if cache_stats is not None else {}
 
 
 class _WalkerRecord:
@@ -169,9 +174,18 @@ class ShardRuntime:
         self._rng = CounterRNG(config.seed)
         #: Shared engine for coalescable programs (one fused batch per step).
         self._engine = (
-            BatchedStepEngine(self.graph, probe, config, self._rng)
+            make_step_engine(self.graph, probe, config, self._rng)
             if self.coalescable
             else None
+        )
+        #: The step tier this shard actually runs (profiler attribution):
+        #: compiled exactly when the shared engine is the compiled
+        #: specialisation.  Stateful programs get private interpreted
+        #: engines, so the private path always reports interpreted.
+        self.step_tier = (
+            "compiled"
+            if isinstance(self._engine, CompiledStepEngine)
+            else "interpreted"
         )
         #: Resident walkers keyed by global instance id.
         self._records: Dict[int, _WalkerRecord] = {}
@@ -232,7 +246,7 @@ class ShardRuntime:
                             self._base_program_seed, instance_id
                         )
                     program = self._factory(**kwargs)
-                engine = BatchedStepEngine(
+                engine = make_step_engine(
                     self.graph, program, self.config, CounterRNG(self.config.seed)
                 )
                 engine.warp_counter = int(env.warp_cursor)
@@ -264,7 +278,7 @@ class ShardRuntime:
         # attribution here; on the coordinator thread this restates the
         # Executor's identical context.
         with _trace.activated(ctx), _profiler.profiled(
-            "sharded", self.algorithm, "interpreted"
+            "sharded", self.algorithm, self.step_tier
         ), _trace.span(
             "shard_step",
             shard=self.shard_index,
@@ -363,6 +377,8 @@ class ShardRuntime:
             self._envelope(self._records[instance_id])
             for instance_id in sorted(self._records)
         ]
+        from repro.compiled import kernel_cache_stats, structure_cache_stats
+
         return ShardReport(
             shard_index=self.shard_index,
             envelopes=envelopes,
@@ -371,4 +387,8 @@ class ShardRuntime:
             steps=self.steps,
             admitted=self.admitted,
             emigrated=self.emigrated,
+            cache_stats={
+                "kernel_cache": kernel_cache_stats(),
+                "structure_cache": structure_cache_stats(),
+            },
         )

@@ -48,7 +48,6 @@ from repro.api.bias import SamplingProgram
 from repro.api.config import SamplingConfig
 from repro.api.instance import InstanceState
 from repro.api.results import SampleResult
-from repro.engine.step import BatchedStepEngine
 from repro.gpusim.prng import CounterRNG
 
 __all__ = [
@@ -135,8 +134,10 @@ def run_coalesced(
         force_route="coalesced",
         allow_compiled=use_compiled,
     ))
+    from repro.compiled.step_engine import make_step_engine
+
     rng = CounterRNG(config.seed)
-    engine = BatchedStepEngine(graph, program, config, rng)
+    engine = make_step_engine(graph, program, config, rng, use_compiled=use_compiled)
     compiled_kernel = None
     if execution_plan.step_tier == "compiled":
         from repro.compiled import get_kernel_spec, instantiate_kernel

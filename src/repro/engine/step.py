@@ -401,13 +401,7 @@ class BatchedStepEngine:
             if accepted.size:
                 inst.record_edges(int(pool.src[k]), accepted)
                 cost.sampled_edges += int(accepted.size)
-            if self._update_default:
-                new_vertices = accepted
-            else:
-                segment = segment if segment is not None else pool.segment(k)
-                new_vertices = np.asarray(
-                    self.program.update(segment, accepted), dtype=np.int64
-                ).reshape(-1)
+            new_vertices = self._update_vertices(pool, k, segment, accepted)
             if accepted.size and cfg.track_visited:
                 inst.mark_visited(accepted)
             if new_vertices.size:
@@ -509,13 +503,9 @@ class BatchedStepEngine:
                 mask = chosen_src == part.src[k]
                 if not mask.any():
                     continue
-                if self._update_default:
-                    new_vertices = chosen_dst[mask]
-                else:
-                    new_vertices = np.asarray(
-                        self.program.update(part.segment(k), chosen_dst[mask]),
-                        dtype=np.int64,
-                    ).reshape(-1)
+                new_vertices = self._update_vertices(
+                    part, k, None, chosen_dst[mask]
+                )
                 if new_vertices.size:
                     inserted[rank].append(new_vertices)
             if cfg.track_visited:
@@ -618,13 +608,7 @@ class BatchedStepEngine:
             if accepted.size:
                 inst.record_edges(int(pool.src[k]), accepted)
                 cost.sampled_edges += int(accepted.size)
-            if self._update_default:
-                new_vertices = accepted
-            else:
-                segment = segment if segment is not None else pool.segment(k)
-                new_vertices = np.asarray(
-                    self.program.update(segment, accepted), dtype=np.int64
-                ).reshape(-1)
+            new_vertices = self._update_vertices(pool, k, segment, accepted)
             if accepted.size and cfg.track_visited:
                 inst.mark_visited(accepted)
             inst.prev_vertex = int(pool.src[k])
@@ -760,6 +744,27 @@ class BatchedStepEngine:
                 raise ValueError("edge_bias must return finite, non-negative biases")
             out[pool.offsets[k] : pool.offsets[k + 1]] = part
         return out, False
+
+    def _update_vertices(
+        self,
+        pool: SegmentedEdgePool,
+        k: int,
+        segment,
+        accepted: np.ndarray,
+    ) -> np.ndarray:
+        """UPDATE for one segment (lines 7-8's filter).
+
+        ``segment`` is a pre-materialised scalar view when the accept hook
+        already built one, else ``None``.  The compiled step engine overrides
+        this with the program's *declared* update shape, skipping hook
+        dispatch and segment materialisation.
+        """
+        if self._update_default:
+            return accepted
+        segment = segment if segment is not None else pool.segment(k)
+        return np.asarray(
+            self.program.update(segment, accepted), dtype=np.int64
+        ).reshape(-1)
 
     def _neighbor_counts(
         self, pool: SegmentedEdgePool, lengths: np.ndarray, hook_mask: np.ndarray

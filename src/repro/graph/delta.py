@@ -346,7 +346,19 @@ class DeltaGraph:
         into retired vertices are dropped.  The arrays are exactly what
         :func:`~repro.graph.builder.from_edge_list` produces from the same
         edge sequence.
+
+        When the overlay is empty the base *is* the canonical snapshot and
+        is returned as-is, so repeated snapshots of an unmutated graph keep
+        one identity -- which is what the compiled tier's per-graph
+        structure cache (:mod:`repro.compiled.structures`) keys on.
         """
+        if (
+            self._num_dead == 0
+            and self._num_inserted == 0
+            and not self._retired_in_base
+            and self._num_vertices == self._base.num_vertices
+        ):
+            return self._base
         base = self._base
         keep = ~self._dead
         base_src = np.repeat(

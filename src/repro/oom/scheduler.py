@@ -37,7 +37,6 @@ from repro.api.frontier import FrontierQueue
 from repro.api.instance import InstanceState, make_instances
 from repro.api.results import SampleResult
 from repro.api.select import gather_neighbors, warp_select
-from repro.engine.step import BatchedStepEngine
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.device import Device, make_device
 from repro.gpusim.prng import CounterRNG
@@ -156,8 +155,10 @@ class OutOfMemorySampler:
         device: Optional[Device] = None,
         partitions: Optional[PartitionSet] = None,
         use_engine: bool = True,
+        use_compiled: Optional[bool] = None,
         algorithm: Optional[str] = None,
     ):
+        from repro.compiled.step_engine import make_step_engine
         from repro.graph.delta import as_csr
 
         graph = as_csr(graph)  # DeltaGraphs sample their canonical snapshot
@@ -175,7 +176,12 @@ class OutOfMemorySampler:
         )
         self.rng = CounterRNG(config.seed)
         self.use_engine = use_engine
-        self.engine = BatchedStepEngine(graph, program, config, self.rng)
+        # The compiled tier specialises the engine's expand/step path, so it
+        # is only meaningful when the engine path is active.
+        self.use_compiled = use_compiled if use_engine else False
+        self.engine = make_step_engine(
+            graph, program, config, self.rng, use_compiled=self.use_compiled
+        )
         self._warp_counter = 0
 
     # ------------------------------------------------------------------ #
@@ -204,6 +210,7 @@ class OutOfMemorySampler:
             instances=instances,
             oom_config=self.oom,
             force_route="out_of_memory",
+            allow_compiled=self.use_compiled,
         ))
 
     def run(

@@ -158,6 +158,18 @@ class ServiceStats:
         misses = registry.counter("kernel_cache_misses").value
         if hits + misses:
             out["kernel_cache_hit_rate"] = hits / (hits + misses)
+        s_hits = registry.counter("structure_cache_hits").value
+        s_misses = registry.counter("structure_cache_misses").value
+        if s_hits + s_misses:
+            out["structure_cache_hit_rate"] = s_hits / (s_hits + s_misses)
+        step_tiers: Dict[str, Dict[str, int]] = {}
+        for labels, counter in registry.find_counters("step_tier_requests"):
+            algorithm = labels.get("algorithm", "?")
+            step_tiers.setdefault(algorithm, {})[
+                labels.get("step_tier", "?")
+            ] = counter.value
+        if step_tiers:
+            out["step_tier_by_algorithm"] = step_tiers
         out["walker_migrations"] = registry.counter("walker_migrations").value
         out["epoch_retirements"] = registry.counter("epoch_retirements").value
         latency_by_route: Dict[str, Dict[str, float]] = {}
@@ -1122,6 +1134,23 @@ class SamplingService:
                 self.metrics.counter("kernel_cache_misses").inc(
                     int(payload.stats.get("kernel_cache_misses", 0))
                 )
+            structure_hits = payload.stats.get("structure_cache_hits")
+            if structure_hits is not None:
+                self.metrics.counter("structure_cache_hits").inc(
+                    int(structure_hits)
+                )
+                self.metrics.counter("structure_cache_misses").inc(
+                    int(payload.stats.get("structure_cache_misses", 0))
+                )
+            step_tier = payload.stats.get("step_tier")
+            if step_tier is not None:
+                # Per-algorithm tier coverage: how much traffic actually ran
+                # compiled vs interpreted (snapshot() pivots these counters).
+                self.metrics.counter(
+                    "step_tier_requests",
+                    algorithm=pending.request.algorithm,
+                    step_tier=step_tier,
+                ).inc()
             migrations = payload.stats.get("migrations")
             if migrations:
                 self.metrics.counter("walker_migrations").inc(int(migrations))
@@ -1213,11 +1242,25 @@ class SamplingService:
             self._plans = {
                 k: v for k, v in self._plans.items() if k[:2] != key
             }
+            # Evict the retired epoch's compiled structures before releasing
+            # the segments: thread/inline workers sample through the owner's
+            # graph view, so the structure cache would otherwise keep the
+            # stale epoch's alias/prefix arrays alive until a GC pass
+            # (process workers evict via the weakref finalizer when their
+            # attached mapping closes).
+            try:
+                retired_graph = self.store.graph(name, epoch)
+            except KeyError:  # pragma: no cover - raced release
+                retired_graph = None
             # Release under the lock: a concurrent submit must observe
             # either a pinnable epoch or a KeyError, never the gap between
             # un-retiring and unlinking.
             self.store.release(name, epoch)
             self.metrics.counter("epoch_retirements").inc()
+        if retired_graph is not None:
+            from repro.compiled import evict_graph
+
+            evict_graph(retired_graph)
         # Retirement is the cache's invalidation signal: evict exactly this
         # epoch's cached results (newer/pinned epochs' entries stay).
         self.gateway.invalidate_epoch(name, epoch)

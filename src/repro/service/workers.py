@@ -38,6 +38,7 @@ from repro.api.sampler import GraphSampler
 from repro.engine.hetero import run_coalesced
 from repro.graph.csr import CSRGraph
 from repro.compiled.compiler import kernel_cache_stats
+from repro.compiled.structures import structure_cache_stats
 from repro.oom.scheduler import OutOfMemoryConfig, OutOfMemorySampler
 from repro.service.store import SharedGraphHandle, attach
 from repro.telemetry import profiler as _profiler
@@ -156,6 +157,34 @@ def _annotate_step_tier(payload: RequestPayload, unit: WorkUnit) -> None:
         payload.stats["step_tier"] = unit.plan.step_tier
 
 
+def _cache_snapshot() -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Worker-local kernel- and structure-cache counters, taken together."""
+    return kernel_cache_stats(), structure_cache_stats()
+
+
+def _annotate_cache_deltas(payload: RequestPayload, before) -> None:
+    """Ship the run's cache activity home on the payload.
+
+    Both caches live in the worker process; the front-end only ever sees
+    these per-payload deltas, which its collector folds into the service
+    registry (``kernel_cache_*`` / ``structure_cache_*`` counters).
+    """
+    kernel_before, structure_before = before
+    kernel_after, structure_after = _cache_snapshot()
+    payload.stats["kernel_cache_hits"] = float(
+        kernel_after["hits"] - kernel_before["hits"]
+    )
+    payload.stats["kernel_cache_misses"] = float(
+        kernel_after["misses"] - kernel_before["misses"]
+    )
+    payload.stats["structure_cache_hits"] = float(
+        structure_after["hits"] - structure_before["hits"]
+    )
+    payload.stats["structure_cache_misses"] = float(
+        structure_after["misses"] - structure_before["misses"]
+    )
+
+
 def execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
     """Run one work unit against an already-attached graph.
 
@@ -217,6 +246,7 @@ def _execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
             )
         for spec in unit.requests:
             try:
+                cache_before = _cache_snapshot()
                 cluster = ShardedSamplingCluster(
                     graph,
                     unit.algorithm,
@@ -234,6 +264,7 @@ def _execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
                 payload.stats["makespan"] = float(cluster_result.makespan())
                 payload.stats["num_shards"] = float(cluster_result.num_shards)
                 payload.stats["migrations"] = float(cluster_result.migrations)
+                _annotate_cache_deltas(payload, cache_before)
                 _annotate_step_tier(payload, unit)
                 payloads.append(payload)
             except Exception:
@@ -250,6 +281,7 @@ def _execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
         # standalone-equivalent.
         for spec in unit.requests:
             try:
+                cache_before = _cache_snapshot()
                 sampler = OutOfMemorySampler(
                     graph, info.program_factory(**kwargs), unit.config,
                     oom_config, algorithm=unit.algorithm,
@@ -261,6 +293,7 @@ def _execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
                     spec, oom_result.sample, "out_of_memory", 1
                 )
                 payload.stats["makespan"] = float(oom_result.makespan)
+                _annotate_cache_deltas(payload, cache_before)
                 _annotate_step_tier(payload, unit)
                 payloads.append(payload)
             except Exception:
@@ -279,22 +312,16 @@ def _execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
                 )
                 for spec in unit.requests
             ]
-            cache_before = kernel_cache_stats()
+            cache_before = _cache_snapshot()
             results = run_coalesced(graph, probe, unit.config, members,
                                     algorithm=unit.algorithm)
-            cache_after = kernel_cache_stats()
             for spec, result in zip(unit.requests, results):
                 payload = _payload_from_result(
                     spec, result, "in_memory", len(unit.requests)
                 )
-                # One kernel lookup served the fused batch; every member
-                # reports the shared delta.
-                payload.stats["kernel_cache_hits"] = float(
-                    cache_after["hits"] - cache_before["hits"]
-                )
-                payload.stats["kernel_cache_misses"] = float(
-                    cache_after["misses"] - cache_before["misses"]
-                )
+                # One kernel/structure lookup served the fused batch; every
+                # member reports the shared delta.
+                _annotate_cache_deltas(payload, cache_before)
                 _annotate_step_tier(payload, unit)
                 payloads.append(payload)
             return UnitResult(unit_id=unit.unit_id, payloads=payloads)
@@ -315,20 +342,16 @@ def _execute_unit(graph: CSRGraph, unit: WorkUnit) -> UnitResult:
 
     for spec in unit.requests:
         try:
+            # Snapshot before construction: building the sampler is what
+            # resolves the compiled step engine's cached structures.
+            cache_before = _cache_snapshot()
             sampler = GraphSampler(
                 graph, info.program_factory(**kwargs), unit.config,
                 algorithm=unit.algorithm,
             )
-            cache_before = kernel_cache_stats()
             result = sampler.run(list(spec.seeds), num_instances=spec.num_instances)
-            cache_after = kernel_cache_stats()
             payload = _payload_from_result(spec, result, "in_memory", 1)
-            payload.stats["kernel_cache_hits"] = float(
-                cache_after["hits"] - cache_before["hits"]
-            )
-            payload.stats["kernel_cache_misses"] = float(
-                cache_after["misses"] - cache_before["misses"]
-            )
+            _annotate_cache_deltas(payload, cache_before)
             _annotate_step_tier(payload, unit)
             if fell_back:
                 payload.stats["coalesced_fallback"] = 1.0

@@ -67,7 +67,8 @@ __all__ = [
 #: exporter orders rows by this sequence so profiles read as the
 #: pipeline executes.
 PHASES: Tuple[str, ...] = (
-    "gather", "bias", "select", "update", "migrate", "reassemble",
+    "gather", "bias", "bias_build", "structure_hit", "structure_update",
+    "select", "update", "migrate", "reassemble",
 )
 
 _StatKey = Tuple[str, str, str, str]  # (route, algorithm, step_tier, phase)

@@ -8,11 +8,17 @@ from repro.api.config import PoolPolicy, SamplingConfig, SelectionScope
 from repro.compiled import compile_decision, plan_step_tier
 from repro.algorithms.random_walk import SimpleRandomWalk
 
-COMPILED_WALKS = {
-    "simple_random_walk": "uniform",
-    "deepwalk": "uniform",
-    "biased_random_walk": "weight_or_degree",
-    "node2vec": "node2vec",
+#: algorithm -> (kind, walk_shape) for every eligible registry default.
+COMPILED_ALGORITHMS = {
+    "simple_random_walk": ("uniform", True),
+    "deepwalk": ("uniform", True),
+    "biased_random_walk": ("weight_or_degree", True),
+    "node2vec": ("node2vec", True),
+    "unbiased_neighbor_sampling": ("uniform", False),
+    "biased_neighbor_sampling": ("weight_or_degree", False),
+    "snowball_sampling": ("uniform", False),
+    "layer_sampling": ("weight_or_uniform", False),
+    "multidimensional_random_walk": ("uniform", False),
 }
 
 
@@ -25,11 +31,14 @@ class TestCompileDecision:
     def test_registry_eligibility(self, name):
         info = ALGORITHM_REGISTRY[name]
         decision = compile_decision(info.program_factory(), info.config_factory())
-        if name in COMPILED_WALKS:
+        if name in COMPILED_ALGORITHMS:
+            kind, walk_shape = COMPILED_ALGORITHMS[name]
             assert decision.eligible
-            assert decision.kind == COMPILED_WALKS[name]
+            assert decision.kind == kind
+            assert decision.walk_shape == walk_shape
             assert decision.reason is None
         else:
+            # The stateful-hook programs: an explicit reason is recorded.
             assert not decision.eligible
             assert decision.reason
 
@@ -40,19 +49,26 @@ class TestCompileDecision:
         assert BiasedRandomWalk.compiled_bias == "weight_or_degree"
 
     @pytest.mark.parametrize(
-        "overrides, fragment",
+        "overrides",
         [
-            (dict(frontier_size=2), "frontier"),
-            (dict(with_replacement=False), "replacement"),
-            (dict(track_visited=True), "visited"),
-            (dict(scope=SelectionScope.PER_LAYER), "scope"),
-            (dict(pool_policy=PoolPolicy.REPLACE_SELECTED), "pool"),
+            dict(frontier_size=2),
+            dict(with_replacement=False),
+            dict(track_visited=True),
+            dict(scope=SelectionScope.PER_LAYER),
+            dict(pool_policy=PoolPolicy.REPLACE_SELECTED),
         ],
     )
-    def test_config_gates(self, overrides, fragment):
+    def test_non_walk_configs_compile_on_the_engine(self, overrides):
+        # Config features the fused walk kernel cannot host no longer gate
+        # eligibility -- they demote the plan to the compiled step engine.
         decision = compile_decision(SimpleRandomWalk(), walk_config(**overrides))
-        assert not decision.eligible
-        assert fragment in decision.reason
+        assert decision.eligible
+        assert not decision.walk_shape
+
+    def test_default_walk_config_is_walk_shaped(self):
+        decision = compile_decision(SimpleRandomWalk(), walk_config())
+        assert decision.eligible
+        assert decision.walk_shape
 
     def test_hook_overrides_reject(self):
         class AcceptingWalk(SimpleRandomWalk):
@@ -97,14 +113,17 @@ class TestPlanStepTier:
             assert backend in ("numpy", "numba")
             assert fallback is None
 
-    def test_non_engine_routes_fall_back(self):
+    def test_non_engine_routes_compile_on_the_engine(self):
+        # The OOM and sharded routes step through the engine, so eligible
+        # programs compile there too -- always on the numpy engine kernel
+        # (no fused walk loop to jit) and without the cost comparison.
         for route in ("out_of_memory", "sharded"):
             tier, backend, fallback = plan_step_tier(
                 walk_config(), route, 1e-3, program=SimpleRandomWalk()
             )
-            assert tier == "interpreted"
-            assert backend is None
-            assert "depth loop" in fallback
+            assert tier == "compiled"
+            assert backend == "numpy"
+            assert fallback is None
 
     def test_allow_compiled_knob(self):
         tier, _, fallback = plan_step_tier(

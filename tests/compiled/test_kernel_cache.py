@@ -90,9 +90,26 @@ class TestKernelCache:
         assert (stats["entries"], stats["misses"], stats["hits"]) == (2, 2, 0)
 
     def test_ineligible_raises(self, graph):
-        program = SimpleRandomWalk()
+        # Stateful-hook programs are the remaining ineligible shape (config
+        # variations now demote to the engine kernel instead of rejecting).
+        from repro.algorithms.metropolis_hastings import MetropolisHastingsWalk
+
+        walk_program = SimpleRandomWalk()
         eligible_config = SimpleRandomWalk.default_config()
-        execution_plan = make_plan(graph, program, eligible_config)
-        bad_config = SimpleRandomWalk.default_config(with_replacement=False)
+        execution_plan = make_plan(graph, walk_program, eligible_config)
+        program = MetropolisHastingsWalk()
         with pytest.raises(ValueError, match="not compilable"):
-            get_kernel_spec(program, bad_config, execution_plan)
+            get_kernel_spec(program, eligible_config, execution_plan)
+
+    def test_engine_kind_for_non_walk_shapes(self, graph):
+        from repro.compiled import instantiate_kernel
+
+        program = SimpleRandomWalk()
+        config = SimpleRandomWalk.default_config(with_replacement=False)
+        execution_plan = make_plan(graph, program, config)
+        spec = get_kernel_spec(program, config, execution_plan)
+        assert spec.kernel == "engine"
+        assert spec.backend == "numpy"
+        # Engine-kind specs have no separate kernel object: the compiled
+        # step engine itself is the kernel.
+        assert instantiate_kernel(spec, engine=None) is None

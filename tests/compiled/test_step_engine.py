@@ -1,0 +1,108 @@
+"""CompiledStepEngine: construction policy and declared-shape equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import ALGORITHM_REGISTRY
+from repro.api.sampler import GraphSampler
+from repro.compiled import clear_structure_cache, structure_cache_stats
+from repro.compiled.step_engine import CompiledStepEngine, make_step_engine
+from repro.engine.step import BatchedStepEngine
+from repro.gpusim.prng import CounterRNG
+from repro.graph.generators import powerlaw_graph
+
+ENGINE_SHAPED = (
+    "unbiased_neighbor_sampling",
+    "biased_neighbor_sampling",
+    "snowball_sampling",
+    "layer_sampling",
+    "multidimensional_random_walk",
+)
+
+STATEFUL = (
+    "forest_fire_sampling",
+    "metropolis_hastings_walk",
+    "random_walk_with_jump",
+    "random_walk_with_restart",
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(150, 5.0, seed=7)
+
+
+@pytest.fixture(autouse=True)
+def fresh_structures():
+    clear_structure_cache()
+    yield
+    clear_structure_cache()
+
+
+def _build(graph, name, *, use_compiled=None):
+    info = ALGORITHM_REGISTRY[name]
+    config = info.config_factory(seed=13)
+    return make_step_engine(
+        graph, info.program_factory(), config, CounterRNG(config.seed),
+        use_compiled=use_compiled,
+    )
+
+
+class TestEngineSelection:
+    @pytest.mark.parametrize("name", ENGINE_SHAPED)
+    def test_eligible_programs_get_the_compiled_engine(self, graph, name):
+        engine = _build(graph, name)
+        assert isinstance(engine, CompiledStepEngine)
+
+    @pytest.mark.parametrize("name", STATEFUL)
+    def test_stateful_programs_stay_interpreted(self, graph, name):
+        engine = _build(graph, name)
+        assert not isinstance(engine, CompiledStepEngine)
+        assert isinstance(engine, BatchedStepEngine)
+
+    def test_use_compiled_false_forces_interpreted(self, graph):
+        engine = _build(graph, "biased_neighbor_sampling", use_compiled=False)
+        assert not isinstance(engine, CompiledStepEngine)
+
+    def test_env_disable_forces_interpreted(self, graph, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED", "0")
+        engine = _build(graph, "biased_neighbor_sampling")
+        assert not isinstance(engine, CompiledStepEngine)
+
+    def test_biased_engines_share_cached_structures(self, graph):
+        _build(graph, "biased_neighbor_sampling")
+        first = structure_cache_stats()
+        assert first["misses"] == 1
+        _build(graph, "biased_neighbor_sampling")
+        second = structure_cache_stats()
+        assert (second["hits"], second["misses"]) == (first["hits"] + 1, 1)
+
+
+class TestDeclaredShapeEquivalence:
+    """The compiled engine's declared-shape overrides vs the real hooks.
+
+    The cross-route matrix already pins full-run bit-identity; these tests
+    pin it at the engine level, per algorithm, so a shape regression is
+    attributed to the override rather than to route plumbing.
+    """
+
+    @pytest.mark.parametrize("name", ENGINE_SHAPED)
+    def test_engine_runs_bit_identical(self, graph, name):
+        info = ALGORITHM_REGISTRY[name]
+        config = info.config_factory(seed=13)
+        seeds = [int(s) for s in range(0, graph.num_vertices, 15)]
+        results = {}
+        for use_compiled in (False, None):
+            sampler = GraphSampler(
+                graph, info.program_factory(), config,
+                use_compiled=use_compiled,
+            )
+            assert isinstance(sampler.engine, CompiledStepEngine) == (
+                use_compiled is None
+            )
+            results[use_compiled] = sampler.run(seeds)
+        interp, compiled = results[False], results[None]
+        assert interp.iteration_counts == compiled.iteration_counts
+        assert interp.cost.as_dict() == compiled.cost.as_dict()
+        for a, b in zip(interp.samples, compiled.samples):
+            assert np.array_equal(a.edges, b.edges)

@@ -134,13 +134,38 @@ class TestCrossRouteMatrix:
 
 
 # --------------------------------------------------------------------------- #
-# The compiled axis: every algorithm, compiled tier on vs off
+# The compiled axis: every algorithm, compiled tier on vs off, every route
 # --------------------------------------------------------------------------- #
 
-#: Registry algorithms whose (program, default config) compile.
+#: Registry algorithms whose (program, default config) compile -- everything
+#: but the four stateful-hook programs below.
+COMPILED = frozenset(
+    {
+        "simple_random_walk",
+        "deepwalk",
+        "biased_random_walk",
+        "node2vec",
+        "unbiased_neighbor_sampling",
+        "biased_neighbor_sampling",
+        "snowball_sampling",
+        "layer_sampling",
+        "multidimensional_random_walk",
+    }
+)
+
+#: Of those, the walk shapes that run on the fused walk kernel in-memory;
+#: the rest run on the compiled step engine.
 COMPILED_WALKS = frozenset(
     {"simple_random_walk", "deepwalk", "biased_random_walk", "node2vec"}
 )
+
+#: Stateful-hook programs stay interpreted, each with an explicit reason.
+STATEFUL_REASONS = {
+    "forest_fire": "overrides",
+    "random_walk_with_jump": "overrides",
+    "random_walk_with_restart": "overrides",
+    "metropolis_hastings": "accept",
+}
 
 
 class TestCompiledAxis:
@@ -149,7 +174,7 @@ class TestCompiledAxis:
     The compiled tier is on by default, so the compiled-on leg is exactly
     what users run; the compiled-off leg pins the interpreted reference.
     Bit-identity covers samples, iteration counts, cost totals *and* the
-    per-kernel records -- the compiled kernel must charge every counter the
+    per-kernel records -- the compiled tier must charge every counter the
     interpreted MAIN loop charges, per depth step.
     """
 
@@ -167,17 +192,21 @@ class TestCompiledAxis:
 
         compiled_sampler = GraphSampler(graph, info.program_factory(), config)
         plan = compiled_sampler.plan(seeds)
-        if algorithm in COMPILED_WALKS:
+        if algorithm in COMPILED:
             assert plan.step_tier == "compiled"
             assert plan.compiled_backend in ("numpy", "numba")
             assert plan.compiled_fallback is None
         else:
+            # Stateful-hook programs stay interpreted with a recorded reason.
             assert plan.step_tier == "interpreted"
-            assert plan.compiled_fallback  # a reason is always recorded
+            reason_match = next(
+                v for k, v in STATEFUL_REASONS.items() if algorithm.startswith(k)
+            )
+            assert reason_match in plan.compiled_fallback
         compiled = compiled_sampler.run(seeds)
         assert_equivalent(interp, compiled, kernels=True)
 
-    @pytest.mark.parametrize("algorithm", sorted(COMPILED_WALKS))
+    @pytest.mark.parametrize("algorithm", sorted(COMPILED))
     def test_compiled_matches_interpreted_coalesced(self, graph, seeds, algorithm):
         from repro.api.instance import make_instances
 
@@ -201,19 +230,38 @@ class TestCompiledAxis:
             assert_same_samples(solo, member_result)
             assert solo.iteration_counts == member_result.iteration_counts
 
-    @pytest.mark.parametrize("algorithm", sorted(COMPILED_WALKS))
-    def test_non_engine_routes_fall_back(self, graph, seeds, algorithm):
+    @pytest.mark.parametrize("algorithm", sorted(COMPILED))
+    def test_oom_route_compiles_bit_identically(self, graph, seeds, algorithm):
         info = ALGORITHM_REGISTRY[algorithm]
         config = info.config_factory(seed=9)
-        oom_sampler = OutOfMemorySampler(
-            graph, info.program_factory(), config,
-            OutOfMemoryConfig.fully_optimized(num_partitions=3),
-        )
-        oom_plan = oom_sampler.plan(seeds)
-        assert oom_plan.step_tier == "interpreted"
-        assert "depth loop" in oom_plan.compiled_fallback
+        oom = OutOfMemoryConfig.fully_optimized(num_partitions=3)
+        runs = {}
+        for use_compiled in (False, None):
+            sampler = OutOfMemorySampler(
+                graph, info.program_factory(), config, oom,
+                use_compiled=use_compiled,
+            )
+            plan = sampler.plan(seeds)
+            expected = "interpreted" if use_compiled is False else "compiled"
+            assert plan.step_tier == expected
+            runs[use_compiled] = sampler.run(seeds)
+        assert_equivalent(runs[False].sample, runs[None].sample)
+        assert runs[False].rounds == runs[None].rounds
+        assert runs[False].makespan == pytest.approx(runs[None].makespan)
 
+    @pytest.mark.parametrize("algorithm", sorted(COMPILED))
+    def test_sharded_route_compiles_bit_identically(
+        self, graph, seeds, algorithm, monkeypatch
+    ):
+        info = ALGORITHM_REGISTRY[algorithm]
         cluster = ShardedSamplingCluster(graph, info.name, num_shards=3)
-        sharded_plan = cluster.plan(seeds)
-        assert sharded_plan.step_tier == "interpreted"
-        assert "depth loop" in sharded_plan.compiled_fallback
+        plan = cluster.plan(seeds)
+        assert plan.step_tier == "compiled"
+        compiled = cluster.run(seeds)
+
+        monkeypatch.setenv("REPRO_COMPILED", "0")
+        interp_cluster = ShardedSamplingCluster(graph, info.name, num_shards=3)
+        assert interp_cluster.plan(seeds).step_tier == "interpreted"
+        interp = interp_cluster.run(seeds)
+        assert fingerprint(interp.result) == fingerprint(compiled.result)
+        assert compiled.result.total_sampled_edges > 0

@@ -161,3 +161,112 @@ class TestWithoutReplacementKernels:
                 biases, 4, rng, trial, strategy="bipartite"
             )
             assert sorted(result.indices.tolist()) == [0, 1, 2, 3]
+
+
+# --------------------------------------------------------------------------- #
+# Compiled-tier kernels: the same exact-enumeration bar, end to end
+# --------------------------------------------------------------------------- #
+
+#: Backends to drive the compiled engine through (the numba leg only runs
+#: where numba is installed -- the CI compiled-smoke job's with-numba leg).
+def _compiled_backends():
+    from repro.compiled import NUMBA_AVAILABLE
+
+    backends = ["numpy"]
+    if NUMBA_AVAILABLE:
+        backends.append("numba")
+    return backends
+
+
+class TestCompiledSelectionDistributions:
+    """Distribution correctness of the compiled step engine's selections.
+
+    The compiled tier must not just be bit-identical to the interpreted
+    engine on pinned seeds -- its without-replacement and frontier-scope
+    selections must themselves match the exact enumerated set
+    probabilities, closing the loop against a shared bug in both tiers'
+    shapes.  Every test asserts the run actually used the compiled engine.
+    """
+
+    TRIALS = 6_000
+
+    def _weighted_star(self):
+        """Hub vertex 0 with 5 weighted out-edges (BIASES), leaf sinks."""
+        from repro.graph.csr import CSRGraph
+
+        row_ptr = np.array([0, 5, 5, 5, 5, 5, 5], dtype=np.int64)
+        col_idx = np.arange(1, 6, dtype=np.int64)
+        return CSRGraph(row_ptr, col_idx, weights=BIASES.copy())
+
+    @pytest.mark.parametrize("backend", _compiled_backends())
+    def test_compiled_without_replacement_matches_enumeration(self, backend):
+        from repro.algorithms.neighbor_sampling import BiasedNeighborSampling
+        from repro.api.sampler import GraphSampler
+        from repro.compiled import force_backend
+        from repro.compiled.step_engine import CompiledStepEngine
+
+        graph = self._weighted_star()
+        config = BiasedNeighborSampling.default_config(
+            depth=1, neighbor_size=3, seed=77
+        )
+        with force_backend(backend):
+            sampler = GraphSampler(graph, BiasedNeighborSampling(), config)
+            assert isinstance(sampler.engine, CompiledStepEngine)
+            result = sampler.run([0], num_instances=self.TRIALS)
+        k = 3
+        exact = exact_set_probabilities(BIASES, k)
+        keys = sorted(exact, key=sorted)
+        counts = {key: 0 for key in keys}
+        for sample in result.samples:
+            # Hub edges go to vertices 1..5; index = destination - 1.
+            chosen = frozenset(int(dst) - 1 for dst in sample.edges[:, 1])
+            assert len(chosen) == k
+            counts[chosen] += 1
+        observed = np.array([counts[key] for key in keys])
+        probabilities = np.array([exact[key] for key in keys])
+        assert chisquare_pvalue(observed, probabilities) > ALPHA
+
+    def _frontier_graph(self):
+        """Candidates 0..4 with controlled degrees; leaves are sinks."""
+        from repro.graph.csr import CSRGraph
+
+        degrees = np.array([1, 2, 4, 8, 3], dtype=np.int64)
+        row_ptr = np.zeros(int(degrees.sum()) + len(degrees) + 1, dtype=np.int64)
+        row_ptr[1:len(degrees) + 1] = np.cumsum(degrees)
+        row_ptr[len(degrees) + 1:] = degrees.sum()
+        col_idx = np.arange(
+            len(degrees), len(degrees) + int(degrees.sum()), dtype=np.int64
+        )
+        return CSRGraph(row_ptr, col_idx), degrees
+
+    @pytest.mark.parametrize("backend", _compiled_backends())
+    def test_compiled_frontier_scope_matches_enumeration(self, backend):
+        from repro.algorithms.multidim_walk import MultiDimensionalRandomWalk
+        from repro.api.sampler import GraphSampler
+        from repro.compiled import force_backend
+        from repro.compiled.step_engine import CompiledStepEngine
+
+        graph, degrees = self._frontier_graph()
+        biases = degrees.astype(np.float64) + 1.0
+        k = 3
+        config = MultiDimensionalRandomWalk.default_config(
+            frontier_size=k, depth=1, seed=88
+        )
+        with force_backend(backend):
+            sampler = GraphSampler(graph, MultiDimensionalRandomWalk(), config)
+            assert isinstance(sampler.engine, CompiledStepEngine)
+            result = sampler.run(
+                [[0, 1, 2, 3, 4]], num_instances=self.TRIALS
+            )
+        exact = exact_set_probabilities(biases, k)
+        keys = sorted(exact, key=sorted)
+        counts = {key: 0 for key in keys}
+        for sample in result.samples:
+            # Every candidate has at least one neighbor, so each selected
+            # frontier vertex contributes exactly one sampled edge.
+            chosen = frozenset(int(src) for src in sample.edges[:, 0])
+            assert len(chosen) == k
+            counts[chosen] += 1
+        observed = np.array([counts[key] for key in keys])
+        probabilities = np.array([exact[key] for key in keys])
+        assert chisquare_pvalue(observed, probabilities) > ALPHA
